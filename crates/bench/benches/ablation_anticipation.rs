@@ -1,0 +1,39 @@
+//! Ablation — how much of Anticipatory's advantage comes from the
+//! anticipation window itself: sweep `antic_expire` from 0 (which
+//! degenerates AS towards deadline-with-batches) upward, sort on the
+//! paper testbed with the best pair (AS, DL).
+
+use iosched::{SchedKind, SchedPair};
+use mrsim::WorkloadSpec;
+use rayon::prelude::*;
+use repro_bench::{paper_cluster, paper_job, print_table};
+use simcore::SimDuration;
+use vcluster::{run_job, SwitchPlan};
+
+fn main() {
+    let job = paper_job(WorkloadSpec::sort());
+    let sweep = [0u64, 2, 6, 12, 25];
+    let rows: Vec<Vec<String>> = sweep
+        .par_iter()
+        .map(|&ms| {
+            let mut params = paper_cluster();
+            params.node.tunables.anticipatory.antic_expire = SimDuration::from_millis(ms);
+            let out = run_job(
+                &params,
+                &job,
+                SwitchPlan::single(SchedPair::new(SchedKind::Anticipatory, SchedKind::Deadline)),
+            );
+            vec![format!("{ms} ms"), format!("{:.1}", out.makespan.as_secs_f64())]
+        })
+        .collect();
+    print_table(
+        "Ablation — sort under (AS, DL) vs anticipation window",
+        &["antic_expire", "sort time (s)"],
+        &rows,
+    );
+    let times: Vec<f64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    println!(
+        "Linux default 6 ms vs disabled: {:.1}% difference",
+        100.0 * (times[0] - times[2]) / times[0]
+    );
+}

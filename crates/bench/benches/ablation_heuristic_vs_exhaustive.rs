@@ -1,0 +1,57 @@
+//! Ablation — Algorithm 1 vs exhaustive enumeration of the two-phase
+//! `S^P` space (16² = 256 plans): solution quality and evaluation cost.
+//!
+//! The paper argues brute force is impractical in general and accepts a
+//! (possibly sub-optimal) greedy answer in ≤ P×S runs; here both are
+//! cheap enough to compare outright.
+
+use iosched::SchedPair;
+use metasched::{algorithm1, assignment_plan, profile_pairs, Experiment, PhaseSplit};
+use mrsim::WorkloadSpec;
+use rayon::prelude::*;
+use repro_bench::{paper_cluster, paper_job};
+
+fn main() {
+    let exp = Experiment::new(paper_cluster(), paper_job(WorkloadSpec::sort()));
+    let pairs = SchedPair::all();
+    let profiles = profile_pairs(&exp, &pairs);
+
+    let heuristic = algorithm1(&exp, PhaseSplit::Two, &profiles, None);
+
+    let mut plans = Vec::new();
+    for &a in &pairs {
+        for &b in &pairs {
+            plans.push([a, b]);
+        }
+    }
+    let exhaustive: Vec<([SchedPair; 2], f64)> = plans
+        .par_iter()
+        .map(|&pl| (pl, exp.run(assignment_plan(&pl)).makespan.as_secs_f64()))
+        .collect();
+    let (best_plan, best_t) = exhaustive
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .cloned()
+        .unwrap();
+
+    println!("\n## Ablation — heuristic vs exhaustive (sort, 2 phases)\n");
+    println!(
+        "heuristic : {:?} in {} evaluations -> {:.1}s",
+        heuristic.resolved.iter().map(|p| p.code()).collect::<Vec<_>>(),
+        heuristic.runs(),
+        heuristic.time.as_secs_f64()
+    );
+    println!(
+        "exhaustive: [{}, {}] in 256 evaluations -> {:.1}s",
+        best_plan[0].code(),
+        best_plan[1].code(),
+        best_t
+    );
+    let regret = 100.0 * (heuristic.time.as_secs_f64() / best_t - 1.0);
+    println!("heuristic regret vs optimum: {regret:.2}%");
+    assert!(
+        regret < 10.0,
+        "the greedy answer should be within 10% of the optimum"
+    );
+    assert!(heuristic.runs() <= 2 * pairs.len());
+}

@@ -1,0 +1,62 @@
+//! Fig. 1 — Sysbench sequential-write elapsed time for all 16 pairs at
+//! 1, 2 and 3 VMs per physical machine.
+//!
+//! Paper shape: elapsed time grows ~3.5x (2 VMs) and ~8.5x (3 VMs) over
+//! the single-VM case, and the spread across pairs is ~16% on average
+//! regardless of consolidation, with (CFQ, CFQ) never the best choice.
+
+use iosched::SchedPair;
+use rayon::prelude::*;
+use repro_bench::{pair_label, print_table, quick, variation_pct};
+use vmstack::runner::{NodeRunner, SyntheticProc};
+use vmstack::NodeParams;
+
+fn elapsed(pair: SchedPair, vms: u32, bytes_per_vm: u64) -> f64 {
+    let mut r = NodeRunner::new(NodeParams::default(), vms, pair);
+    for vm in 0..vms {
+        // Sysbench: one writer process per VM, 1 GB to 16 files
+        // (modelled as one sequential extent; the file split does not
+        // change the I/O pattern at this scale).
+        r.add_proc(SyntheticProc::sysbench_seqwr(vm, 0, 0, bytes_per_vm));
+    }
+    r.run().makespan.as_secs_f64()
+}
+
+fn main() {
+    let bytes = if quick() { 256u64 << 20 } else { 1u64 << 30 };
+    let pairs = SchedPair::all();
+    let mut per_vm_avgs = Vec::new();
+    let mut rows = Vec::new();
+    let results: Vec<Vec<f64>> = [1u32, 2, 3]
+        .par_iter()
+        .map(|&vms| pairs.par_iter().map(|&p| elapsed(p, vms, bytes)).collect())
+        .collect();
+    for (i, &p) in pairs.iter().enumerate() {
+        rows.push(vec![
+            pair_label(p),
+            format!("{:.1}", results[0][i]),
+            format!("{:.1}", results[1][i]),
+            format!("{:.1}", results[2][i]),
+        ]);
+    }
+    print_table(
+        "Fig. 1 — Sysbench seq-write elapsed time (s) vs consolidation",
+        &["pair (VMM, VM)", "1 VM", "2 VMs", "3 VMs"],
+        &rows,
+    );
+    for (i, vms) in [1, 2, 3].iter().enumerate() {
+        let avg = results[i].iter().sum::<f64>() / results[i].len() as f64;
+        per_vm_avgs.push(avg);
+        println!(
+            "{} VM(s): avg {:.1}s, pair spread {:.1}%",
+            vms,
+            avg,
+            variation_pct(&results[i])
+        );
+    }
+    println!(
+        "slowdown vs 1 VM: 2 VMs {:.1}x (paper ~3.5x), 3 VMs {:.1}x (paper ~8.5x)",
+        per_vm_avgs[1] / per_vm_avgs[0],
+        per_vm_avgs[2] / per_vm_avgs[0]
+    );
+}

@@ -1,0 +1,85 @@
+//! Fig. 4 — performance score of different pairs at different points
+//! of the sort benchmark (job progress vs elapsed time), relative to
+//! the (CFQ, CFQ) baseline.
+//!
+//! Paper shape: no single pair leads at every progress point — the
+//! interleaving of stages makes every pair sub-optimal somewhere, and a
+//! per-stage oracle would beat both (CFQ, CFQ) (by ~26%) and the best
+//! single pair (by ~15%).
+
+use iosched::{SchedKind, SchedPair};
+use mrsim::WorkloadSpec;
+use rayon::prelude::*;
+use repro_bench::{paper_cluster, paper_job, print_table};
+use vcluster::{run_job, SwitchPlan};
+
+/// Time (s) at which each progress decile was reached.
+fn decile_times(progress: &[(simcore::SimTime, f64)]) -> Vec<f64> {
+    (1..=10)
+        .map(|d| {
+            let target = d as f64 / 10.0;
+            progress
+                .iter()
+                .find(|(_, f)| *f >= target - 1e-12)
+                .map(|(t, _)| t.as_secs_f64())
+                .unwrap_or(f64::NAN)
+        })
+        .collect()
+}
+
+fn main() {
+    let params = paper_cluster();
+    let job = paper_job(WorkloadSpec::sort());
+    let pairs = [
+        SchedPair::DEFAULT,
+        SchedPair::new(SchedKind::Anticipatory, SchedKind::Deadline),
+        SchedPair::new(SchedKind::Deadline, SchedKind::Anticipatory),
+        SchedPair::new(SchedKind::Cfq, SchedKind::Deadline),
+        SchedPair::new(SchedKind::Anticipatory, SchedKind::Anticipatory),
+    ];
+    let all: Vec<(SchedPair, Vec<f64>)> = pairs
+        .par_iter()
+        .map(|&p| {
+            let out = run_job(&params, &job, SwitchPlan::single(p));
+            (p, decile_times(&out.progress))
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (p, ts) in &all {
+        let mut row = vec![p.to_string()];
+        row.extend(ts.iter().map(|t| format!("{t:.0}")));
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 4 — elapsed time (s) to reach each job-progress decile",
+        &[
+            "pair", "10%", "20%", "30%", "40%", "50%", "60%", "70%", "80%", "90%", "100%",
+        ],
+        &rows,
+    );
+    // Per-segment winners: time spent within each decile segment.
+    let mut winners = Vec::new();
+    let mut oracle = 0.0;
+    for d in 0..10 {
+        let mut best: Option<(SchedPair, f64)> = None;
+        for (p, ts) in &all {
+            let seg = if d == 0 { ts[0] } else { ts[d] - ts[d - 1] };
+            if best.is_none_or(|(_, b)| seg < b) {
+                best = Some((*p, seg));
+            }
+        }
+        let (p, seg) = best.unwrap();
+        oracle += seg;
+        winners.push(p);
+    }
+    println!("per-decile winners: {}", winners.iter().map(|p| p.code()).collect::<Vec<_>>().join(" "));
+    let base = all[0].1[9];
+    let best_single = all.iter().map(|(_, ts)| ts[9]).fold(f64::INFINITY, f64::min);
+    println!(
+        "stitched per-stage oracle: {oracle:.0}s vs default {base:.0}s ({:.0}% better; paper ~26%) vs best single {best_single:.0}s ({:.0}% better; paper ~15%)",
+        100.0 * (1.0 - oracle / base),
+        100.0 * (1.0 - oracle / best_single),
+    );
+    let distinct: std::collections::BTreeSet<String> = winners.iter().map(|p| p.code()).collect();
+    assert!(distinct.len() > 1, "no single pair should win every stage");
+}

@@ -1,0 +1,88 @@
+//! Fig. 5 — cost of switching between disk pair states, measured with
+//! the paper's dd methodology: 4 VMs each writing 600 MB of zeroes;
+//! `Cost = T_withTwoSolutions − ½(T_1 + T_2)`.
+//!
+//! Paper shape: costs vary with both endpoint states (4 s – 142 s
+//! there), are NOT commutative, and re-installing the *same* pair is
+//! not free. Labels are the paper's two-letter codes (VMM, VM:
+//! c=CFQ, d=deadline, a=AS, n=noop).
+
+use iosched::SchedPair;
+use metasched::{DdConfig, SwitchCost};
+use rayon::prelude::*;
+use repro_bench::{print_table, quick};
+use simcore::SimTime;
+
+fn main() {
+    let mut cfg = DdConfig::default();
+    if quick() {
+        cfg.bytes_per_vm = 150 * 1000 * 1000;
+    }
+    let states = SchedPair::all();
+    // Solo times once per state, then the full combined matrix.
+    let solo: Vec<_> = states.par_iter().map(|&p| cfg.time_single(p)).collect();
+    let matrix: Vec<Vec<SwitchCost>> = states
+        .par_iter()
+        .enumerate()
+        .map(|(i, &from)| {
+            states
+                .iter()
+                .enumerate()
+                .map(|(j, &to)| {
+                    let half = SimTime::ZERO + solo[i].div(2);
+                    let combined = cfg.time_with_switch(from, to, half);
+                    let base = (solo[i].as_nanos() + solo[j].as_nanos()) / 2;
+                    metasched::SwitchCost {
+                        from,
+                        to,
+                        combined,
+                        cost: simcore::SimDuration::from_nanos(
+                            combined.as_nanos().saturating_sub(base),
+                        ),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let header: Vec<String> = std::iter::once("from\\to".to_string())
+        .chain(states.iter().map(|p| p.code()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = matrix
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            std::iter::once(states[i].code())
+                .chain(row.iter().map(|c| format!("{:.1}", c.cost.as_secs_f64())))
+                .collect()
+        })
+        .collect();
+    print_table("Fig. 5 — switch cost (s) between pair states", &header_refs, &rows);
+
+    let mut all: Vec<f64> = matrix
+        .iter()
+        .flatten()
+        .map(|c| c.cost.as_secs_f64())
+        .collect();
+    all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "cost range {:.1}s – {:.1}s (paper: 4 s – 142 s); diagonal min {:.1}s",
+        all[0],
+        all[all.len() - 1],
+        (0..16)
+            .map(|i| matrix[i][i].cost.as_secs_f64())
+            .fold(f64::INFINITY, f64::min)
+    );
+    // Non-commutativity: count asymmetric cells.
+    let mut asym = 0;
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, cell) in row.iter().enumerate().skip(i + 1) {
+            if (cell.cost.as_secs_f64() - matrix[j][i].cost.as_secs_f64()).abs() > 0.2 {
+                asym += 1;
+            }
+        }
+    }
+    println!("{asym}/120 state pairs have asymmetric switch cost (non-commutative)");
+    assert!(asym > 20, "switch cost should be broadly non-commutative");
+}

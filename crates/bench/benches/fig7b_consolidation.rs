@@ -1,0 +1,56 @@
+//! Fig. 7b — adaptive gain vs VM consolidation (2/4/6 VMs per node),
+//! sort with fixed 512 MB per data node.
+//!
+//! Paper shape: both the best-single gain (4/9/12%) and the adaptive
+//! gain (11/15/22%) over the default grow with consolidation.
+
+use metasched::{Experiment, MetaScheduler};
+use mrsim::WorkloadSpec;
+use repro_bench::{paper_cluster, paper_job, print_table};
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut adaptive_gains = Vec::new();
+    for vms in [2u32, 4, 6] {
+        let mut params = paper_cluster();
+        params.shape.vms_per_node = vms;
+        let exp = Experiment::new(params, paper_job(WorkloadSpec::sort()));
+        let report = MetaScheduler::new(exp).tune();
+        adaptive_gains.push(report.gain_vs_default_pct());
+        rows.push(vec![
+            format!("{vms}"),
+            format!("{:.1}", report.default_time.as_secs_f64()),
+            format!("{:.1}", report.best_single.total.as_secs_f64()),
+            format!("{:.1}", report.final_time().as_secs_f64()),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - report.best_single.total.as_secs_f64() / report.default_time.as_secs_f64())
+            ),
+            format!("{:.1}%", report.gain_vs_default_pct()),
+        ]);
+    }
+    print_table(
+        "Fig. 7b — sort vs VM consolidation",
+        &[
+            "VMs/node",
+            "default (s)",
+            "best single (s)",
+            "adaptive (s)",
+            "best-single gain",
+            "adaptive gain",
+        ],
+        &rows,
+    );
+    println!(
+        "paper: best-single gains 4/9/12%, adaptive gains 11/15/22% at 2/4/6 VMs"
+    );
+    println!(
+        "NOTE: the paper's gains *grow* with consolidation; in this substrate the \
+         adaptive gain is large at every consolidation but does not grow monotonically \
+         (see EXPERIMENTS.md, deviation D3)."
+    );
+    assert!(
+        adaptive_gains.iter().all(|&g| g > 5.0),
+        "adaptive must clearly beat the default at every consolidation: {adaptive_gains:?}"
+    );
+}

@@ -1,0 +1,52 @@
+//! Fig. 8 — how the job splits into phases for each benchmark (and for
+//! sort at several data sizes), under the default pair.
+//!
+//! Paper shape: wordcount is dominated by Ph1; wordcount w/o combiner
+//! has a relatively short second part; sort splits into two nearly
+//! comparable parts, more cleanly as the data grows.
+
+use iosched::SchedPair;
+use mrsim::{JobSpec, WorkloadSpec};
+use rayon::prelude::*;
+use repro_bench::{paper_cluster, paper_job, print_table};
+use vcluster::{run_job, SwitchPlan};
+
+fn main() {
+    let params = paper_cluster();
+    let mut configs: Vec<(String, JobSpec)> = WorkloadSpec::paper_benchmarks()
+        .into_iter()
+        .map(|w| (w.name.clone(), paper_job(w)))
+        .collect();
+    for mb in [256u64, 1024] {
+        configs.push((
+            format!("sort {mb}MB/VM"),
+            JobSpec {
+                data_per_vm_bytes: mb * 1024 * 1024,
+                ..JobSpec::new(WorkloadSpec::sort())
+            },
+        ));
+    }
+    let rows: Vec<Vec<String>> = configs
+        .par_iter()
+        .map(|(name, job)| {
+            let out = run_job(&params, job, SwitchPlan::single(SchedPair::DEFAULT));
+            let t = out.makespan.as_secs_f64();
+            let p1 = out.phases.duration(mrsim::JobPhase::Ph1).as_secs_f64();
+            let p2 = out.phases.duration(mrsim::JobPhase::Ph2).as_secs_f64();
+            let p3 = out.phases.duration(mrsim::JobPhase::Ph3).as_secs_f64();
+            vec![
+                name.clone(),
+                format!("{t:.0}"),
+                format!("{:.0}%", 100.0 * p1 / t),
+                format!("{:.0}%", 100.0 * p2 / t),
+                format!("{:.0}%", 100.0 * p3 / t),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 8 — phase shares under (CFQ, CFQ)",
+        &["benchmark", "total (s)", "Ph1 (maps)", "Ph2 (shuffle tail)", "Ph3 (reduce)"],
+        &rows,
+    );
+    println!("paper: wordcount ≫ Ph1-dominated; sort splits into two comparable parts");
+}

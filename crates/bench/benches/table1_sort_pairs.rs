@@ -1,0 +1,71 @@
+//! Table I — sort benchmark execution time for every (VMM, VM) pair,
+//! formatted like the paper (VM rows, VMM columns).
+//!
+//! Paper shape: Anticipatory in the VMM is the best column (365–375 s),
+//! noop in the VMM is catastrophic (915–987 s), (AS, DL) beats the
+//! default (CFQ, CFQ) by ~9%.
+
+use iosched::{SchedKind, SchedPair};
+use mrsim::WorkloadSpec;
+use rayon::prelude::*;
+use repro_bench::{gain_pct, paper_cluster, paper_job, print_table};
+use std::collections::BTreeMap;
+use vcluster::{run_job, SwitchPlan};
+
+fn main() {
+    let params = paper_cluster();
+    let job = paper_job(WorkloadSpec::sort());
+    let times: BTreeMap<SchedPair, f64> = SchedPair::all()
+        .par_iter()
+        .map(|&p| {
+            (
+                p,
+                run_job(&params, &job, SwitchPlan::single(p)).makespan.as_secs_f64(),
+            )
+        })
+        .collect();
+
+    let hosts = SchedKind::ALL;
+    let mut rows = Vec::new();
+    for guest in SchedKind::ALL {
+        let mut row = vec![guest.short().to_string()];
+        for host in hosts {
+            row.push(format!("{:.0}", times[&SchedPair::new(host, guest)]));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table I — sort time (s); rows = VM scheduler, columns = VMM scheduler",
+        &["VM \\ VMM", "CFQ", "DL", "AS", "NP"],
+        &rows,
+    );
+    let default = times[&SchedPair::DEFAULT];
+    let (best, best_t) = times
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(&p, &t)| (p, t))
+        .unwrap();
+    let asdl = times[&SchedPair::new(SchedKind::Anticipatory, SchedKind::Deadline)];
+    println!("default (CFQ, CFQ): {default:.1}s");
+    println!(
+        "(AS, DL): {asdl:.1}s — {:.1}% better than default (paper: 9%)",
+        gain_pct(default, asdl)
+    );
+    println!("best pair: {best} at {best_t:.1}s");
+    let np_avg: f64 = SchedKind::ALL
+        .iter()
+        .map(|&g| times[&SchedPair::new(SchedKind::Noop, g)])
+        .sum::<f64>()
+        / 4.0;
+    let as_avg: f64 = SchedKind::ALL
+        .iter()
+        .map(|&g| times[&SchedPair::new(SchedKind::Anticipatory, g)])
+        .sum::<f64>()
+        / 4.0;
+    println!(
+        "noop VMM column avg {:.0}s vs AS column avg {:.0}s: {:.1}x (paper ~2.6x)",
+        np_avg,
+        as_avg,
+        np_avg / as_avg
+    );
+}

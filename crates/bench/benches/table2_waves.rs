@@ -1,0 +1,42 @@
+//! Table II — percentage of the job spent in the *non-concurrent*
+//! shuffle phase as a function of the number of map waves.
+//!
+//! Paper shape: 29.5% at 1 wave, falling monotonically to ~1.4% at 5
+//! waves (more waves ⇒ almost all shuffle overlaps the maps).
+
+use mrsim::WorkloadSpec;
+use rayon::prelude::*;
+use repro_bench::{paper_cluster, paper_job, print_table};
+use vcluster::{run_job, SwitchPlan};
+
+fn main() {
+    let params = paper_cluster();
+    // waves = blocks / map slots; with 32 slots and 64 MB blocks, data
+    // per VM of 128 MB gives 1 wave, 256 MB gives 2, ...
+    let wave_targets = [1.0f64, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0];
+    let rows: Vec<Vec<String>> = wave_targets
+        .par_iter()
+        .map(|&w| {
+            let mut job = paper_job(WorkloadSpec::sort());
+            job.data_per_vm_bytes = (w * 2.0 * job.block_bytes as f64) as u64;
+            let waves = job.waves(&params.shape);
+            let out = run_job(&params, &job, SwitchPlan::single(iosched::SchedPair::DEFAULT));
+            vec![
+                format!("{waves:.1}"),
+                format!("{:.1}", out.phases.non_concurrent_shuffle_pct()),
+                format!("{:.0}", out.makespan.as_secs_f64()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table II — non-concurrent shuffle share vs map waves (sort, (CFQ, CFQ))",
+        &["waves", "non-concurrent shuffle %", "job time (s)"],
+        &rows,
+    );
+    let pcts: Vec<f64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    assert!(
+        pcts[0] > *pcts.last().unwrap(),
+        "share must fall as waves grow: {pcts:?}"
+    );
+    println!("paper: 29.5% at 1 wave -> 1.4% at 5 waves");
+}

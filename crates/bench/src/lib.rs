@@ -1,0 +1,100 @@
+//! Shared plumbing for the reproduction benches.
+//!
+//! Every `benches/*.rs` target regenerates one table or figure of the
+//! paper: it runs the relevant simulated experiment at the paper's
+//! scale and prints the same rows/series the paper reports, so
+//! `cargo bench` doubles as the reproduction script. Set `REPRO_QUICK=1`
+//! to shrink data sizes ~4x for a fast smoke pass.
+
+use iosched::SchedPair;
+use mrsim::{JobSpec, WorkloadSpec};
+use vcluster::ClusterParams;
+
+/// True when the quick (shrunken) configuration was requested.
+pub fn quick() -> bool {
+    std::env::var("REPRO_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Data per VM for cluster experiments (512 MB at paper scale).
+pub fn data_per_vm() -> u64 {
+    if quick() {
+        128 * 1024 * 1024
+    } else {
+        512 * 1024 * 1024
+    }
+}
+
+/// The paper's testbed cluster (4 nodes x 4 VMs).
+pub fn paper_cluster() -> ClusterParams {
+    ClusterParams::default()
+}
+
+/// A job with the paper's default data distribution.
+pub fn paper_job(w: WorkloadSpec) -> JobSpec {
+    JobSpec {
+        data_per_vm_bytes: data_per_vm(),
+        ..JobSpec::new(w)
+    }
+}
+
+/// Percent improvement of `new` over `baseline` (positive = faster).
+pub fn gain_pct(baseline: f64, new: f64) -> f64 {
+    100.0 * (1.0 - new / baseline)
+}
+
+/// Print a Markdown-ish table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:>width$} |", c, width = widths[i]));
+        }
+        s
+    };
+    println!(
+        "{}",
+        line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "|{}",
+        widths
+            .iter()
+            .map(|w| format!("{:-<width$}|", "", width = w + 2))
+            .collect::<String>()
+    );
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Format a pair like the paper's tables.
+pub fn pair_label(p: SchedPair) -> String {
+    p.to_string()
+}
+
+/// Spread of a set of timings: `(max - min) / min`, percent.
+pub fn variation_pct(times: &[f64]) -> f64 {
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    100.0 * (max - min) / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_and_variation() {
+        assert!((gain_pct(200.0, 150.0) - 25.0).abs() < 1e-12);
+        assert!((variation_pct(&[100.0, 110.0, 145.0]) - 45.0).abs() < 1e-9);
+    }
+}

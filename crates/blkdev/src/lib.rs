@@ -1,0 +1,27 @@
+//! # blkdev — mechanical disk service-time model
+//!
+//! A deterministic model of one SATA drive: head position, seek curve,
+//! spinning platter (rotational waits are a pure function of absolute
+//! simulated time), zoned media rate, and per-request controller
+//! overhead. The device services requests one at a time — merging and
+//! ordering are the elevator's job (`iosched`), mirroring the Linux
+//! block layer's division of labour.
+//!
+//! ```
+//! use blkdev::{Disk, DiskParams};
+//! use simcore::SimTime;
+//!
+//! let mut disk = Disk::new(DiskParams::default());
+//! let b = disk.service(SimTime::ZERO, /*lba*/ 8_000_000, /*sectors*/ 512, false);
+//! assert!(b.total() > b.transfer); // had to seek + rotate first
+//! let b2 = disk.service(SimTime::ZERO + b.total(), 8_000_512, 512, false);
+//! assert!(b2.is_sequential());     // continuation streams at media rate
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod geometry;
+
+pub use disk::{Disk, DiskStats, ServiceBreakdown};
+pub use geometry::{DiskParams, Sector, SECTOR_BYTES};

@@ -1,0 +1,65 @@
+//! Property-based tests of the disk service model.
+
+use blkdev::{Disk, DiskParams};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Service times are strictly positive, rotational waits bounded by
+    /// one revolution, and the head always lands at the request's end.
+    #[test]
+    fn service_sanity(reqs in prop::collection::vec((0u64..1_900_000_000u64, 1u64..2048), 1..100)) {
+        let mut d = Disk::new(DiskParams::default());
+        let rev = d.params().revolution();
+        let mut now = SimTime::ZERO;
+        for &(lba, sectors) in &reqs {
+            let b = d.service(now, lba, sectors, false);
+            prop_assert!(b.total() > SimDuration::ZERO);
+            prop_assert!(b.rotation < rev);
+            prop_assert_eq!(d.head(), lba + sectors);
+            now += b.total();
+        }
+        prop_assert_eq!(d.stats().requests, reqs.len() as u64);
+        prop_assert_eq!(d.stats().bytes, reqs.iter().map(|&(_, s)| s * 512).sum::<u64>());
+    }
+
+    /// A sequential continuation is never slower than the same request
+    /// after repositioning.
+    #[test]
+    fn sequential_is_fastest(lba in 1_000u64..1_000_000_000u64, sectors in 8u64..1024) {
+        let params = DiskParams::default();
+        // Sequential: reach lba by servicing the preceding extent first.
+        let mut d1 = Disk::new(params.clone());
+        let warm = d1.service(SimTime::ZERO, lba - 512, 512, false);
+        let seq = d1.service(SimTime::ZERO + warm.total(), lba, sectors, false);
+        // Repositioned: head parked elsewhere.
+        let mut d2 = Disk::new(params);
+        let far = d2.service(SimTime::ZERO, 1_900_000_000, 8, false);
+        let pos = d2.service(SimTime::ZERO + far.total(), lba, sectors, false);
+        prop_assert!(seq.total() <= pos.total(),
+            "sequential {} vs positioned {}", seq.total(), pos.total());
+    }
+
+    /// Longer transfers take longer, all else equal.
+    #[test]
+    fn transfer_monotone_in_size(lba in 0u64..1_000_000_000u64, s1 in 1u64..512, extra in 1u64..512) {
+        let p = DiskParams::default();
+        let t1 = p.transfer_time(lba, s1);
+        let t2 = p.transfer_time(lba, s1 + extra);
+        prop_assert!(t2 > t1);
+    }
+
+    /// Seek time is symmetric and respects the triangle-ish property of
+    /// the sqrt model (going far costs no less than going near).
+    #[test]
+    fn seek_monotone(a in 0u64..1_900_000_000u64, d1 in 0u64..500_000_000u64, d2 in 0u64..500_000_000u64) {
+        let p = DiskParams::default();
+        let near = a.saturating_add(d1.min(d2));
+        let far = a.saturating_add(d1.max(d2)).min(p.capacity_sectors - 1);
+        let near = near.min(p.capacity_sectors - 1);
+        prop_assert!(p.seek_time(a, far) >= p.seek_time(a, near));
+        prop_assert_eq!(p.seek_time(a, far), p.seek_time(far, a));
+    }
+}

@@ -1,0 +1,14 @@
+use metasched::{Experiment, MetaScheduler};
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let meta = MetaScheduler::new(Experiment::paper_sort());
+    let r = meta.tune();
+    println!("split: {:?}", r.split);
+    println!("default (CFQ,CFQ): {:.1}s", r.default_time.as_secs_f64());
+    println!("best single {}: {:.1}s", r.best_single.pair, r.best_single.total.as_secs_f64());
+    println!("adaptive {:?} -> {:?}: {:.1}s", r.heuristic.solution.iter().map(|o| o.map(|p| p.to_string())).collect::<Vec<_>>(), r.heuristic.resolved.iter().map(|p| p.to_string()).collect::<Vec<_>>(), r.heuristic.time.as_secs_f64());
+    println!("gain vs default: {:.1}%  vs best single: {:.1}%", r.gain_vs_default_pct(), r.gain_vs_best_single_pct());
+    println!("heuristic evaluations: {}", r.heuristic.runs());
+    println!("wall: {:?}", t0.elapsed());
+}

@@ -1,0 +1,102 @@
+//! Experiment context: a (cluster, job) configuration that can be
+//! executed repeatedly under different scheduler-pair plans.
+//!
+//! The meta-scheduler treats the cluster as a black box exactly the way
+//! the paper does: *"It executes a solution and evaluates the
+//! performance score including the switch cost"* — every evaluation is
+//! a full simulated job run, never an analytic estimate.
+
+use mrsim::{JobPhase, JobSpec, PhaseTimes};
+use serde::Serialize;
+use simcore::SimDuration;
+use vcluster::{run_job, ClusterParams, JobOutcome, SwitchPlan};
+
+/// A reproducible experiment: one job on one cluster configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Cluster configuration.
+    pub params: ClusterParams,
+    /// The job to execute.
+    pub job: JobSpec,
+}
+
+impl Experiment {
+    /// Build an experiment (validates the job).
+    pub fn new(params: ClusterParams, job: JobSpec) -> Self {
+        job.validate(&params.shape).expect("invalid job");
+        Experiment { params, job }
+    }
+
+    /// The paper's testbed running its sort benchmark.
+    pub fn paper_sort() -> Self {
+        Experiment::new(
+            ClusterParams::default(),
+            JobSpec::new(mrsim::WorkloadSpec::sort()),
+        )
+    }
+
+    /// Execute the job under a switch plan.
+    pub fn run(&self, plan: SwitchPlan) -> JobOutcome {
+        run_job(&self.params, &self.job, plan)
+    }
+
+    /// Execute under one pair for the whole job.
+    pub fn run_single(&self, pair: iosched::SchedPair) -> JobOutcome {
+        self.run(SwitchPlan::single(pair))
+    }
+}
+
+/// Per-phase score of one pair, measured from a single-pair run
+/// (the input rows of the paper's Fig. 6).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct PhaseProfile {
+    /// The pair the job ran under.
+    pub pair: iosched::SchedPair,
+    /// Whole-job elapsed time.
+    pub total: SimDuration,
+    /// Durations of Ph1..Ph3.
+    pub phase: [SimDuration; 3],
+}
+
+impl PhaseProfile {
+    /// Extract from a run outcome.
+    pub fn from_outcome(pair: iosched::SchedPair, phases: &PhaseTimes) -> Self {
+        PhaseProfile {
+            pair,
+            total: phases.total(),
+            phase: [
+                phases.duration(JobPhase::Ph1),
+                phases.duration(JobPhase::Ph2),
+                phases.duration(JobPhase::Ph3),
+            ],
+        }
+    }
+
+    /// Duration of phases `lo..=2` combined (the heuristic's
+    /// "all the left phases as one integrated phase").
+    pub fn tail_from(&self, lo: usize) -> SimDuration {
+        self.phase[lo..].iter().copied().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched::SchedPair;
+    use simcore::SimTime;
+
+    #[test]
+    fn profile_tail_sums() {
+        let pt = PhaseTimes::new(
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            SimTime::from_secs(12),
+            SimTime::from_secs(20),
+        );
+        let p = PhaseProfile::from_outcome(SchedPair::DEFAULT, &pt);
+        assert_eq!(p.total, SimDuration::from_secs(20));
+        assert_eq!(p.tail_from(0), SimDuration::from_secs(20));
+        assert_eq!(p.tail_from(1), SimDuration::from_secs(10));
+        assert_eq!(p.tail_from(2), SimDuration::from_secs(8));
+    }
+}

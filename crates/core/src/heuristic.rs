@@ -1,0 +1,378 @@
+//! Algorithm 1 — the paper's greedy assignment of scheduler pairs to
+//! phases.
+//!
+//! The search space is `S^P` (16 pairs, 2–3 phases). Exhaustive
+//! enumeration is impractical for the general case the paper argues
+//! (fine-grained phases, Pig job chains), so the heuristic fixes phases
+//! left to right: for phase *i* it walks the phase's pair ranking in
+//! descending quality, evaluating the *real* elapsed time of
+//! `(Sol_{i-1}, s_i^j, S_{i+1})` — the already-fixed prefix, the
+//! candidate, and the best single pair for all remaining phases taken
+//! together (which keeps the comparison fair under asymmetric switch
+//! costs). It keeps descending while the next candidate improves the
+//! measured time, stops at the first regression, and records a `0`
+//! (no-switch) when the chosen pair equals the previous phase's.
+
+use crate::experiment::{Experiment, PhaseProfile};
+use crate::profiler::{best_for_tail, rank_for_phase};
+use iosched::SchedPair;
+use simcore::SimDuration;
+use std::collections::BTreeMap;
+use vcluster::SwitchPlan;
+
+/// Anything that can measure the elapsed time of a per-phase pair
+/// assignment. The production evaluator is [`Experiment`] (a full
+/// simulated run, switch costs included); tests use synthetic oracles.
+pub trait PlanEvaluator {
+    /// Measured elapsed time of the job under `assignment`.
+    fn evaluate(&self, assignment: &[SchedPair]) -> SimDuration;
+}
+
+impl PlanEvaluator for Experiment {
+    fn evaluate(&self, assignment: &[SchedPair]) -> SimDuration {
+        self.run(assignment_plan(assignment)).makespan
+    }
+}
+
+/// How many phases the meta-scheduler distinguishes for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseSplit {
+    /// Ph1 | Ph2+Ph3 merged (the paper's choice when the non-concurrent
+    /// shuffle is short — their 8-maps-per-node example).
+    Two,
+    /// Ph1 | Ph2 | Ph3.
+    Three,
+}
+
+impl PhaseSplit {
+    /// Number of phases.
+    pub fn count(self) -> usize {
+        match self {
+            PhaseSplit::Two => 2,
+            PhaseSplit::Three => 3,
+        }
+    }
+}
+
+/// One evaluated candidate during the search.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Per-phase pairs of the evaluated plan.
+    pub assignment: Vec<SchedPair>,
+    /// Measured whole-job time (switch costs included).
+    pub time: SimDuration,
+}
+
+/// Result of running Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct HeuristicResult {
+    /// The chosen pair per phase; `None` is the paper's `0` — keep the
+    /// previous phase's pair, no switch.
+    pub solution: Vec<Option<SchedPair>>,
+    /// The fully resolved per-phase pairs.
+    pub resolved: Vec<SchedPair>,
+    /// Measured time of the final solution.
+    pub time: SimDuration,
+    /// Every evaluation performed, in order.
+    pub evaluations: Vec<Evaluation>,
+}
+
+impl HeuristicResult {
+    /// The executable plan for the chosen solution.
+    pub fn plan(&self) -> SwitchPlan {
+        assignment_plan(&self.resolved)
+    }
+
+    /// Number of simulated job executions the search needed.
+    pub fn runs(&self) -> usize {
+        self.evaluations.len()
+    }
+}
+
+/// Turn a per-phase assignment into a [`SwitchPlan`]. Two-phase
+/// assignments switch at the maps-done boundary; three-phase ones also
+/// at shuffle-done. Consecutive equal pairs produce no switch.
+pub fn assignment_plan(assignment: &[SchedPair]) -> SwitchPlan {
+    match assignment {
+        [p] => SwitchPlan::single(*p),
+        [p1, p2] => SwitchPlan::phased(*p1, Some(*p2), None),
+        [p1, p2, p3] => SwitchPlan::phased(*p1, Some(*p2), Some(*p3)),
+        _ => panic!("assignments cover 1..=3 phases, got {}", assignment.len()),
+    }
+}
+
+/// Run Algorithm 1.
+///
+/// `profiles` must come from single-pair runs of this same experiment
+/// (see [`crate::profiler::profile_pairs`]). `max_rank` optionally caps
+/// how deep the ranking walk may go per phase (the paper's complexity
+/// bound is `P × S`; the cap trades search quality for evaluations).
+pub fn algorithm1<E: PlanEvaluator + ?Sized>(
+    exp: &E,
+    split: PhaseSplit,
+    profiles: &[PhaseProfile],
+    max_rank: Option<usize>,
+) -> HeuristicResult {
+    assert!(!profiles.is_empty(), "need at least one profiled pair");
+    let phases = split.count();
+    let cap = max_rank.unwrap_or(profiles.len()).min(profiles.len());
+    let mut evaluations = Vec::new();
+    let mut cache: BTreeMap<Vec<SchedPair>, SimDuration> = BTreeMap::new();
+
+    // Measured elapsed time of a full assignment (cached).
+    let measure = |assignment: &[SchedPair],
+                       evaluations: &mut Vec<Evaluation>,
+                       cache: &mut BTreeMap<Vec<SchedPair>, SimDuration>|
+     -> SimDuration {
+        if let Some(&t) = cache.get(assignment) {
+            return t;
+        }
+        let t = exp.evaluate(assignment);
+        cache.insert(assignment.to_vec(), t);
+        evaluations.push(Evaluation {
+            assignment: assignment.to_vec(),
+            time: t,
+        });
+        t
+    };
+
+    let mut resolved: Vec<SchedPair> = Vec::with_capacity(phases);
+    let mut solution: Vec<Option<SchedPair>> = Vec::with_capacity(phases);
+
+    for i in 0..phases {
+        let last_phase = i == phases - 1;
+        // Ranking of candidates for this phase. With a two-way split the
+        // second phase is Ph2+Ph3 combined.
+        let ranking = match (split, i) {
+            (PhaseSplit::Two, 1) => rank_for_phase(profiles, 1, true),
+            _ => rank_for_phase(profiles, i, false),
+        };
+        // Best single pair for the remaining phases together (S_{i+1}).
+        let tail_pair = if last_phase {
+            None
+        } else {
+            Some(match split {
+                PhaseSplit::Two => best_for_tail(profiles, 1),
+                PhaseSplit::Three => best_for_tail(profiles, i + 1),
+            })
+        };
+        let compose = |cand: SchedPair, resolved: &[SchedPair]| -> Vec<SchedPair> {
+            let mut a = resolved.to_vec();
+            a.push(cand);
+            if let Some(tail) = tail_pair {
+                // Remaining phases as one integrated phase under S_{i+1}:
+                // in a 3-phase split fixing phase 0, phases 1 and 2 both
+                // run under the tail pair.
+                for _ in (i + 1)..phases {
+                    a.push(tail);
+                }
+            }
+            a
+        };
+
+        let mut j = 0;
+        let mut best_time = measure(&compose(ranking[0], &resolved), &mut evaluations, &mut cache);
+        while j + 1 < cap {
+            let next_time = measure(
+                &compose(ranking[j + 1], &resolved),
+                &mut evaluations,
+                &mut cache,
+            );
+            if next_time < best_time {
+                j += 1;
+                best_time = next_time;
+            } else {
+                break;
+            }
+        }
+        let chosen = ranking[j];
+        let prev = resolved.last().copied();
+        solution.push(if prev == Some(chosen) { None } else { Some(chosen) });
+        resolved.push(chosen);
+    }
+
+    let time = measure(&resolved.clone(), &mut evaluations, &mut cache);
+    HeuristicResult {
+        solution,
+        resolved,
+        time,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iosched::SchedKind;
+
+    #[test]
+    fn assignment_plan_merges_no_switch() {
+        let p = SchedPair::new(SchedKind::Anticipatory, SchedKind::Deadline);
+        let plan = assignment_plan(&[p, p]);
+        assert_eq!(plan.switches(), 0);
+        let q = SchedPair::DEFAULT;
+        let plan2 = assignment_plan(&[p, q, q]);
+        assert_eq!(plan2.switches(), 1);
+        let plan3 = assignment_plan(&[p, q, p]);
+        assert_eq!(plan3.switches(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignments cover")]
+    fn oversized_assignment_rejected() {
+        let p = SchedPair::DEFAULT;
+        assignment_plan(&[p, p, p, p]);
+    }
+
+    /// A synthetic world with *known* phase-heterogeneous optima: each
+    /// pair has fixed per-phase durations, and every switch between
+    /// distinct pairs costs a fixed penalty. This isolates the search
+    /// logic from the simulator.
+    struct Oracle {
+        table: Vec<(SchedPair, [u64; 3])>,
+        switch_cost_s: u64,
+    }
+
+    impl Oracle {
+        fn phase_secs(&self, pair: SchedPair, phase: usize) -> u64 {
+            self.table
+                .iter()
+                .find(|(p, _)| *p == pair)
+                .map(|(_, d)| d[phase])
+                .unwrap_or(1000)
+        }
+
+        fn profiles(&self) -> Vec<PhaseProfile> {
+            self.table
+                .iter()
+                .map(|&(pair, d)| PhaseProfile {
+                    pair,
+                    total: SimDuration::from_secs(d.iter().sum()),
+                    phase: d.map(SimDuration::from_secs),
+                })
+                .collect()
+        }
+    }
+
+    impl PlanEvaluator for Oracle {
+        fn evaluate(&self, assignment: &[SchedPair]) -> SimDuration {
+            // Expand 2-phase assignments over (Ph1 | Ph2+Ph3).
+            let spans: Vec<Vec<usize>> = match assignment.len() {
+                2 => vec![vec![0], vec![1, 2]],
+                3 => vec![vec![0], vec![1], vec![2]],
+                _ => panic!("unsupported"),
+            };
+            let mut total = 0;
+            for (i, phases) in spans.iter().enumerate() {
+                for &ph in phases {
+                    total += self.phase_secs(assignment[i], ph);
+                }
+                if i > 0 && assignment[i] != assignment[i - 1] {
+                    total += self.switch_cost_s;
+                }
+            }
+            SimDuration::from_secs(total)
+        }
+    }
+
+    fn asdl() -> SchedPair {
+        SchedPair::new(SchedKind::Anticipatory, SchedKind::Deadline)
+    }
+    fn dldl() -> SchedPair {
+        SchedPair::new(SchedKind::Deadline, SchedKind::Deadline)
+    }
+
+    #[test]
+    fn finds_multi_pair_solution_when_phases_diverge() {
+        // (AS,DL) dominates Ph1, (DL,DL) dominates Ph2+3; switching is
+        // cheap relative to the gap.
+        let o = Oracle {
+            table: vec![
+                (asdl(), [60, 5, 90]),
+                (dldl(), [90, 5, 50]),
+                (SchedPair::DEFAULT, [100, 10, 100]),
+            ],
+            switch_cost_s: 4,
+        };
+        let r = algorithm1(&o, PhaseSplit::Two, &o.profiles(), None);
+        assert_eq!(r.resolved, vec![asdl(), dldl()]);
+        assert_eq!(r.solution, vec![Some(asdl()), Some(dldl())]);
+        // 60 + (5+50) + 4 = 119 < best single (AS,DL)=155, (DL,DL)=145.
+        assert_eq!(r.time, SimDuration::from_secs(119));
+    }
+
+    #[test]
+    fn high_switch_cost_yields_no_switch() {
+        // Same world, but switching costs more than the phase gap.
+        let o = Oracle {
+            table: vec![
+                (asdl(), [60, 5, 90]),
+                (dldl(), [90, 5, 50]),
+                (SchedPair::DEFAULT, [100, 10, 100]),
+            ],
+            switch_cost_s: 60,
+        };
+        let r = algorithm1(&o, PhaseSplit::Two, &o.profiles(), None);
+        // With a 60 s switch penalty, any two-pair plan loses; the walk
+        // lands on the single pair with the best whole-job time,
+        // (DL,DL) = 145 s, and phase 2 records the paper's `0` entry.
+        assert_eq!(r.resolved, vec![dldl(), dldl()]);
+        assert_eq!(r.solution[1], None, "no switch when it cannot pay");
+        assert_eq!(r.time, SimDuration::from_secs(145));
+    }
+
+    #[test]
+    fn three_phase_split_switches_twice_when_worth_it() {
+        let a = asdl();
+        let b = dldl();
+        let c = SchedPair::DEFAULT;
+        let o = Oracle {
+            table: vec![(a, [50, 40, 90]), (b, [90, 10, 80]), (c, [95, 35, 40])],
+            switch_cost_s: 2,
+        };
+        let r = algorithm1(&o, PhaseSplit::Three, &o.profiles(), None);
+        assert_eq!(r.resolved, vec![a, b, c]);
+        // 50 + 2 + 10 + 2 + 40 = 104.
+        assert_eq!(r.time, SimDuration::from_secs(104));
+    }
+
+    #[test]
+    fn evaluation_budget_respects_p_times_s() {
+        let o = Oracle {
+            table: SchedPair::all()
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| (p, [60 + i as u64, 5, 50 + (16 - i as u64)]))
+                .collect(),
+            switch_cost_s: 3,
+        };
+        let profiles = o.profiles();
+        let r = algorithm1(&o, PhaseSplit::Two, &profiles, None);
+        assert!(
+            r.runs() <= 2 * profiles.len(),
+            "paper bound: at most P x S evaluations, got {}",
+            r.runs()
+        );
+    }
+
+    #[test]
+    fn greedy_stops_at_first_regression() {
+        // Ranking for phase 1 (by profile): a(50) then b(60) then c(70);
+        // but the oracle makes b worse in combination — the walk must
+        // stop at a and not explore c.
+        let a = asdl();
+        let b = dldl();
+        let c = SchedPair::DEFAULT;
+        let o = Oracle {
+            table: vec![(a, [50, 5, 50]), (b, [60, 5, 45]), (c, [70, 5, 40])],
+            switch_cost_s: 30,
+        };
+        let r = algorithm1(&o, PhaseSplit::Two, &o.profiles(), None);
+        assert_eq!(r.resolved[0], a);
+        let tried_c_in_phase1 = r
+            .evaluations
+            .iter()
+            .any(|e| e.assignment[0] == c);
+        assert!(!tried_c_in_phase1, "ranking walk must stop at the first regression");
+    }
+}

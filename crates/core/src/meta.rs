@@ -1,0 +1,133 @@
+//! The meta-scheduler facade: profile → split phases → run Algorithm 1
+//! → report adaptive vs best-single vs default, the comparison every
+//! evaluation figure of the paper (Fig. 7) makes.
+
+use crate::experiment::{Experiment, PhaseProfile};
+use crate::heuristic::{algorithm1, HeuristicResult, PhaseSplit};
+use crate::profiler::{best_single, profile_pairs};
+use iosched::SchedPair;
+use simcore::SimDuration;
+
+/// Meta-scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct MetaConfig {
+    /// Candidate pairs (all 16 by default).
+    pub candidates: Vec<SchedPair>,
+    /// Merge Ph2 into Ph3 when the non-concurrent shuffle is below this
+    /// percentage of the default-pair run (the paper merges for its
+    /// 8-maps-per-node sort).
+    pub merge_threshold_pct: f64,
+    /// Cap on the per-phase ranking walk (None = the full `S`).
+    pub max_rank: Option<usize>,
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        MetaConfig {
+            candidates: SchedPair::all(),
+            merge_threshold_pct: 10.0,
+            max_rank: None,
+        }
+    }
+}
+
+/// Full tuning report.
+#[derive(Debug, Clone)]
+pub struct TuneReport {
+    /// Phase profiles of every candidate (Fig. 6 data).
+    pub profiles: Vec<PhaseProfile>,
+    /// The phase split used.
+    pub split: PhaseSplit,
+    /// The heuristic's result.
+    pub heuristic: HeuristicResult,
+    /// Elapsed time under the default pair (CFQ, CFQ).
+    pub default_time: SimDuration,
+    /// The best single pair and its time.
+    pub best_single: PhaseProfile,
+}
+
+impl TuneReport {
+    /// The per-phase assignment the meta-scheduler deploys: the
+    /// heuristic's plan, unless the profiling pass already measured a
+    /// single pair that beats it — the profiler's data is real elapsed
+    /// time, so deploying anything worse would be self-defeating.
+    pub fn final_assignment(&self) -> Vec<SchedPair> {
+        if self.heuristic.time <= self.best_single.total {
+            self.heuristic.resolved.clone()
+        } else {
+            vec![self.best_single.pair; self.split.count()]
+        }
+    }
+
+    /// Elapsed time of the deployed plan.
+    pub fn final_time(&self) -> SimDuration {
+        self.heuristic.time.min(self.best_single.total)
+    }
+
+    /// Improvement of the adaptive plan over the default pair, percent.
+    pub fn gain_vs_default_pct(&self) -> f64 {
+        100.0 * (1.0 - self.final_time().as_secs_f64() / self.default_time.as_secs_f64())
+    }
+
+    /// Improvement over the best single pair, percent.
+    pub fn gain_vs_best_single_pct(&self) -> f64 {
+        100.0 * (1.0 - self.final_time().as_secs_f64() / self.best_single.total.as_secs_f64())
+    }
+}
+
+/// The adaptive disk-I/O meta-scheduler.
+#[derive(Debug, Clone)]
+pub struct MetaScheduler {
+    /// The experiment being tuned.
+    pub exp: Experiment,
+    /// Configuration.
+    pub cfg: MetaConfig,
+}
+
+impl MetaScheduler {
+    /// Meta-scheduler over an experiment with default configuration.
+    pub fn new(exp: Experiment) -> Self {
+        MetaScheduler {
+            exp,
+            cfg: MetaConfig::default(),
+        }
+    }
+
+    /// Pick the phase split from the default pair's profile: a short
+    /// non-concurrent shuffle (Table II: many waves) folds Ph2 into Ph3.
+    pub fn choose_split(&self, profiles: &[PhaseProfile]) -> PhaseSplit {
+        let reference = profiles
+            .iter()
+            .find(|p| p.pair == SchedPair::DEFAULT)
+            .or_else(|| profiles.first())
+            .expect("non-empty profiles");
+        let ph2_pct =
+            100.0 * reference.phase[1].as_secs_f64() / reference.total.as_secs_f64().max(1e-12);
+        if ph2_pct >= self.cfg.merge_threshold_pct {
+            PhaseSplit::Three
+        } else {
+            PhaseSplit::Two
+        }
+    }
+
+    /// Full tuning pass: profile all candidates, choose the split, run
+    /// Algorithm 1, and assemble the report.
+    pub fn tune(&self) -> TuneReport {
+        let profiles = profile_pairs(&self.exp, &self.cfg.candidates);
+        let split = self.choose_split(&profiles);
+        let heuristic = algorithm1(&self.exp, split, &profiles, self.cfg.max_rank);
+        let default_time = profiles
+            .iter()
+            .find(|p| p.pair == SchedPair::DEFAULT)
+            .map(|p| p.total)
+            .unwrap_or_else(|| self.exp.run_single(SchedPair::DEFAULT).makespan);
+        let best = best_single(&profiles);
+        TuneReport {
+            profiles,
+            split,
+            heuristic,
+            default_time,
+            best_single: best,
+        }
+    }
+}

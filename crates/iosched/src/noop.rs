@@ -1,0 +1,205 @@
+//! The noop elevator: a FIFO with back-merging, nothing else.
+//!
+//! Noop relies entirely on the device (or a lower layer) to order
+//! requests. In the paper's experiments it is catastrophic in the VMM
+//! whenever several VMs stream concurrently — every dispatch alternates
+//! between VM extents and the disk seeks on almost every request. That
+//! collapse (Fig. 2, Table I) emerges here from the FIFO order alone.
+
+use crate::elevator::{Dispatch, Elevator, SchedKind};
+use crate::request::{AddOutcome, IoRequest, QueuedRq, Sector};
+use simcore::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// The noop scheduler.
+#[derive(Debug)]
+pub struct Noop {
+    /// Slab of queued requests; `None` marks merged-away/dispatched slots.
+    slab: Vec<Option<QueuedRq>>,
+    /// FIFO of slab slots.
+    fifo: VecDeque<usize>,
+    /// extent end -> slot, for back merges (like Linux `elv_rqhash`).
+    by_end: HashMap<Sector, usize>,
+    queued: usize,
+    max_merge_sectors: u64,
+}
+
+impl Noop {
+    /// New noop elevator with the given merge cap.
+    pub fn new(max_merge_sectors: u64) -> Self {
+        Noop {
+            slab: Vec::new(),
+            fifo: VecDeque::new(),
+            by_end: HashMap::new(),
+            queued: 0,
+            max_merge_sectors,
+        }
+    }
+}
+
+impl Elevator for Noop {
+    fn kind(&self) -> SchedKind {
+        SchedKind::Noop
+    }
+
+    fn add(&mut self, r: IoRequest, _now: SimTime) -> AddOutcome {
+        // Back merge: some queued request ends exactly where r starts.
+        if let Some(&slot) = self.by_end.get(&r.sector) {
+            if let Some(rq) = self.slab[slot].as_mut() {
+                if rq.dir == r.dir && rq.sectors + r.sectors <= self.max_merge_sectors {
+                    self.by_end.remove(&rq.end());
+                    rq.merge_back(r);
+                    let new_end = rq.end();
+                    let id = rq.id();
+                    self.by_end.insert(new_end, slot);
+                    return AddOutcome::MergedBack(id);
+                }
+            }
+        }
+        let slot = self.slab.len();
+        self.by_end.insert(r.end(), slot);
+        self.slab.push(Some(QueuedRq::from_request(r)));
+        self.fifo.push_back(slot);
+        self.queued += 1;
+        AddOutcome::Queued
+    }
+
+    fn dispatch(&mut self, _now: SimTime) -> Dispatch {
+        while let Some(slot) = self.fifo.pop_front() {
+            if let Some(rq) = self.slab[slot].take() {
+                if self.by_end.get(&rq.end()) == Some(&slot) {
+                    self.by_end.remove(&rq.end());
+                }
+                self.queued -= 1;
+                // Reclaim slab space opportunistically when fully drained.
+                if self.queued == 0 {
+                    self.slab.clear();
+                    self.fifo.clear();
+                    self.by_end.clear();
+                }
+                return Dispatch::Request(rq);
+            }
+        }
+        Dispatch::Empty
+    }
+
+    fn completed(&mut self, _rq: &QueuedRq, _now: SimTime) {}
+
+    fn queued(&self) -> usize {
+        self.queued
+    }
+
+    fn drain(&mut self) -> Vec<QueuedRq> {
+        let mut out = Vec::with_capacity(self.queued);
+        while let Some(slot) = self.fifo.pop_front() {
+            if let Some(rq) = self.slab[slot].take() {
+                out.push(rq);
+            }
+        }
+        self.slab.clear();
+        self.by_end.clear();
+        self.queued = 0;
+        out
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Dir;
+
+    fn req(id: u64, stream: u32, sector: Sector, sectors: u64) -> IoRequest {
+        IoRequest {
+            id,
+            stream,
+            sector,
+            sectors,
+            dir: Dir::Read,
+            sync: true,
+            submitted: SimTime::from_micros(id),
+        }
+    }
+
+    #[test]
+    fn fifo_order_across_streams() {
+        let mut e = Noop::new(1024);
+        let now = SimTime::ZERO;
+        e.add(req(1, 0, 1000, 8), now);
+        e.add(req(2, 1, 9000, 8), now);
+        e.add(req(3, 0, 2000, 8), now);
+        let order: Vec<Sector> = std::iter::from_fn(|| match e.dispatch(now) {
+            Dispatch::Request(rq) => Some(rq.sector),
+            _ => None,
+        })
+        .collect();
+        assert_eq!(order, vec![1000, 9000, 2000], "noop must not sort");
+    }
+
+    #[test]
+    fn back_merge_preserves_fifo_slot() {
+        let mut e = Noop::new(1024);
+        let now = SimTime::ZERO;
+        e.add(req(1, 0, 1000, 8), now);
+        e.add(req(2, 1, 5000, 8), now);
+        assert_eq!(e.add(req(3, 0, 1008, 8), now), AddOutcome::MergedBack(1));
+        assert_eq!(e.queued(), 2);
+        match e.dispatch(now) {
+            Dispatch::Request(rq) => {
+                assert_eq!(rq.sector, 1000);
+                assert_eq!(rq.sectors, 16);
+                assert_eq!(rq.parts.len(), 2);
+                rq.check_invariants();
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_idles() {
+        let mut e = Noop::new(1024);
+        assert_eq!(e.dispatch(SimTime::ZERO), Dispatch::Empty);
+        e.add(req(1, 0, 0, 8), SimTime::ZERO);
+        assert!(matches!(e.dispatch(SimTime::ZERO), Dispatch::Request(_)));
+        assert_eq!(e.dispatch(SimTime::ZERO), Dispatch::Empty);
+    }
+
+    #[test]
+    fn merge_cap_enforced() {
+        let mut e = Noop::new(16);
+        let now = SimTime::ZERO;
+        e.add(req(1, 0, 0, 12), now);
+        assert_eq!(e.add(req(2, 0, 12, 8), now), AddOutcome::Queued);
+    }
+
+    #[test]
+    fn drain_returns_everything_in_fifo_order() {
+        let mut e = Noop::new(1024);
+        let now = SimTime::ZERO;
+        e.add(req(1, 0, 500, 8), now);
+        e.add(req(2, 1, 100, 8), now);
+        let v = e.drain();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].sector, 500);
+        assert_eq!(e.queued(), 0);
+        assert_eq!(e.dispatch(now), Dispatch::Empty);
+    }
+
+    #[test]
+    fn stale_end_index_does_not_merge_into_dispatched() {
+        let mut e = Noop::new(1024);
+        let now = SimTime::ZERO;
+        e.add(req(1, 0, 1000, 8), now);
+        let _ = e.dispatch(now); // 1000..1008 leaves the queue
+        // A contiguous request must be queued fresh, not merged into a
+        // request that already left.
+        assert_eq!(e.add(req(2, 0, 1008, 8), now), AddOutcome::Queued);
+        match e.dispatch(now) {
+            Dispatch::Request(rq) => assert_eq!(rq.parts.len(), 1),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+}

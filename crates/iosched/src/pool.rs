@@ -1,0 +1,440 @@
+//! A sector-sorted pool of queued requests with merge indexes.
+//!
+//! All four elevators keep their pending requests in one or more
+//! `RqPool`s: a BTree ordered by start sector (the elevator's "sort
+//! list") plus hash indexes on extent boundaries for O(1) front/back
+//! merge candidate lookup (Linux's `elv_rqhash` / rbtree front-merge
+//! equivalents).
+
+use crate::request::{AddOutcome, Dir, IoRequest, QueuedRq, Sector};
+#[cfg(test)]
+use crate::request::RequestId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Stable pool-internal id of a queued request. Survives merges (unlike
+/// `QueuedRq::id()`, which is the first part's id and changes on front
+/// merge).
+pub type Qid = u64;
+
+/// Sort key: requests are ordered by start sector, ties broken by qid.
+pub type Key = (Sector, Qid);
+
+/// A sector-sorted request pool for one direction (or one CFQ queue).
+#[derive(Debug, Default)]
+pub struct RqPool {
+    sorted: BTreeMap<Key, QueuedRq>,
+    /// extent end -> key, for back-merge lookup.
+    by_end: HashMap<Sector, Key>,
+    /// extent start -> key, for front-merge lookup.
+    by_start: HashMap<Sector, Key>,
+    /// live qid -> key, for FIFO cross-references.
+    live: HashMap<Qid, Key>,
+    next_qid: Qid,
+}
+
+impl RqPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        RqPool::default()
+    }
+
+    /// Number of queued (merged) requests.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Try to merge `r` into an existing queued request, respecting the
+    /// `max_sectors` cap on merged extents. Returns the outcome and the
+    /// qid of the absorber on success.
+    pub fn try_merge(&mut self, r: &IoRequest, max_sectors: u64) -> Option<(AddOutcome, Qid)> {
+        // Back merge: an existing extent ends where r starts.
+        if let Some(&key) = self.by_end.get(&r.sector) {
+            let rq = self.sorted.get_mut(&key).expect("index points at live rq");
+            if rq.dir == r.dir && rq.sectors + r.sectors <= max_sectors {
+                let qid = key.1;
+                self.by_end.remove(&rq.end());
+                rq.merge_back(r.clone());
+                let new_end = rq.end();
+                let ext_id = rq.id();
+                self.by_end.insert(new_end, key);
+                let _ = ext_id;
+                return Some((AddOutcome::MergedBack(self.sorted[&key].id()), qid));
+            }
+        }
+        // Front merge: an existing extent starts where r ends.
+        if let Some(&key) = self.by_start.get(&r.end()) {
+            let rq = self.sorted.get(&key).expect("index points at live rq");
+            if rq.dir == r.dir && rq.sectors + r.sectors <= max_sectors {
+                let qid = key.1;
+                // The start sector changes: re-key the entry.
+                let mut rq = self.remove_by_key(key).expect("live");
+                rq.merge_front(r.clone());
+                let id = rq.id();
+                self.insert_with_qid(rq, qid);
+                return Some((AddOutcome::MergedFront(id), qid));
+            }
+        }
+        None
+    }
+
+    /// Insert a fresh request, returning its qid.
+    pub fn insert(&mut self, rq: QueuedRq) -> Qid {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.insert_with_qid(rq, qid);
+        qid
+    }
+
+    fn insert_with_qid(&mut self, rq: QueuedRq, qid: Qid) {
+        let key = (rq.sector, qid);
+        self.by_end.insert(rq.end(), key);
+        self.by_start.insert(rq.sector, key);
+        self.live.insert(qid, key);
+        let prev = self.sorted.insert(key, rq);
+        debug_assert!(prev.is_none(), "duplicate pool key");
+    }
+
+    fn unindex(&mut self, key: Key, rq: &QueuedRq) {
+        if self.by_end.get(&rq.end()) == Some(&key) {
+            self.by_end.remove(&rq.end());
+        }
+        if self.by_start.get(&rq.sector) == Some(&key) {
+            self.by_start.remove(&rq.sector);
+        }
+        self.live.remove(&key.1);
+    }
+
+    fn remove_by_key(&mut self, key: Key) -> Option<QueuedRq> {
+        let rq = self.sorted.remove(&key)?;
+        self.unindex(key, &rq);
+        Some(rq)
+    }
+
+    /// Remove a request by qid (e.g. FIFO-expired dispatch).
+    pub fn remove(&mut self, qid: Qid) -> Option<QueuedRq> {
+        let key = *self.live.get(&qid)?;
+        self.remove_by_key(key)
+    }
+
+    /// Is this qid still queued?
+    pub fn contains(&self, qid: Qid) -> bool {
+        self.live.contains_key(&qid)
+    }
+
+    /// Peek the queued request with the given qid.
+    pub fn get(&self, qid: Qid) -> Option<&QueuedRq> {
+        let key = self.live.get(&qid)?;
+        self.sorted.get(key)
+    }
+
+    /// Qid of the first request at or after `sector` (one-way elevator
+    /// scan position), if any.
+    pub fn next_at_or_after(&self, sector: Sector) -> Option<Qid> {
+        self.sorted
+            .range((sector, 0)..)
+            .next()
+            .map(|(&(_, qid), _)| qid)
+    }
+
+    /// Qid of the lowest-sector request, if any.
+    pub fn first(&self) -> Option<Qid> {
+        self.sorted.keys().next().map(|&(_, qid)| qid)
+    }
+
+    /// Qid of the last request strictly before `sector` (for backward
+    /// seeks / closest-request heuristics).
+    pub fn prev_before(&self, sector: Sector) -> Option<Qid> {
+        self.sorted
+            .range(..(sector, 0))
+            .next_back()
+            .map(|(&(_, qid), _)| qid)
+    }
+
+    /// Remove and return every queued request in sector order
+    /// (used when hot-switching elevators).
+    pub fn drain_all(&mut self) -> Vec<QueuedRq> {
+        let out: Vec<QueuedRq> = std::mem::take(&mut self.sorted).into_values().collect();
+        self.by_end.clear();
+        self.by_start.clear();
+        self.live.clear();
+        out
+    }
+
+    /// Iterate queued requests in sector order.
+    pub fn iter(&self) -> impl Iterator<Item = (Qid, &QueuedRq)> {
+        self.sorted.iter().map(|(&(_, qid), rq)| (qid, rq))
+    }
+
+    /// Does the pool hold any request from `stream`? (Linear scan — only
+    /// used by anticipation heuristics on small queues.)
+    pub fn has_stream(&self, stream: u32) -> bool {
+        self.sorted.values().any(|rq| rq.stream == stream)
+    }
+
+    /// Qid of the queued request from `stream` closest to `sector`.
+    pub fn closest_from_stream(&self, stream: u32, sector: Sector) -> Option<Qid> {
+        self.sorted
+            .iter()
+            .filter(|(_, rq)| rq.stream == stream)
+            .min_by_key(|(&(s, _), _)| s.abs_diff(sector))
+            .map(|(&(_, qid), _)| qid)
+    }
+}
+
+/// Convenience wrapper: add `r` to the pool, merging when possible.
+/// Returns the outcome and the qid holding the request's data.
+pub fn add_with_merge(
+    pool: &mut RqPool,
+    r: IoRequest,
+    max_sectors: u64,
+) -> (AddOutcome, Qid) {
+    if let Some((outcome, qid)) = pool.try_merge(&r, max_sectors) {
+        (outcome, qid)
+    } else {
+        let qid = pool.insert(QueuedRq::from_request(r));
+        (AddOutcome::Queued, qid)
+    }
+}
+
+/// Direction-indexed pair of pools (deadline/AS keep one per direction).
+#[derive(Debug, Default)]
+pub struct DirPools {
+    pools: [RqPool; 2],
+}
+
+impl DirPools {
+    /// Empty pools.
+    pub fn new() -> Self {
+        DirPools::default()
+    }
+
+    /// Pool for one direction.
+    pub fn pool(&self, dir: Dir) -> &RqPool {
+        &self.pools[dir.idx()]
+    }
+
+    /// Mutable pool for one direction.
+    pub fn pool_mut(&mut self, dir: Dir) -> &mut RqPool {
+        &mut self.pools[dir.idx()]
+    }
+
+    /// Total queued requests across directions.
+    pub fn len(&self) -> usize {
+        self.pools[0].len() + self.pools[1].len()
+    }
+
+    /// True if both pools are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain both pools in sector order (reads then writes).
+    pub fn drain_all(&mut self) -> Vec<QueuedRq> {
+        let mut v = self.pools[0].drain_all();
+        v.extend(self.pools[1].drain_all());
+        v
+    }
+}
+
+/// A FIFO of (qid, deadline) entries with lazy invalidation: entries
+/// whose qid has left the pool are skipped on pop (the deadline
+/// elevator's expiry list).
+#[derive(Debug, Default)]
+pub struct DeadlineFifo {
+    entries: std::collections::VecDeque<(Qid, simcore::SimTime)>,
+}
+
+impl DeadlineFifo {
+    /// Empty FIFO.
+    pub fn new() -> Self {
+        DeadlineFifo::default()
+    }
+
+    /// Append an entry.
+    pub fn push(&mut self, qid: Qid, deadline: simcore::SimTime) {
+        self.entries.push_back((qid, deadline));
+    }
+
+    /// The head entry still live in `pool`, dropping stale ones.
+    pub fn head(&mut self, pool: &RqPool) -> Option<(Qid, simcore::SimTime)> {
+        while let Some(&(qid, dl)) = self.entries.front() {
+            if pool.contains(qid) {
+                return Some((qid, dl));
+            }
+            self.entries.pop_front();
+        }
+        None
+    }
+
+    /// Has the head entry expired at `now`?
+    pub fn head_expired(&mut self, pool: &RqPool, now: simcore::SimTime) -> Option<Qid> {
+        match self.head(pool) {
+            Some((qid, dl)) if dl <= now => Some(qid),
+            _ => None,
+        }
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Pending entry count (including stale ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Dir;
+    use simcore::SimTime;
+
+    fn req(id: RequestId, sector: Sector, sectors: u64) -> IoRequest {
+        IoRequest {
+            id,
+            stream: (id % 4) as u32,
+            sector,
+            sectors,
+            dir: Dir::Read,
+            sync: true,
+            submitted: SimTime::from_micros(id),
+        }
+    }
+
+    #[test]
+    fn insert_and_order() {
+        let mut p = RqPool::new();
+        p.insert(QueuedRq::from_request(req(1, 500, 8)));
+        p.insert(QueuedRq::from_request(req(2, 100, 8)));
+        p.insert(QueuedRq::from_request(req(3, 300, 8)));
+        let order: Vec<Sector> = p.iter().map(|(_, rq)| rq.sector).collect();
+        assert_eq!(order, vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn back_merge_through_index() {
+        let mut p = RqPool::new();
+        let (o1, q1) = add_with_merge(&mut p, req(1, 100, 8), 1024);
+        assert_eq!(o1, AddOutcome::Queued);
+        let (o2, q2) = add_with_merge(&mut p, req(2, 108, 8), 1024);
+        assert_eq!(o2, AddOutcome::MergedBack(1));
+        assert_eq!(q1, q2);
+        assert_eq!(p.len(), 1);
+        let rq = p.get(q1).unwrap();
+        assert_eq!((rq.sector, rq.sectors), (100, 16));
+        rq.check_invariants();
+        // Chain a third: the end index must have moved.
+        let (o3, _) = add_with_merge(&mut p, req(3, 116, 8), 1024);
+        assert_eq!(o3, AddOutcome::MergedBack(1));
+        assert_eq!(p.get(q1).unwrap().sectors, 24);
+    }
+
+    #[test]
+    fn front_merge_rekeys() {
+        let mut p = RqPool::new();
+        let (_, qid) = add_with_merge(&mut p, req(5, 108, 8), 1024);
+        let (o, q2) = add_with_merge(&mut p, req(6, 100, 8), 1024);
+        assert_eq!(o, AddOutcome::MergedFront(6));
+        assert_eq!(qid, q2, "qid survives the front merge");
+        let rq = p.get(qid).unwrap();
+        assert_eq!((rq.sector, rq.sectors), (100, 16));
+        assert_eq!(p.first(), Some(qid));
+        // And it can still back-merge at the new end.
+        let (o3, _) = add_with_merge(&mut p, req(7, 116, 8), 1024);
+        assert_eq!(o3, AddOutcome::MergedBack(6));
+    }
+
+    #[test]
+    fn merge_respects_max_sectors() {
+        let mut p = RqPool::new();
+        add_with_merge(&mut p, req(1, 0, 1000), 1024);
+        let (o, _) = add_with_merge(&mut p, req(2, 1000, 100), 1024);
+        assert_eq!(o, AddOutcome::Queued, "would exceed 1024-sector cap");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn merge_requires_same_dir() {
+        let mut p = RqPool::new();
+        add_with_merge(&mut p, req(1, 0, 8), 1024);
+        let mut w = req(2, 8, 8);
+        w.dir = Dir::Write;
+        let (o, _) = add_with_merge(&mut p, w, 1024);
+        assert_eq!(o, AddOutcome::Queued);
+    }
+
+    #[test]
+    fn scan_positions() {
+        let mut p = RqPool::new();
+        let a = p.insert(QueuedRq::from_request(req(1, 100, 8)));
+        let b = p.insert(QueuedRq::from_request(req(2, 300, 8)));
+        assert_eq!(p.next_at_or_after(0), Some(a));
+        assert_eq!(p.next_at_or_after(101), Some(b));
+        assert_eq!(p.next_at_or_after(301), None);
+        assert_eq!(p.prev_before(300), Some(a));
+        assert_eq!(p.prev_before(100), None);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut p = RqPool::new();
+        let q = p.insert(QueuedRq::from_request(req(1, 100, 8)));
+        assert!(p.contains(q));
+        let rq = p.remove(q).unwrap();
+        assert_eq!(rq.sector, 100);
+        assert!(!p.contains(q));
+        assert!(p.remove(q).is_none());
+        // Indexes are gone too: no spurious merges against removed rq.
+        let (o, _) = add_with_merge(&mut p, req(2, 108, 8), 1024);
+        assert_eq!(o, AddOutcome::Queued);
+    }
+
+    #[test]
+    fn fifo_lazy_invalidation() {
+        let mut p = RqPool::new();
+        let mut f = DeadlineFifo::new();
+        let a = p.insert(QueuedRq::from_request(req(1, 100, 8)));
+        let b = p.insert(QueuedRq::from_request(req(2, 300, 8)));
+        f.push(a, SimTime::from_millis(500));
+        f.push(b, SimTime::from_millis(600));
+        p.remove(a);
+        assert_eq!(f.head(&p), Some((b, SimTime::from_millis(600))));
+        assert_eq!(f.head_expired(&p, SimTime::from_millis(599)), None);
+        assert_eq!(f.head_expired(&p, SimTime::from_millis(600)), Some(b));
+    }
+
+    #[test]
+    fn stream_queries() {
+        let mut p = RqPool::new();
+        p.insert(QueuedRq::from_request(req(4, 100, 8))); // stream 0
+        p.insert(QueuedRq::from_request(req(5, 900, 8))); // stream 1
+        p.insert(QueuedRq::from_request(req(9, 200, 8))); // stream 1
+        assert!(p.has_stream(0));
+        assert!(!p.has_stream(3));
+        let qid = p.closest_from_stream(1, 250).unwrap();
+        assert_eq!(p.get(qid).unwrap().sector, 200);
+    }
+
+    #[test]
+    fn drain_in_sector_order() {
+        let mut p = RqPool::new();
+        p.insert(QueuedRq::from_request(req(1, 500, 8)));
+        p.insert(QueuedRq::from_request(req(2, 100, 8)));
+        let drained = p.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].sector < drained[1].sector);
+        assert!(p.is_empty());
+    }
+}

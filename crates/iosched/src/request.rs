@@ -1,0 +1,232 @@
+//! Block-request types shared by every elevator.
+//!
+//! An [`IoRequest`] is what a submitter (a guest process, or a whole VM
+//! seen from Dom0) hands to the elevator. Elevators may *merge*
+//! contiguous requests; what is ultimately dispatched to the device is a
+//! [`QueuedRq`], which carries the original requests it satisfies in
+//! [`QueuedRq::parts`] so completions can be fanned back out.
+
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+
+/// Logical block address in 512-byte sectors (matches `blkdev`).
+pub type Sector = u64;
+
+/// Unique id of a submitted request.
+pub type RequestId = u64;
+
+/// Identifier of the submitting stream — the elevator's notion of a
+/// "process". Inside a guest this is a task id; at the Dom0 level it is
+/// a VM id (the VMM treats each VM as one process, as the paper notes).
+pub type StreamId = u32;
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// Read from the device.
+    Read,
+    /// Write to the device.
+    Write,
+}
+
+impl Dir {
+    /// Index for per-direction arrays (read = 0, write = 1).
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            Dir::Read => 0,
+            Dir::Write => 1,
+        }
+    }
+}
+
+/// One submitted block request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Unique id.
+    pub id: RequestId,
+    /// Submitting stream ("process").
+    pub stream: StreamId,
+    /// First sector.
+    pub sector: Sector,
+    /// Length in sectors (> 0).
+    pub sectors: u64,
+    /// Direction.
+    pub dir: Dir,
+    /// Synchronous? Reads and O_SYNC writes are synchronous (a task is
+    /// blocked on them); background writeback is asynchronous. The
+    /// distinction drives anticipation (AS) and sync/async queueing
+    /// (CFQ), exactly as in Linux 2.6.
+    pub sync: bool,
+    /// Submission time.
+    pub submitted: SimTime,
+}
+
+impl IoRequest {
+    /// One past the last sector.
+    #[inline]
+    pub fn end(&self) -> Sector {
+        self.sector + self.sectors
+    }
+
+    /// Transfer size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.sectors * 512
+    }
+}
+
+/// A queued (possibly merged) request as dispatched to the device.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueuedRq {
+    /// First sector of the merged extent.
+    pub sector: Sector,
+    /// Total length of the merged extent in sectors.
+    pub sectors: u64,
+    /// Direction (merges never mix directions).
+    pub dir: Dir,
+    /// Synchronous if any constituent part is synchronous.
+    pub sync: bool,
+    /// Stream of the *first* constituent (used for anticipation /
+    /// accounting; Linux likewise attributes a merged request to the
+    /// task that allocated it).
+    pub stream: StreamId,
+    /// Earliest submission time among the parts.
+    pub submitted: SimTime,
+    /// The original requests this dispatch satisfies, in extent order.
+    pub parts: Vec<IoRequest>,
+}
+
+impl QueuedRq {
+    /// Wrap a single request.
+    pub fn from_request(r: IoRequest) -> Self {
+        QueuedRq {
+            sector: r.sector,
+            sectors: r.sectors,
+            dir: r.dir,
+            sync: r.sync,
+            stream: r.stream,
+            submitted: r.submitted,
+            parts: vec![r],
+        }
+    }
+
+    /// Unique id: the id of the first constituent part.
+    #[inline]
+    pub fn id(&self) -> RequestId {
+        self.parts[0].id
+    }
+
+    /// One past the last sector.
+    #[inline]
+    pub fn end(&self) -> Sector {
+        self.sector + self.sectors
+    }
+
+    /// Transfer size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.sectors * 512
+    }
+
+    /// Extend at the back with `r` (`r.sector == self.end()`).
+    pub fn merge_back(&mut self, r: IoRequest) {
+        debug_assert_eq!(r.sector, self.end(), "back merge must be contiguous");
+        debug_assert_eq!(r.dir, self.dir, "merge must not mix directions");
+        self.sectors += r.sectors;
+        self.sync |= r.sync;
+        self.parts.push(r);
+    }
+
+    /// Extend at the front with `r` (`r.end() == self.sector`).
+    pub fn merge_front(&mut self, r: IoRequest) {
+        debug_assert_eq!(r.end(), self.sector, "front merge must be contiguous");
+        debug_assert_eq!(r.dir, self.dir, "merge must not mix directions");
+        self.sector = r.sector;
+        self.sectors += r.sectors;
+        self.sync |= r.sync;
+        if r.submitted < self.submitted {
+            self.submitted = r.submitted;
+        }
+        self.parts.insert(0, r);
+    }
+
+    /// Internal consistency: parts tile the extent exactly.
+    pub fn check_invariants(&self) {
+        assert!(!self.parts.is_empty(), "QueuedRq with no parts");
+        let mut at = self.sector;
+        for p in &self.parts {
+            assert_eq!(p.sector, at, "parts must tile the extent");
+            assert_eq!(p.dir, self.dir);
+            at = p.end();
+        }
+        assert_eq!(at, self.end(), "extent length mismatch");
+    }
+}
+
+/// Outcome of handing a request to an elevator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddOutcome {
+    /// Queued as a new request.
+    Queued,
+    /// Absorbed into the queued request with the given id (back merge).
+    MergedBack(RequestId),
+    /// Absorbed into the queued request with the given id (front merge).
+    MergedFront(RequestId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: RequestId, sector: Sector, sectors: u64) -> IoRequest {
+        IoRequest {
+            id,
+            stream: 1,
+            sector,
+            sectors,
+            dir: Dir::Read,
+            sync: true,
+            submitted: SimTime::from_micros(id),
+        }
+    }
+
+    #[test]
+    fn merge_back_extends() {
+        let mut q = QueuedRq::from_request(req(1, 100, 8));
+        q.merge_back(req(2, 108, 8));
+        assert_eq!(q.sector, 100);
+        assert_eq!(q.sectors, 16);
+        assert_eq!(q.parts.len(), 2);
+        q.check_invariants();
+    }
+
+    #[test]
+    fn merge_front_extends_and_takes_earliest_submit() {
+        let mut q = QueuedRq::from_request(req(5, 108, 8));
+        q.merge_front(req(2, 100, 8));
+        assert_eq!(q.sector, 100);
+        assert_eq!(q.sectors, 16);
+        assert_eq!(q.submitted, SimTime::from_micros(2));
+        assert_eq!(q.id(), 2, "front merge changes the leading part");
+        q.check_invariants();
+    }
+
+    #[test]
+    fn sync_propagates_on_merge() {
+        let mut a = req(1, 0, 8);
+        a.sync = false;
+        let mut q = QueuedRq::from_request(a);
+        assert!(!q.sync);
+        q.merge_back(req(2, 8, 8)); // sync=true
+        assert!(q.sync);
+    }
+
+    #[test]
+    #[should_panic(expected = "extent length mismatch")]
+    fn invariant_catches_gaps() {
+        let mut q = QueuedRq::from_request(req(1, 0, 8));
+        q.sectors = 24; // corrupt
+        q.check_invariants();
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests: whatever request sequence an elevator is fed,
+//! it must conserve requests (everything submitted is dispatched or
+//! drained exactly once), keep merged extents internally consistent,
+//! and make causally sane idle decisions.
+
+use iosched::{build_elevator, Dispatch, Dir, IoRequest, SchedKind, Tunables};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+struct GenReq {
+    stream: u32,
+    sector: u64,
+    sectors: u64,
+    write: bool,
+    sync: bool,
+    gap_us: u64,
+}
+
+fn gen_req() -> impl Strategy<Value = GenReq> {
+    (
+        0u32..4,
+        0u64..2_000_000,
+        1u64..512,
+        any::<bool>(),
+        any::<bool>(),
+        0u64..5_000,
+    )
+        .prop_map(|(stream, sector, sectors, write, sync, gap_us)| GenReq {
+            stream,
+            sector,
+            sectors,
+            write,
+            sync: if write { sync } else { true },
+            gap_us,
+        })
+}
+
+/// Feed a request sequence, interleaving dispatch/completion cycles,
+/// then drain. Returns (dispatched ids, drained ids).
+fn exercise(kind: SchedKind, reqs: &[GenReq], dispatch_every: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut e = build_elevator(kind, &Tunables::default());
+    let mut now = SimTime::ZERO;
+    let mut dispatched = Vec::new();
+    let mut drained = Vec::new();
+    for (i, g) in reqs.iter().enumerate() {
+        now += SimDuration::from_micros(g.gap_us);
+        let r = IoRequest {
+            id: i as u64 + 1,
+            stream: g.stream,
+            sector: g.sector,
+            sectors: g.sectors,
+            dir: if g.write { Dir::Write } else { Dir::Read },
+            sync: g.sync,
+            submitted: now,
+        };
+        e.add(r, now);
+        if (i + 1) % dispatch_every == 0 {
+            // Service a few requests.
+            for _ in 0..2 {
+                match e.dispatch(now) {
+                    Dispatch::Request(rq) => {
+                        rq.check_invariants();
+                        for p in &rq.parts {
+                            dispatched.push(p.id);
+                        }
+                        now += SimDuration::from_micros(500);
+                        e.completed(&rq, now);
+                    }
+                    Dispatch::Idle { until } => {
+                        assert!(until > now, "idle deadline must be in the future");
+                        now = until;
+                    }
+                    Dispatch::Empty => break,
+                }
+            }
+        }
+    }
+    // Drain whatever remains: first by dispatching to exhaustion, then
+    // via drain() to exercise that path too.
+    let mut spins = 0;
+    loop {
+        match e.dispatch(now) {
+            Dispatch::Request(rq) => {
+                rq.check_invariants();
+                for p in &rq.parts {
+                    dispatched.push(p.id);
+                }
+                now += SimDuration::from_micros(500);
+                e.completed(&rq, now);
+                spins = 0;
+            }
+            Dispatch::Idle { until } => {
+                assert!(until > now);
+                now = until;
+                spins += 1;
+                assert!(spins < 1000, "livelock: endless idling with queued work");
+            }
+            Dispatch::Empty => break,
+        }
+        if dispatched.len() > reqs.len() {
+            break;
+        }
+    }
+    for rq in e.drain() {
+        rq.check_invariants();
+        for p in &rq.parts {
+            drained.push(p.id);
+        }
+    }
+    (dispatched, drained)
+}
+
+fn all_kinds() -> [SchedKind; 4] {
+    SchedKind::ALL
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No request is ever lost or duplicated, for any scheduler.
+    #[test]
+    fn conservation(reqs in prop::collection::vec(gen_req(), 1..120), every in 1usize..8) {
+        for kind in all_kinds() {
+            let (dispatched, drained) = exercise(kind, &reqs, every);
+            let mut seen = HashSet::new();
+            for id in dispatched.iter().chain(drained.iter()) {
+                prop_assert!(seen.insert(*id), "{kind}: id {id} appeared twice");
+            }
+            prop_assert_eq!(
+                seen.len(),
+                reqs.len(),
+                "{} lost requests: {} of {}",
+                kind, seen.len(), reqs.len()
+            );
+        }
+    }
+
+    /// Everything an elevator dispatches lies inside what was submitted
+    /// (no invented sectors) and merged extents never mix directions.
+    #[test]
+    fn extent_sanity(reqs in prop::collection::vec(gen_req(), 1..80)) {
+        for kind in all_kinds() {
+            let mut e = build_elevator(kind, &Tunables::default());
+            let now = SimTime::ZERO;
+            for (i, g) in reqs.iter().enumerate() {
+                e.add(IoRequest {
+                    id: i as u64 + 1,
+                    stream: g.stream,
+                    sector: g.sector,
+                    sectors: g.sectors,
+                    dir: if g.write { Dir::Write } else { Dir::Read },
+                    sync: g.sync,
+                    submitted: now,
+                }, now);
+            }
+            let mut t = now;
+            loop {
+                match e.dispatch(t) {
+                    Dispatch::Request(rq) => {
+                        rq.check_invariants();
+                        prop_assert!(rq.sectors <= Tunables::default().max_merge_sectors,
+                            "{kind}: merged beyond the cap");
+                        for p in &rq.parts {
+                            prop_assert_eq!(p.dir, rq.dir);
+                        }
+                        e.completed(&rq, t);
+                    }
+                    Dispatch::Idle { until } => t = until,
+                    Dispatch::Empty => break,
+                }
+            }
+        }
+    }
+
+    /// `queued()` equals the number of (merged) requests actually
+    /// retrievable via drain.
+    #[test]
+    fn queued_count_matches_drain(reqs in prop::collection::vec(gen_req(), 1..60)) {
+        for kind in all_kinds() {
+            let mut e = build_elevator(kind, &Tunables::default());
+            let now = SimTime::ZERO;
+            for (i, g) in reqs.iter().enumerate() {
+                e.add(IoRequest {
+                    id: i as u64 + 1,
+                    stream: g.stream,
+                    sector: g.sector,
+                    sectors: g.sectors,
+                    dir: if g.write { Dir::Write } else { Dir::Read },
+                    sync: g.sync,
+                    submitted: now,
+                }, now);
+            }
+            let queued = e.queued();
+            let drained = e.drain();
+            prop_assert_eq!(queued, drained.len(), "{}", kind);
+            prop_assert_eq!(e.queued(), 0, "{}", kind);
+        }
+    }
+}

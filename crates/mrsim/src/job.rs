@@ -1,0 +1,212 @@
+//! Job-level configuration and derived quantities (blocks, slots,
+//! waves — including the paper's Table II wave formula).
+
+use crate::workload::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the virtual cluster a job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterShape {
+    /// Physical nodes.
+    pub nodes: u32,
+    /// VMs per node (each VM is one Hadoop worker with 1 VCPU).
+    pub vms_per_node: u32,
+    /// Concurrent map tasks per VM (paper: at most 2).
+    pub map_slots_per_vm: u32,
+    /// Concurrent reduce tasks per VM.
+    pub reduce_slots_per_vm: u32,
+}
+
+impl Default for ClusterShape {
+    /// The paper's testbed: 4 nodes × 4 VMs, 2 map + 2 reduce slots.
+    fn default() -> Self {
+        ClusterShape {
+            nodes: 4,
+            vms_per_node: 4,
+            map_slots_per_vm: 2,
+            reduce_slots_per_vm: 2,
+        }
+    }
+}
+
+impl ClusterShape {
+    /// Total VMs (Hadoop workers).
+    pub fn total_vms(&self) -> u32 {
+        self.nodes * self.vms_per_node
+    }
+
+    /// Total map slots across the cluster.
+    pub fn total_map_slots(&self) -> u32 {
+        self.total_vms() * self.map_slots_per_vm
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn total_reduce_slots(&self) -> u32 {
+        self.total_vms() * self.reduce_slots_per_vm
+    }
+}
+
+/// One MapReduce job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The application.
+    pub workload: WorkloadSpec,
+    /// HDFS data stored per data node (VM), bytes. The paper fixes this
+    /// at 512 MB per data node for most experiments.
+    pub data_per_vm_bytes: u64,
+    /// HDFS block size (Hadoop 0.19 default: 64 MB).
+    pub block_bytes: u64,
+    /// HDFS replication factor (paper: 2).
+    pub replicas: u8,
+    /// Map-side sort buffer (`io.sort.mb`, default 100 MB).
+    pub sort_buffer_bytes: u64,
+    /// Concurrent shuffle fetches per reducer (`parallel copies`).
+    pub parallel_copies: u32,
+    /// I/O chunk size tasks use for streaming reads/writes, bytes.
+    pub io_chunk_bytes: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            workload: WorkloadSpec::sort(),
+            data_per_vm_bytes: 512 * 1024 * 1024,
+            block_bytes: 64 * 1024 * 1024,
+            replicas: 2,
+            sort_buffer_bytes: 100 * 1024 * 1024,
+            parallel_copies: 5,
+            io_chunk_bytes: 256 * 1024,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Job with the given workload, other knobs at defaults.
+    pub fn new(workload: WorkloadSpec) -> Self {
+        JobSpec {
+            workload,
+            ..Default::default()
+        }
+    }
+
+    /// Number of HDFS blocks (= map tasks) for this job on `shape`.
+    pub fn num_blocks(&self, shape: &ClusterShape) -> u32 {
+        let total = self.data_per_vm_bytes * shape.total_vms() as u64;
+        total.div_ceil(self.block_bytes) as u32
+    }
+
+    /// Number of reduce tasks: one per reduce slot (Hadoop's usual
+    /// guidance of ~0.95–1× the slot count, rounded to fill slots).
+    pub fn num_reduces(&self, shape: &ClusterShape) -> u32 {
+        shape.total_reduce_slots()
+    }
+
+    /// The paper's Table II wave count:
+    /// `waves = blocks / (data nodes × map slots per node)`.
+    pub fn waves(&self, shape: &ClusterShape) -> f64 {
+        self.num_blocks(shape) as f64 / shape.total_map_slots() as f64
+    }
+
+    /// Bytes of map output for one block.
+    pub fn map_output_per_block(&self) -> u64 {
+        (self.block_bytes as f64 * self.workload.map_output_ratio) as u64
+    }
+
+    /// Total map output bytes across the job.
+    pub fn total_map_output(&self, shape: &ClusterShape) -> u64 {
+        self.map_output_per_block() * self.num_blocks(shape) as u64
+    }
+
+    /// Shuffle bytes received by one reducer (uniform partitioning).
+    pub fn shuffle_per_reduce(&self, shape: &ClusterShape) -> u64 {
+        self.total_map_output(shape) / self.num_reduces(shape) as u64
+    }
+
+    /// Output bytes written by one reducer (before replication).
+    pub fn output_per_reduce(&self, shape: &ClusterShape) -> u64 {
+        (self.shuffle_per_reduce(shape) as f64 * self.workload.reduce_output_ratio) as u64
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self, shape: &ClusterShape) -> Result<(), String> {
+        self.workload.validate()?;
+        if self.block_bytes == 0 || self.data_per_vm_bytes == 0 {
+            return Err("zero data/block size".into());
+        }
+        if self.num_blocks(shape) == 0 {
+            return Err("job has no blocks".into());
+        }
+        if self.replicas == 0 || self.replicas as u32 > shape.total_vms() {
+            return Err(format!("replicas {} out of range", self.replicas));
+        }
+        if self.parallel_copies == 0 {
+            return Err("parallel_copies must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_four_waves() {
+        // 512 MB per VM, 16 VMs, 64 MB blocks => 128 blocks over 32
+        // map slots => 4 waves per Table II's formula (the paper's
+        // "each node performing 8 maps" with 2 slots each).
+        let job = JobSpec::default();
+        let shape = ClusterShape::default();
+        assert_eq!(job.num_blocks(&shape), 128);
+        assert_eq!(shape.total_map_slots(), 32);
+        assert!((job.waves(&shape) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wave_formula_scales_with_data() {
+        let shape = ClusterShape::default();
+        let mut job = JobSpec {
+            data_per_vm_bytes: 256 * 1024 * 1024,
+            ..JobSpec::default()
+        };
+        let w256 = job.waves(&shape);
+        job.data_per_vm_bytes = 2 * 1024 * 1024 * 1024;
+        let w2g = job.waves(&shape);
+        assert!((w2g / w256 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_conservation() {
+        let job = JobSpec::default();
+        let shape = ClusterShape::default();
+        let total = job.shuffle_per_reduce(&shape) * job.num_reduces(&shape) as u64;
+        // Integer division may drop < num_reduces bytes.
+        let expect = job.total_map_output(&shape);
+        assert!(expect - total < job.num_reduces(&shape) as u64);
+    }
+
+    #[test]
+    fn sort_symmetry() {
+        let job = JobSpec::new(WorkloadSpec::sort());
+        let shape = ClusterShape::default();
+        assert_eq!(job.map_output_per_block(), job.block_bytes);
+        let per_reduce_in = job.shuffle_per_reduce(&shape);
+        assert_eq!(job.output_per_reduce(&shape), per_reduce_in);
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let shape = ClusterShape::default();
+        let job = JobSpec {
+            replicas: 0,
+            ..JobSpec::default()
+        };
+        assert!(job.validate(&shape).is_err());
+        let job2 = JobSpec {
+            data_per_vm_bytes: 0,
+            ..JobSpec::default()
+        };
+        assert!(job2.validate(&shape).is_err());
+        assert!(JobSpec::default().validate(&shape).is_ok());
+    }
+}

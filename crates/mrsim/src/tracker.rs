@@ -1,0 +1,400 @@
+//! The JobTracker: block placement, slot scheduling in waves, shuffle
+//! availability, and job progress events.
+//!
+//! Scheduling follows Hadoop 0.19 with the paper's setup: map tasks are
+//! data-local (HDFS blocks are spread evenly over the data nodes, each
+//! map runs where its block's first replica lives), every VM offers
+//! `map_slots_per_vm` + `reduce_slots_per_vm` slots, reducers all start
+//! with the job (so shuffle overlaps the map waves), and a reducer can
+//! fetch a map's output as soon as that map commits.
+
+use crate::job::{ClusterShape, JobSpec};
+use crate::plan::TaskId;
+use serde::{Deserialize, Serialize};
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// Task flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Map task.
+    Map,
+    /// Reduce task.
+    Reduce,
+}
+
+/// A task assignment to a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The task.
+    pub task: TaskId,
+    /// Its flavour.
+    pub kind: TaskKind,
+    /// Global VM index (`node * vms_per_node + local`).
+    pub gvm: u32,
+    /// For maps: the HDFS block processed.
+    pub block: Option<u32>,
+}
+
+/// Progress milestones the tracker emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobEvent {
+    /// Every map task has committed (end of the paper's Ph1).
+    MapsAllDone,
+    /// One reducer finished fetching all partitions.
+    ReduceShuffleDone(TaskId),
+    /// Every reducer finished fetching (end of the paper's Ph2).
+    ShuffleAllDone,
+    /// Every reduce task has committed.
+    JobDone,
+}
+
+/// The job tracker.
+pub struct JobTracker {
+    shape: ClusterShape,
+    num_maps: u32,
+    num_reduces: u32,
+    /// Per-VM queue of pending (data-local) map tasks.
+    pending_maps: Vec<VecDeque<TaskId>>,
+    maps_done: Vec<bool>,
+    maps_done_count: u32,
+    /// `fetched[reduce][map]`.
+    fetched: Vec<Vec<bool>>,
+    fetch_count: Vec<u32>,
+    shuffle_done: Vec<bool>,
+    shuffle_done_count: u32,
+    reduces_done: Vec<bool>,
+    reduces_done_count: u32,
+    /// When the last map committed.
+    pub t_maps_done: Option<SimTime>,
+    /// When the last reducer finished fetching.
+    pub t_shuffle_done: Option<SimTime>,
+    /// When the job committed.
+    pub t_job_done: Option<SimTime>,
+}
+
+impl JobTracker {
+    /// Plan a job on a cluster: places block `b` (and map `b`) on VM
+    /// `b % total_vms`, reducer `r` on VM `r / reduce_slots_per_vm`.
+    pub fn new(job: &JobSpec, shape: &ClusterShape) -> Self {
+        job.validate(shape).expect("invalid job spec");
+        let num_maps = job.num_blocks(shape);
+        let num_reduces = job.num_reduces(shape);
+        let total_vms = shape.total_vms();
+        let mut pending_maps = vec![VecDeque::new(); total_vms as usize];
+        for b in 0..num_maps {
+            pending_maps[(b % total_vms) as usize].push_back(b as TaskId);
+        }
+        JobTracker {
+            shape: *shape,
+            num_maps,
+            num_reduces,
+            pending_maps,
+            maps_done: vec![false; num_maps as usize],
+            maps_done_count: 0,
+            fetched: vec![vec![false; num_maps as usize]; num_reduces as usize],
+            fetch_count: vec![0; num_reduces as usize],
+            shuffle_done: vec![false; num_reduces as usize],
+            shuffle_done_count: 0,
+            reduces_done: vec![false; num_reduces as usize],
+            reduces_done_count: 0,
+            t_maps_done: None,
+            t_shuffle_done: None,
+            t_job_done: None,
+        }
+    }
+
+    /// Total map tasks.
+    pub fn num_maps(&self) -> u32 {
+        self.num_maps
+    }
+
+    /// Total reduce tasks.
+    pub fn num_reduces(&self) -> u32 {
+        self.num_reduces
+    }
+
+    /// The VM hosting block `b`'s first replica (and its map task).
+    pub fn block_home(&self, block: u32) -> u32 {
+        block % self.shape.total_vms()
+    }
+
+    /// The VM a reduce task runs on.
+    pub fn reduce_home(&self, reduce_idx: u32) -> u32 {
+        reduce_idx / self.shape.reduce_slots_per_vm
+    }
+
+    /// Global task id of reduce index `r`.
+    pub fn reduce_task_id(&self, r: u32) -> TaskId {
+        self.num_maps + r
+    }
+
+    /// Reduce index of a reduce task id.
+    pub fn reduce_index(&self, task: TaskId) -> u32 {
+        debug_assert!(task >= self.num_maps);
+        task - self.num_maps
+    }
+
+    /// First-wave assignments: fill every map slot from its VM's local
+    /// queue and start every reducer.
+    pub fn initial_assignments(&mut self) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        for gvm in 0..self.shape.total_vms() {
+            for _ in 0..self.shape.map_slots_per_vm {
+                if let Some(task) = self.pending_maps[gvm as usize].pop_front() {
+                    out.push(Assignment {
+                        task,
+                        kind: TaskKind::Map,
+                        gvm,
+                        block: Some(task),
+                    });
+                }
+            }
+        }
+        for r in 0..self.num_reduces {
+            out.push(Assignment {
+                task: self.reduce_task_id(r),
+                kind: TaskKind::Reduce,
+                gvm: self.reduce_home(r),
+                block: None,
+            });
+        }
+        out
+    }
+
+    /// A map committed: frees its slot (next local map is assigned) and
+    /// makes its output fetchable.
+    pub fn on_map_done(
+        &mut self,
+        map: TaskId,
+        now: SimTime,
+    ) -> (Option<Assignment>, Vec<JobEvent>) {
+        assert!(!self.maps_done[map as usize], "map {map} finished twice");
+        self.maps_done[map as usize] = true;
+        self.maps_done_count += 1;
+        let mut events = Vec::new();
+        if self.maps_done_count == self.num_maps {
+            self.t_maps_done = Some(now);
+            events.push(JobEvent::MapsAllDone);
+        }
+        let gvm = self.block_home(map);
+        let next = self.pending_maps[gvm as usize].pop_front().map(|task| {
+            Assignment {
+                task,
+                kind: TaskKind::Map,
+                gvm,
+                block: Some(task),
+            }
+        });
+        (next, events)
+    }
+
+    /// Maps whose output reduce index `r` can fetch right now (done,
+    /// not yet fetched).
+    pub fn available_fetches(&self, r: u32) -> Vec<TaskId> {
+        (0..self.num_maps)
+            .filter(|&m| self.maps_done[m as usize] && !self.fetched[r as usize][m as usize])
+            .collect()
+    }
+
+    /// Record that reduce index `r` finished fetching map `m`'s output.
+    pub fn on_fetch_complete(&mut self, r: u32, m: TaskId, now: SimTime) -> Vec<JobEvent> {
+        assert!(
+            self.maps_done[m as usize],
+            "fetched output of unfinished map {m}"
+        );
+        assert!(
+            !self.fetched[r as usize][m as usize],
+            "reduce {r} fetched map {m} twice"
+        );
+        self.fetched[r as usize][m as usize] = true;
+        self.fetch_count[r as usize] += 1;
+        let mut events = Vec::new();
+        if self.fetch_count[r as usize] == self.num_maps {
+            self.shuffle_done[r as usize] = true;
+            self.shuffle_done_count += 1;
+            events.push(JobEvent::ReduceShuffleDone(self.reduce_task_id(r)));
+            if self.shuffle_done_count == self.num_reduces {
+                self.t_shuffle_done = Some(now);
+                events.push(JobEvent::ShuffleAllDone);
+            }
+        }
+        events
+    }
+
+    /// True once reduce index `r` fetched every partition.
+    pub fn reduce_shuffle_complete(&self, r: u32) -> bool {
+        self.shuffle_done[r as usize]
+    }
+
+    /// A reduce task committed.
+    pub fn on_reduce_done(&mut self, task: TaskId, now: SimTime) -> Vec<JobEvent> {
+        let r = self.reduce_index(task) as usize;
+        assert!(!self.reduces_done[r], "reduce {task} finished twice");
+        self.reduces_done[r] = true;
+        self.reduces_done_count += 1;
+        if self.reduces_done_count == self.num_reduces {
+            self.t_job_done = Some(now);
+            vec![JobEvent::JobDone]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Completed map count (progress reporting).
+    pub fn maps_done_count(&self) -> u32 {
+        self.maps_done_count
+    }
+
+    /// Completed reduce count (progress reporting).
+    pub fn reduces_done_count(&self) -> u32 {
+        self.reduces_done_count
+    }
+
+    /// True when the job has fully committed.
+    pub fn finished(&self) -> bool {
+        self.reduces_done_count == self.num_reduces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+
+    fn setup() -> (JobSpec, ClusterShape, JobTracker) {
+        let job = JobSpec::new(WorkloadSpec::sort());
+        let shape = ClusterShape::default();
+        let t = JobTracker::new(&job, &shape);
+        (job, shape, t)
+    }
+
+    #[test]
+    fn initial_wave_fills_slots() {
+        let (_, shape, mut t) = setup();
+        let a = t.initial_assignments();
+        let maps = a.iter().filter(|x| x.kind == TaskKind::Map).count();
+        let reduces = a.iter().filter(|x| x.kind == TaskKind::Reduce).count();
+        assert_eq!(maps, shape.total_map_slots() as usize);
+        assert_eq!(reduces, t.num_reduces() as usize);
+        // Every map is data-local.
+        for x in a.iter().filter(|x| x.kind == TaskKind::Map) {
+            assert_eq!(x.gvm, t.block_home(x.block.unwrap()));
+        }
+    }
+
+    #[test]
+    fn waves_progress_and_maps_done_event() {
+        let (_, _, mut t) = setup();
+        let first = t.initial_assignments();
+        let mut running: Vec<TaskId> = first
+            .iter()
+            .filter(|a| a.kind == TaskKind::Map)
+            .map(|a| a.task)
+            .collect();
+        let mut done = 0;
+        let mut now = SimTime::ZERO;
+        let mut saw_maps_done = false;
+        while let Some(m) = running.pop() {
+            now += simcore::SimDuration::from_secs(1);
+            let (next, events) = t.on_map_done(m, now);
+            done += 1;
+            if let Some(a) = next {
+                assert_eq!(a.kind, TaskKind::Map);
+                running.push(a.task);
+            }
+            if events.contains(&JobEvent::MapsAllDone) {
+                saw_maps_done = true;
+                assert_eq!(done, t.num_maps());
+            }
+        }
+        assert!(saw_maps_done);
+        assert_eq!(t.maps_done_count(), t.num_maps());
+        assert_eq!(t.t_maps_done, Some(now));
+    }
+
+    #[test]
+    fn shuffle_completion_events() {
+        let (_, _, mut t) = setup();
+        t.initial_assignments();
+        let now = SimTime::from_secs(1);
+        // Finish all maps.
+        let mut frontier: Vec<TaskId> = (0..t.num_maps()).collect();
+        for m in frontier.drain(..) {
+            // Ignore slot refills; all maps eventually finish.
+            if !t.maps_done[m as usize] {
+                t.on_map_done(m, now);
+            }
+        }
+        assert_eq!(t.available_fetches(0).len(), t.num_maps() as usize);
+        // Reduce 0 fetches everything.
+        let mut saw_rsd = false;
+        for m in 0..t.num_maps() {
+            let ev = t.on_fetch_complete(0, m, now);
+            if m + 1 == t.num_maps() {
+                assert!(ev.contains(&JobEvent::ReduceShuffleDone(t.reduce_task_id(0))));
+                saw_rsd = true;
+            } else {
+                assert!(ev.is_empty());
+            }
+        }
+        assert!(saw_rsd);
+        assert!(t.reduce_shuffle_complete(0));
+        assert!(!t.reduce_shuffle_complete(1));
+        // Remaining reducers fetch: the last one triggers ShuffleAllDone.
+        let mut saw_all = false;
+        for r in 1..t.num_reduces() {
+            for m in 0..t.num_maps() {
+                let ev = t.on_fetch_complete(r, m, now);
+                if ev.contains(&JobEvent::ShuffleAllDone) {
+                    saw_all = true;
+                    assert_eq!(r, t.num_reduces() - 1);
+                }
+            }
+        }
+        assert!(saw_all);
+        assert_eq!(t.t_shuffle_done, Some(now));
+    }
+
+    #[test]
+    fn job_done_event() {
+        let (_, _, mut t) = setup();
+        let now = SimTime::from_secs(9);
+        let mut saw = false;
+        for r in 0..t.num_reduces() {
+            let ev = t.on_reduce_done(t.reduce_task_id(r), now);
+            if ev.contains(&JobEvent::JobDone) {
+                saw = true;
+                assert_eq!(r, t.num_reduces() - 1);
+            }
+        }
+        assert!(saw);
+        assert!(t.finished());
+        assert_eq!(t.t_job_done, Some(now));
+    }
+
+    #[test]
+    fn reduce_placement_two_per_vm() {
+        let (_, shape, t) = setup();
+        let mut per_vm = vec![0u32; shape.total_vms() as usize];
+        for r in 0..t.num_reduces() {
+            per_vm[t.reduce_home(r) as usize] += 1;
+        }
+        assert!(per_vm.iter().all(|&c| c == shape.reduce_slots_per_vm));
+    }
+
+    #[test]
+    #[should_panic(expected = "finished twice")]
+    fn double_completion_rejected() {
+        let (_, _, mut t) = setup();
+        t.on_map_done(0, SimTime::ZERO);
+        t.on_map_done(0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished map")]
+    fn premature_fetch_rejected() {
+        let (_, _, mut t) = setup();
+        t.on_fetch_complete(0, 5, SimTime::ZERO);
+    }
+}

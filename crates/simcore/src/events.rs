@@ -1,0 +1,305 @@
+//! The event queue at the heart of the discrete-event kernel.
+//!
+//! [`EventQueue`] is a priority queue of `(SimTime, T)` pairs ordered by
+//! time, with FIFO tie-breaking via a monotone sequence number so that
+//! events scheduled at the same instant pop in insertion order. That
+//! tie-break is what makes whole-cluster runs deterministic.
+//!
+//! Cancellation is handled by *epochs* (see [`Timer`]): instead of
+//! removing entries from the heap, a component bumps its epoch counter
+//! and stale firings are recognized and dropped when popped. This is the
+//! standard lazy-deletion trick and keeps scheduling O(log n) with no
+//! auxiliary index.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "late");
+/// q.push(SimTime::from_secs(1), "early");
+/// q.push(SimTime::from_secs(1), "early-second");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    /// Largest time popped so far; pushes earlier than this are a logic
+    /// error in the caller and are rejected in debug builds.
+    watermark: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Create an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`.
+    ///
+    /// Scheduling in the past (before the last popped event) is a
+    /// causality violation; debug builds panic on it.
+    pub fn push(&mut self, time: SimTime, payload: T) {
+        debug_assert!(
+            time >= self.watermark,
+            "event scheduled in the past: {} < {}",
+            time,
+            self.watermark
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Pop the earliest event, advancing the causality watermark.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let e = self.heap.pop()?;
+        self.watermark = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the current
+    /// simulation clock from the queue's point of view).
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Drop every pending event (the watermark is preserved).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// Epoch-based cancellable timer handle.
+///
+/// A component that sets wake-up timers embeds one `Timer`. Arming the
+/// timer returns a *ticket*; when the timer event pops, the holder calls
+/// [`Timer::is_current`] — if the component re-armed or cancelled in the
+/// interim, the stale ticket is simply ignored.
+///
+/// ```
+/// use simcore::Timer;
+///
+/// let mut t = Timer::new();
+/// let a = t.arm();
+/// let b = t.arm();          // re-arm: invalidates `a`
+/// assert!(!t.is_current(a));
+/// assert!(t.is_current(b));
+/// t.cancel();               // invalidates `b`
+/// assert!(!t.is_current(b));
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Timer {
+    epoch: u64,
+    armed: bool,
+}
+
+/// Ticket identifying one arming of a [`Timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerTicket(u64);
+
+impl Timer {
+    /// New, unarmed timer.
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Arm (or re-arm) the timer, invalidating any outstanding ticket.
+    pub fn arm(&mut self) -> TimerTicket {
+        self.epoch += 1;
+        self.armed = true;
+        TimerTicket(self.epoch)
+    }
+
+    /// Cancel the timer, invalidating any outstanding ticket.
+    pub fn cancel(&mut self) {
+        self.epoch += 1;
+        self.armed = false;
+    }
+
+    /// True if `ticket` refers to the most recent arming and the timer
+    /// has not been cancelled. Firing consumes the arming.
+    pub fn is_current(&self, ticket: TimerTicket) -> bool {
+        self.armed && ticket.0 == self.epoch
+    }
+
+    /// Fire the timer: returns true (and disarms) if the ticket was
+    /// current, false for stale tickets.
+    pub fn fire(&mut self, ticket: TimerTicket) -> bool {
+        if self.is_current(ticket) {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if an arming is outstanding.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, 1);
+        q.push(t, 2);
+        q.push(SimTime::ZERO, 0);
+        q.push(t, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(5), ());
+        q.push(SimTime::from_secs(3), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn watermark_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        // Same-time push after pop is fine.
+        q.push(SimTime::from_secs(1), ());
+        q.pop();
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn rejects_causality_violation() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), ());
+        q.pop();
+        q.push(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn timer_epochs() {
+        let mut t = Timer::new();
+        let first = t.arm();
+        assert!(t.is_armed());
+        let second = t.arm();
+        assert!(!t.fire(first), "stale ticket must not fire");
+        assert!(t.fire(second));
+        assert!(!t.is_armed(), "firing disarms");
+        assert!(!t.fire(second), "double fire must be rejected");
+    }
+
+    #[test]
+    fn timer_cancel() {
+        let mut t = Timer::new();
+        let ticket = t.arm();
+        t.cancel();
+        assert!(!t.fire(ticket));
+        assert!(!t.is_armed());
+    }
+
+    #[test]
+    fn high_volume_is_sorted() {
+        // Pseudo-random but deterministic insertion order.
+        let mut q = EventQueue::with_capacity(1 << 12);
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..4096u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.push(SimTime::ZERO + SimDuration::from_nanos(x % 1_000_000), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # simcore — deterministic discrete-event simulation kernel
+//!
+//! The foundation for every simulated subsystem in this repository:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time;
+//! * [`EventQueue`] — time-ordered, FIFO-tie-broken event heap with
+//!   causality checking, plus epoch-based cancellable [`Timer`]s;
+//! * [`SimRng`] — seeded, label-splittable random streams so whole
+//!   cluster runs are reproducible bit-for-bit;
+//! * [`stats`] — streaming moments, sample sets with quantile/CDF
+//!   extraction, Jain fairness, and the windowed [`ThroughputMeter`]
+//!   used to reproduce the paper's Fig. 3.
+//!
+//! Everything here is simulation-agnostic; the disk model, elevators,
+//! virtualization stack and MapReduce engine are separate crates layered
+//! on top.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::{EventQueue, Timer, TimerTicket};
+pub use rng::SimRng;
+pub use stats::{OnlineStats, SampleSet, ThroughputMeter};
+pub use time::{SimDuration, SimTime};

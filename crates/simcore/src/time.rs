@@ -1,0 +1,334 @@
+//! Simulated time.
+//!
+//! All simulation time is integer nanoseconds held in a [`SimTime`]
+//! newtype. Integer time keeps runs bit-for-bit deterministic across
+//! platforms (no floating-point drift in the event queue) and `u64`
+//! nanoseconds cover ~584 years of simulated time, far beyond any
+//! experiment in this repository.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, in nanoseconds since the start of the run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// Separate from [`SimTime`] so that the type system catches
+/// point-vs-span confusion (`SimTime + SimDuration = SimTime`,
+/// `SimTime - SimTime = SimDuration`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from integer seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable span; used as an "infinite" sentinel.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from integer microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from integer milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from integer seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// nanosecond. Panics on negative or non-finite input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimDuration::from_secs_f64 needs a finite non-negative value, got {s}"
+        );
+        SimDuration((s * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span in seconds, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Span in milliseconds, as a float (for reporting only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer factor.
+    #[inline]
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+
+    /// Divide by an integer divisor (rounds toward zero).
+    #[inline]
+    pub const fn div(self, k: u64) -> SimDuration {
+        SimDuration(self.0 / k)
+    }
+
+    /// Scale by a float factor, rounding to the nearest nanosecond.
+    /// Panics on negative or non-finite factors.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "SimDuration::mul_f64 needs a finite non-negative factor, got {k}"
+        );
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 - d.0)
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(
+            self.0 >= earlier.0,
+            "SimTime subtraction went negative: {self} - {earlier}"
+        );
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, other: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= other.0, "SimDuration subtraction went negative");
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, other: SimDuration) {
+        *self = *self - other;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn point_span_arithmetic() {
+        let t0 = SimTime::from_millis(10);
+        let t1 = t0 + SimDuration::from_millis(5);
+        assert_eq!(t1.as_nanos(), 15_000_000);
+        assert_eq!((t1 - t0).as_nanos(), 5_000_000);
+        let mut t = t0;
+        t += SimDuration::from_millis(1);
+        assert_eq!(t.as_nanos(), 11_000_000);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d.mul(3).as_nanos(), 300_000_000);
+        assert_eq!(d.div(4).as_nanos(), 25_000_000);
+        assert_eq!(d.mul_f64(0.5).as_nanos(), 50_000_000);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(1.5e-9).as_nanos(), 2);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_nanos(), 250_000_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total, SimDuration::from_secs(10));
+    }
+}

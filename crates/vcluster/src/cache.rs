@@ -1,0 +1,175 @@
+//! Per-VM page-cache model.
+//!
+//! Real Hadoop on the paper's 1 GB VMs serves a lot of its re-reads
+//! from the guest page cache: a reducer fetching a *recently committed*
+//! map output rarely touches the source disk, and a merge pass reads
+//! back the shuffle data it just wrote. Without this, the shuffle tail
+//! (the paper's Ph2) balloons far past the few percent Table II
+//! reports. The model is deliberately coarse — whole-file granularity
+//! with a recency budget (an LRU over files): a read hits iff the whole
+//! file still fits inside the budget of most-recently-written bytes.
+//!
+//! Block-device writes themselves always reach the disk (writeback is
+//! what the spill/shuffle write streams model); the cache only elides
+//! *reads*.
+
+use mrsim::FileRef;
+use std::collections::BTreeMap;
+
+/// One VM's page cache.
+#[derive(Debug)]
+pub struct PageCache {
+    budget_bytes: u64,
+    /// file -> (bytes, recency sequence).
+    entries: BTreeMap<FileRef, (u64, u64)>,
+    total: u64,
+    next_seq: u64,
+    /// Hits/misses (accounting).
+    pub hits: u64,
+    /// Read misses.
+    pub misses: u64,
+}
+
+impl PageCache {
+    /// Cache with the given budget (0 disables caching entirely).
+    pub fn new(budget_bytes: u64) -> Self {
+        PageCache {
+            budget_bytes,
+            entries: BTreeMap::new(),
+            total: 0,
+            next_seq: 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.total > self.budget_bytes {
+            // Evict the least recently touched file.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, seq))| seq)
+                .map(|(&f, _)| f)
+                .expect("over budget implies non-empty");
+            let (bytes, _) = self.entries.remove(&victim).expect("victim exists");
+            self.total -= bytes;
+        }
+    }
+
+    /// Record `bytes` written to `file` (grows the cached span of the
+    /// file, refreshes its recency, evicts older files if needed).
+    pub fn on_write(&mut self, file: FileRef, bytes: u64) {
+        if self.budget_bytes == 0 {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let e = self.entries.entry(file).or_insert((0, seq));
+        e.0 += bytes;
+        e.1 = seq;
+        self.total += bytes;
+        // A single file larger than the whole budget can never be
+        // cache-resident.
+        if self.entries[&file].0 > self.budget_bytes {
+            let (bytes, _) = self.entries.remove(&file).expect("just inserted");
+            self.total -= bytes;
+        }
+        self.evict_to_budget();
+    }
+
+    /// Attempt a whole-file read of `bytes` from `file`: a hit iff the
+    /// file is resident *and* the requested span is within what was
+    /// written. Hits refresh recency.
+    pub fn read_hit(&mut self, file: FileRef, bytes: u64) -> bool {
+        if self.budget_bytes == 0 {
+            self.misses += 1;
+            return false;
+        }
+        match self.entries.get_mut(&file) {
+            Some((cached, seq)) if *cached >= bytes => {
+                let s = self.next_seq;
+                self.next_seq += 1;
+                *seq = s;
+                self.hits += 1;
+                true
+            }
+            _ => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(task: u32) -> FileRef {
+        FileRef::MapOutput { task }
+    }
+
+    #[test]
+    fn written_files_hit() {
+        let mut c = PageCache::new(100);
+        c.on_write(f(1), 60);
+        assert!(c.read_hit(f(1), 60));
+        assert!(c.read_hit(f(1), 30), "prefix reads hit too");
+        assert!(!c.read_hit(f(1), 61), "reading past written span misses");
+        assert!(!c.read_hit(f(2), 1), "unknown file misses");
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_by_budget() {
+        let mut c = PageCache::new(100);
+        c.on_write(f(1), 60);
+        c.on_write(f(2), 60); // evicts f(1)
+        assert!(!c.read_hit(f(1), 60));
+        assert!(c.read_hit(f(2), 60));
+        assert!(c.resident_bytes() <= 100);
+    }
+
+    #[test]
+    fn read_refreshes_recency() {
+        let mut c = PageCache::new(100);
+        c.on_write(f(1), 40);
+        c.on_write(f(2), 40);
+        assert!(c.read_hit(f(1), 40)); // f(1) now most recent
+        c.on_write(f(3), 40); // must evict f(2), not f(1)
+        assert!(c.read_hit(f(1), 40));
+        assert!(!c.read_hit(f(2), 40));
+    }
+
+    #[test]
+    fn oversized_file_never_resident() {
+        let mut c = PageCache::new(100);
+        c.on_write(f(1), 150);
+        assert!(!c.read_hit(f(1), 150));
+        assert_eq!(c.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn growing_file_accumulates() {
+        let mut c = PageCache::new(1000);
+        for _ in 0..4 {
+            c.on_write(f(9), 100);
+        }
+        assert!(c.read_hit(f(9), 400));
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let mut c = PageCache::new(0);
+        c.on_write(f(1), 10);
+        assert!(!c.read_hit(f(1), 10));
+        assert_eq!(c.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-VCPU processor-sharing CPU model.
+//!
+//! Each VM in the paper's testbed has one VCPU pinned to its own core,
+//! so there is no cross-VM CPU contention — but the (up to) two map and
+//! two reduce tasks *inside* a VM share their VCPU. Runnable work items
+//! progress at `1/n` speed when `n` items are runnable (egalitarian
+//! processor sharing, the standard fluid model of a fair CPU scheduler).
+//!
+//! Like the network, this is a state machine: `advance` to now, add
+//! work, ask for the earliest completion, collect finished items.
+
+use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Work item identifier.
+pub type WorkId = u64;
+
+/// One VCPU running processor sharing over its work items.
+pub struct Vcpu {
+    /// Remaining nanoseconds of work (at full speed) per item.
+    items: BTreeMap<WorkId, f64>,
+    last_advance: SimTime,
+    /// Total CPU-nanoseconds consumed (accounting).
+    pub consumed_ns: f64,
+}
+
+impl Default for Vcpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vcpu {
+    /// Idle VCPU.
+    pub fn new() -> Self {
+        Vcpu {
+            items: BTreeMap::new(),
+            last_advance: SimTime::ZERO,
+            consumed_ns: 0.0,
+        }
+    }
+
+    /// Number of runnable items.
+    pub fn runnable(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Progress all items to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_advance).as_nanos() as f64;
+        self.last_advance = now;
+        if dt <= 0.0 || self.items.is_empty() {
+            return;
+        }
+        let share = dt / self.items.len() as f64;
+        for left in self.items.values_mut() {
+            let used = share.min(*left);
+            *left -= used;
+            self.consumed_ns += used;
+        }
+    }
+
+    /// Add `nanos` of work under `id` (caller must have advanced to
+    /// `now` — `add` does it for safety).
+    pub fn add(&mut self, now: SimTime, id: WorkId, nanos: u64) {
+        self.advance(now);
+        assert!(nanos > 0, "zero CPU work");
+        let prev = self.items.insert(id, nanos as f64);
+        assert!(prev.is_none(), "duplicate work id {id}");
+    }
+
+    /// Earliest projected completion across items.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        let n = self.items.len() as f64;
+        self.items
+            .values()
+            .map(|&left| {
+                self.last_advance + SimDuration::from_nanos((left * n).ceil() as u64)
+            })
+            .min()
+    }
+
+    /// Pop items that have (effectively) finished by `now`.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<WorkId> {
+        self.advance(now);
+        const EPS: f64 = 0.75; // under a nanosecond of residual work
+        let done: Vec<WorkId> = self
+            .items
+            .iter()
+            .filter(|(_, &left)| left <= EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &done {
+            self.items.remove(id);
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_item_runs_at_full_speed() {
+        let mut c = Vcpu::new();
+        c.add(SimTime::ZERO, 1, 1_000_000);
+        let t = c.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_millis(1));
+        assert_eq!(c.take_completed(t), vec![1]);
+    }
+
+    #[test]
+    fn two_items_share() {
+        let mut c = Vcpu::new();
+        c.add(SimTime::ZERO, 1, 1_000_000);
+        c.add(SimTime::ZERO, 2, 1_000_000);
+        // Each runs at half speed: both finish at 2 ms.
+        let t = c.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_millis(2));
+        let done = c.take_completed(t);
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn short_item_finishes_first_then_speedup() {
+        let mut c = Vcpu::new();
+        c.add(SimTime::ZERO, 1, 1_000_000);
+        c.add(SimTime::ZERO, 2, 4_000_000);
+        let t1 = c.next_completion().unwrap();
+        assert_eq!(t1, SimTime::from_millis(2)); // item 1 at half speed
+        assert_eq!(c.take_completed(t1), vec![1]);
+        // Item 2 has 3 ms left at full speed.
+        let t2 = c.next_completion().unwrap();
+        assert_eq!(t2, SimTime::from_millis(5));
+        assert_eq!(c.take_completed(t2), vec![2]);
+    }
+
+    #[test]
+    fn late_arrival_slows_existing() {
+        let mut c = Vcpu::new();
+        c.add(SimTime::ZERO, 1, 4_000_000);
+        // At 1 ms, 3 ms of work left; a new item arrives.
+        c.add(SimTime::from_millis(1), 2, 3_000_000);
+        // Both at half speed: item 1 finishes at 1 + 6 = 7 ms.
+        let t = c.next_completion().unwrap();
+        assert_eq!(t, SimTime::from_millis(7));
+        let done = c.take_completed(t);
+        assert_eq!(done, vec![1, 2]);
+    }
+
+    #[test]
+    fn accounting_conserves_work() {
+        let mut c = Vcpu::new();
+        c.add(SimTime::ZERO, 1, 5_000_000);
+        c.add(SimTime::ZERO, 2, 2_000_000);
+        while c.runnable() > 0 {
+            let now = c.next_completion().unwrap();
+            c.take_completed(now);
+        }
+        assert!((c.consumed_ns - 7_000_000.0).abs() < 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate work id")]
+    fn duplicate_ids_rejected() {
+        let mut c = Vcpu::new();
+        c.add(SimTime::ZERO, 1, 10);
+        c.add(SimTime::ZERO, 1, 10);
+    }
+}

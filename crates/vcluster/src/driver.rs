@@ -1,0 +1,1176 @@
+//! The whole-cluster MapReduce simulation driver.
+//!
+//! Wires together `mrsim` task programs, per-node `vmstack` block
+//! stacks, the per-VM VCPU processor-sharing model and the flow-level
+//! network into one deterministic event loop, and executes a job under
+//! a [`SwitchPlan`] — the per-phase (VMM, VM) elevator-pair schedule
+//! the paper's meta-scheduler produces.
+
+use crate::cache::PageCache;
+use crate::cpu::{Vcpu, WorkId};
+use crate::files::VmFiles;
+use crate::network::{FlowId, NetParams, Network};
+use iosched::{Dir, IoRequest, RequestId, SchedPair, StreamId};
+use mrsim::{
+    map_output_file, map_plan, reduce_plan, ClusterShape, FileRef, JobEvent, JobSpec, JobTracker,
+    PhaseTimes, TaskId, TaskKind, TaskOp,
+};
+use simcore::{EventQueue, SimDuration, SimTime, Timer, TimerTicket};
+use vmstack::{NodeParams, NodeStack, StackAction, StackEvent, VmId};
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Reserved guest stream ids: the shuffle HTTP server and the DataNode
+/// replica writer are single daemons per VM, as in Hadoop.
+const STREAM_HTTP_SERVER: StreamId = 0;
+const STREAM_DATANODE: StreamId = 1;
+/// The per-VM writeback daemon (pdflush): all buffered writes reach the
+/// disk under this stream, as in Linux 2.6 where background writeback
+/// is not attributed to the writing process.
+const STREAM_PDFLUSH: StreamId = 2;
+/// Task streams start here.
+const STREAM_TASK_BASE: StreamId = 3;
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterParams {
+    /// Nodes × VMs × slots.
+    pub shape: ClusterShape,
+    /// Per-node disk stack parameters.
+    pub node: NodeParams,
+    /// Network parameters.
+    pub net: NetParams,
+    /// Readahead window (chunks) for task stream reads.
+    pub read_window: usize,
+    /// Writeback window (chunks) for task stream writes.
+    pub write_window: usize,
+    /// Per-VM page-cache budget, bytes (0 disables caching). The
+    /// paper's VMs have 1 GB of RAM; after JVM heaps roughly 384 MB is
+    /// available to the guest page cache.
+    pub page_cache_bytes: u64,
+    /// Per-VM dirty-page ceiling: a buffered write blocks while this
+    /// much data awaits writeback (Linux `vm.dirty_ratio` behaviour).
+    pub dirty_limit_bytes: u64,
+    /// How many chunks of read data may sit unprocessed (CPU-pending)
+    /// before a stream stops prefetching. HDFS DataNodes stream blocks
+    /// into socket/user buffers well ahead of the consuming map
+    /// function, so this is much larger than the readahead window.
+    pub cpu_backlog_chunks: u32,
+    /// Heartbeat lag between a map committing and reducers learning its
+    /// output is fetchable (Hadoop 0.19 TaskTracker heartbeats + event
+    /// polling). This lag is what makes the non-concurrent shuffle share
+    /// large for short (few-wave) jobs — the paper's Table II.
+    pub heartbeat: SimDuration,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            shape: ClusterShape::default(),
+            node: NodeParams::default(),
+            net: NetParams::default(),
+            read_window: 4,
+            write_window: 16,
+            page_cache_bytes: 384 * 1024 * 1024,
+            dirty_limit_bytes: 200 * 1024 * 1024,
+            cpu_backlog_chunks: 64,
+            heartbeat: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// When to install which elevator pair during a job — the output of the
+/// paper's meta-scheduler heuristic (a pair per phase, `None` = keep,
+/// i.e. the paper's "0 / no switch" entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchPlan {
+    /// Pair installed before the job starts.
+    pub initial: SchedPair,
+    /// Switch when all maps finish (Ph1 → Ph2/Ph3 boundary).
+    pub at_maps_done: Option<SchedPair>,
+    /// Switch when the shuffle finishes (Ph2 → Ph3 boundary).
+    pub at_shuffle_done: Option<SchedPair>,
+}
+
+impl SwitchPlan {
+    /// Run the whole job under one pair (the paper's baselines).
+    pub fn single(pair: SchedPair) -> Self {
+        SwitchPlan {
+            initial: pair,
+            at_maps_done: None,
+            at_shuffle_done: None,
+        }
+    }
+
+    /// Per-phase pairs; equal consecutive pairs become no-switches
+    /// (the heuristic's "assign 0" rule).
+    pub fn phased(ph1: SchedPair, ph2: Option<SchedPair>, ph3: Option<SchedPair>) -> Self {
+        let at_maps_done = ph2.filter(|&p| p != ph1);
+        let effective_ph2 = at_maps_done.unwrap_or(ph1);
+        let at_shuffle_done = ph3.filter(|&p| p != effective_ph2);
+        SwitchPlan {
+            initial: ph1,
+            at_maps_done,
+            at_shuffle_done,
+        }
+    }
+
+    /// Number of switches this plan performs.
+    pub fn switches(&self) -> u32 {
+        self.at_maps_done.is_some() as u32 + self.at_shuffle_done.is_some() as u32
+    }
+}
+
+/// A point-in-time view of cluster I/O state handed to an
+/// [`OnlinePolicy`] — the "status of the VMs' I/O (i.e. the number of
+/// requests)" the paper's future-work section proposes to switch on.
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Fraction of map tasks committed.
+    pub maps_done_fraction: f64,
+    /// Fraction of reduce tasks committed.
+    pub reduces_done_fraction: f64,
+    /// Per-node Dom0 elevator queue depth.
+    pub dom0_queue_lens: Vec<usize>,
+    /// Per-VM (global index) guest elevator queue depth.
+    pub guest_queue_lens: Vec<usize>,
+    /// The pair currently installed on node 0.
+    pub current_pair: SchedPair,
+    /// True while any node is still draining a switch.
+    pub switching: bool,
+}
+
+/// A reactive switching policy consulted periodically during the run —
+/// the paper's proposed fine-grained extension of the offline
+/// meta-scheduler.
+pub trait OnlinePolicy: Send {
+    /// Inspect the snapshot; return a pair to switch the cluster to
+    /// (returning the current pair or `None` keeps it).
+    fn decide(&mut self, snap: &ClusterSnapshot) -> Option<SchedPair>;
+}
+
+/// Result of one job execution.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Phase milestones.
+    pub phases: PhaseTimes,
+    /// Whole-job elapsed time (the paper's performance score).
+    pub makespan: SimDuration,
+    /// `(time, completed-task fraction)` after every task commit.
+    pub progress: Vec<(SimTime, f64)>,
+    /// Per-node Dom0 throughput samples (MB/s per window).
+    pub dom0_throughput: Vec<Vec<f64>>,
+    /// Per-VM (global index) throughput samples.
+    pub vm_throughput: Vec<Vec<f64>>,
+    /// Per-node physical disk statistics.
+    pub disk_stats: Vec<blkdev::DiskStats>,
+    /// Completed switches `(time, pair)`.
+    pub switch_log: Vec<(SimTime, SchedPair)>,
+    /// Total bytes moved over the network.
+    pub network_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Owner {
+    /// The current stream op of a task.
+    TaskStream(TaskId),
+    /// Shuffle fetch: source-side read.
+    FetchSrc(u64),
+    /// Shuffle fetch: destination-side write.
+    FetchDst(u64),
+    /// Replicated write: local copy.
+    RepLocal(TaskId),
+    /// Replicated write: remote copy.
+    RepRemote(TaskId),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum IoTarget {
+    /// Chunk of an [`IoStream`].
+    Stream(u64),
+    /// Background writeback chunk of a VM.
+    Writeback(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CpuOwner {
+    Stream(u64),
+    Op(TaskId),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowOwner {
+    Fetch(u64),
+    Replica(TaskId),
+}
+
+struct IoStream {
+    node: u32,
+    vm: VmId,
+    stream: StreamId,
+    base_sector: u64,
+    /// Total length in sectors.
+    sectors: u64,
+    /// Chunk size in sectors.
+    chunk_sectors: u64,
+    window: usize,
+    dir: Dir,
+    sync: bool,
+    cpu_ns_per_byte: u64,
+    issued_sectors: u64,
+    completed_sectors: u64,
+    inflight: u32,
+    cpu_out: u32,
+    owner: Owner,
+    /// File backing this stream (cache bookkeeping for writes).
+    file: Option<FileRef>,
+    /// Buffered write: chunks are admitted to the page cache / dirty
+    /// pool instead of hitting the disk synchronously.
+    buffered: bool,
+}
+
+/// Per-VM background writeback (pdflush) state.
+struct Writeback {
+    /// Dirty chunks awaiting disk writeback.
+    queue: VecDeque<(u64, u64)>,
+    inflight: u32,
+    window: u32,
+    dirty_bytes: u64,
+    limit: u64,
+    /// Buffered-write streams parked on the dirty limit.
+    parked: VecDeque<u64>,
+}
+
+impl Writeback {
+    fn new(limit: u64, window: u32) -> Self {
+        Writeback {
+            queue: VecDeque::new(),
+            inflight: 0,
+            window,
+            dirty_bytes: 0,
+            limit,
+            parked: VecDeque::new(),
+        }
+    }
+}
+
+struct Fetch {
+    reduce_idx: u32,
+    map: TaskId,
+    bytes: u64,
+}
+
+struct TaskRt {
+    kind: TaskKind,
+    gvm: u32,
+    ops: Vec<TaskOp>,
+    cur: usize,
+    /// Shuffle state (reduces only).
+    fetch_queue: VecDeque<TaskId>,
+    active_fetches: u32,
+    /// Replicated-write state.
+    rep_local_done: bool,
+    rep_remote_done: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Stack { node: u32, ev: StackEvent },
+    Net { ticket: TimerTicket },
+    Cpu { gvm: u32, ticket: TimerTicket },
+    /// Reducers learn (via heartbeat) that a map's output is fetchable.
+    MapFetchable { map: TaskId },
+    /// Periodic online-policy consultation.
+    PolicyTick,
+}
+
+/// The cluster simulator. Build one per job execution.
+pub struct ClusterSim {
+    params: ClusterParams,
+    job: JobSpec,
+    plan: SwitchPlan,
+    nodes: Vec<NodeStack>,
+    net: Network,
+    net_timer: Timer,
+    vcpus: Vec<Vcpu>,
+    cpu_timers: Vec<Timer>,
+    files: Vec<VmFiles>,
+    tracker: JobTracker,
+    tasks: BTreeMap<TaskId, TaskRt>,
+    streams: BTreeMap<u64, IoStream>,
+    next_stream: u64,
+    io_map: BTreeMap<RequestId, IoTarget>,
+    next_req: RequestId,
+    cpu_map: BTreeMap<WorkId, CpuOwner>,
+    next_work: WorkId,
+    flow_map: BTreeMap<FlowId, FlowOwner>,
+    fetches: BTreeMap<u64, Fetch>,
+    next_fetch: u64,
+    /// Bytes appended to each reducer's shuffle run so far.
+    shuffle_off: Vec<u64>,
+    caches: Vec<PageCache>,
+    writeback: Vec<Writeback>,
+    queue: EventQueue<Ev>,
+    now: SimTime,
+    progress: Vec<(SimTime, f64)>,
+    switch_log: Vec<(SimTime, SchedPair)>,
+    online: Option<(Box<dyn OnlinePolicy>, SimDuration)>,
+}
+
+impl ClusterSim {
+    /// Set up a job on a fresh cluster.
+    pub fn new(params: ClusterParams, job: JobSpec, plan: SwitchPlan) -> Self {
+        let shape = params.shape;
+        job.validate(&shape).expect("invalid job");
+        let tracker = JobTracker::new(&job, &shape);
+        let nodes: Vec<NodeStack> = (0..shape.nodes)
+            .map(|_| NodeStack::new(params.node.clone(), shape.vms_per_node, plan.initial))
+            .collect();
+        let total_vms = shape.total_vms();
+        let mut files: Vec<VmFiles> = (0..total_vms)
+            .map(|_| VmFiles::new(params.node.vm_extent_sectors))
+            .collect();
+        // Pre-existing HDFS blocks: replica 0 at the block's home VM.
+        for b in 0..job.num_blocks(&shape) {
+            let home = tracker.block_home(b);
+            files[home as usize].ensure(FileRef::HdfsBlock { block: b, replica: 0 }, job.block_bytes);
+        }
+        let num_reduces = job.num_reduces(&shape) as usize;
+        ClusterSim {
+            nodes,
+            net: Network::new(params.net.clone(), shape.nodes),
+            net_timer: Timer::new(),
+            vcpus: (0..total_vms).map(|_| Vcpu::new()).collect(),
+            cpu_timers: (0..total_vms).map(|_| Timer::new()).collect(),
+            files,
+            tracker,
+            tasks: BTreeMap::new(),
+            streams: BTreeMap::new(),
+            next_stream: 1,
+            io_map: BTreeMap::new(),
+            next_req: 1,
+            cpu_map: BTreeMap::new(),
+            next_work: 1,
+            flow_map: BTreeMap::new(),
+            fetches: BTreeMap::new(),
+            next_fetch: 1,
+            shuffle_off: vec![0; num_reduces],
+            caches: (0..total_vms)
+                .map(|_| PageCache::new(params.page_cache_bytes))
+                .collect(),
+            writeback: (0..total_vms)
+                .map(|_| {
+                    Writeback::new(params.dirty_limit_bytes, params.write_window as u32)
+                })
+                .collect(),
+            queue: EventQueue::with_capacity(1 << 16),
+            now: SimTime::ZERO,
+            progress: vec![(SimTime::ZERO, 0.0)],
+            switch_log: Vec::new(),
+            online: None,
+            params,
+            job,
+            plan,
+        }
+    }
+
+    /// Attach a reactive switching policy consulted every `period`
+    /// (the paper's future-work fine-grained control). Usually combined
+    /// with `SwitchPlan::single(initial)` so the policy owns all
+    /// switching decisions.
+    pub fn set_online_policy(&mut self, policy: Box<dyn OnlinePolicy>, period: SimDuration) {
+        assert!(!period.is_zero(), "policy period must be positive");
+        self.online = Some((policy, period));
+    }
+
+    fn snapshot(&self) -> ClusterSnapshot {
+        ClusterSnapshot {
+            now: self.now,
+            maps_done_fraction: self.tracker.maps_done_count() as f64
+                / self.tracker.num_maps() as f64,
+            reduces_done_fraction: self.tracker.reduces_done_count() as f64
+                / self.tracker.num_reduces() as f64,
+            dom0_queue_lens: self.nodes.iter().map(|n| n.dom0_queue_len()).collect(),
+            guest_queue_lens: (0..self.params.shape.total_vms())
+                .map(|g| {
+                    let (node, vm) = self.gvm_loc(g);
+                    self.nodes[node as usize].guest_queue_len(vm)
+                })
+                .collect(),
+            current_pair: self.nodes[0].pair(),
+            switching: self.nodes.iter().any(|n| n.switching()),
+        }
+    }
+
+    fn gvm_loc(&self, gvm: u32) -> (u32, VmId) {
+        (
+            gvm / self.params.shape.vms_per_node,
+            gvm % self.params.shape.vms_per_node,
+        )
+    }
+
+    /// VM hosting the remote replica of a reducer's output: the same
+    /// VM index on the next node (always off-node, like HDFS's
+    /// rack-aware second replica).
+    fn replica_gvm(&self, gvm: u32) -> u32 {
+        (gvm + self.params.shape.vms_per_node) % self.params.shape.total_vms()
+    }
+
+    // ------------------------------------------------------------------
+    // Event plumbing
+    // ------------------------------------------------------------------
+
+    fn push_stack_actions(&mut self, node: u32, actions: Vec<StackAction>) {
+        for a in actions {
+            match a {
+                StackAction::At(t, ev) => self.queue.push(t, Ev::Stack { node, ev }),
+                StackAction::IoDone { req, bytes, .. } => {
+                    // Completions can cascade synchronously; handle now.
+                    self.on_io_done(req, bytes);
+                }
+                StackAction::SwitchComplete { pair } => {
+                    self.switch_log.push((self.now, pair));
+                }
+            }
+        }
+    }
+
+    fn rearm_net(&mut self) {
+        if let Some(t) = self.net.next_completion() {
+            let ticket = self.net_timer.arm();
+            self.queue.push(t.max(self.now), Ev::Net { ticket });
+        } else {
+            self.net_timer.cancel();
+        }
+    }
+
+    fn rearm_cpu(&mut self, gvm: u32) {
+        if let Some(t) = self.vcpus[gvm as usize].next_completion() {
+            let ticket = self.cpu_timers[gvm as usize].arm();
+            self.queue.push(t.max(self.now), Ev::Cpu { gvm, ticket });
+        } else {
+            self.cpu_timers[gvm as usize].cancel();
+        }
+    }
+
+    fn add_cpu_work(&mut self, gvm: u32, owner: CpuOwner, nanos: u64) {
+        let id = self.next_work;
+        self.next_work += 1;
+        self.cpu_map.insert(id, owner);
+        self.vcpus[gvm as usize].add(self.now, id, nanos.max(1));
+        self.rearm_cpu(gvm);
+    }
+
+    fn start_flow(&mut self, owner: FlowOwner, src_node: u32, dst_node: u32, bytes: u64) {
+        let id = self.net.start_flow(self.now, src_node, dst_node, bytes.max(1));
+        self.flow_map.insert(id, owner);
+        self.rearm_net();
+    }
+
+    // ------------------------------------------------------------------
+    // IoStream machinery
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_stream(
+        &mut self,
+        owner: Owner,
+        gvm: u32,
+        stream: StreamId,
+        base_sector: u64,
+        bytes: u64,
+        dir: Dir,
+        sync: bool,
+        cpu_ns_per_byte: u64,
+        window: usize,
+        file: Option<FileRef>,
+        buffered: bool,
+    ) {
+        debug_assert!(bytes > 0, "empty stream");
+        debug_assert!(!buffered || dir == Dir::Write, "only writes buffer");
+        let (node, vm) = self.gvm_loc(gvm);
+        let key = self.next_stream;
+        self.next_stream += 1;
+        self.streams.insert(
+            key,
+            IoStream {
+                node,
+                vm,
+                stream,
+                base_sector,
+                sectors: bytes.div_ceil(512).max(1),
+                chunk_sectors: (self.job.io_chunk_bytes / 512).max(1),
+                window,
+                dir,
+                sync,
+                cpu_ns_per_byte,
+                issued_sectors: 0,
+                completed_sectors: 0,
+                inflight: 0,
+                cpu_out: 0,
+                owner,
+                file,
+                buffered,
+            },
+        );
+        self.issue_chunks(key);
+    }
+
+    fn issue_chunks(&mut self, key: u64) {
+        let backlog = self.params.cpu_backlog_chunks;
+        loop {
+            let Some(s) = self.streams.get(&key) else { return };
+            let cpu_gate = s.cpu_ns_per_byte > 0 && s.cpu_out >= backlog;
+            if s.issued_sectors >= s.sectors || cpu_gate {
+                return;
+            }
+            if s.buffered {
+                // Admission into the dirty pool instead of the disk.
+                let gvm = s.node * self.params.shape.vms_per_node + s.vm;
+                let wb = &self.writeback[gvm as usize];
+                if wb.dirty_bytes >= wb.limit {
+                    // Park until writeback frees dirty budget.
+                    let already = self.writeback[gvm as usize]
+                        .parked
+                        .contains(&key);
+                    if !already {
+                        self.writeback[gvm as usize].parked.push_back(key);
+                    }
+                    return;
+                }
+                let chunk = s.chunk_sectors.min(s.sectors - s.issued_sectors);
+                let sector = s.base_sector + s.issued_sectors;
+                let cpu = s.cpu_ns_per_byte;
+                let file = s.file;
+                {
+                    let s = self.streams.get_mut(&key).expect("live stream");
+                    s.issued_sectors += chunk;
+                    s.completed_sectors += chunk; // admitted = complete
+                    if cpu > 0 {
+                        s.cpu_out += 1;
+                    }
+                }
+                if let Some(file) = file {
+                    self.caches[gvm as usize].on_write(file, chunk * 512);
+                }
+                let wb = &mut self.writeback[gvm as usize];
+                wb.dirty_bytes += chunk * 512;
+                wb.queue.push_back((sector, chunk));
+                self.pump_writeback(gvm);
+                if cpu > 0 {
+                    self.add_cpu_work(gvm, CpuOwner::Stream(key), cpu * chunk * 512);
+                }
+                self.check_stream_done(key);
+                if self.streams.contains_key(&key) {
+                    continue;
+                }
+                return;
+            }
+            if s.inflight as usize >= s.window {
+                return;
+            }
+            let chunk = s.chunk_sectors.min(s.sectors - s.issued_sectors);
+            let req = IoRequest {
+                id: self.next_req,
+                stream: s.stream,
+                sector: s.base_sector + s.issued_sectors,
+                sectors: chunk,
+                dir: s.dir,
+                sync: s.sync,
+                submitted: self.now,
+            };
+            let node = s.node;
+            let vm = s.vm;
+            self.io_map.insert(self.next_req, IoTarget::Stream(key));
+            self.next_req += 1;
+            {
+                let s = self.streams.get_mut(&key).expect("live stream");
+                s.issued_sectors += chunk;
+                s.inflight += 1;
+            }
+            let actions = self.nodes[node as usize].submit(self.now, vm, req);
+            self.push_stack_actions(node, actions);
+        }
+    }
+
+    /// Issue queued writeback chunks of one VM to its disk stack, up to
+    /// the writeback window.
+    fn pump_writeback(&mut self, gvm: u32) {
+        let (node, vm) = self.gvm_loc(gvm);
+        loop {
+            let wb = &mut self.writeback[gvm as usize];
+            if wb.inflight >= wb.window {
+                return;
+            }
+            let Some((sector, sectors)) = wb.queue.pop_front() else { return };
+            wb.inflight += 1;
+            let req = IoRequest {
+                id: self.next_req,
+                stream: STREAM_PDFLUSH,
+                sector,
+                sectors,
+                dir: Dir::Write,
+                sync: false,
+                submitted: self.now,
+            };
+            self.io_map.insert(self.next_req, IoTarget::Writeback(gvm));
+            self.next_req += 1;
+            let actions = self.nodes[node as usize].submit(self.now, vm, req);
+            self.push_stack_actions(node, actions);
+        }
+    }
+
+    fn on_io_done(&mut self, req: RequestId, bytes: u64) {
+        let Some(target) = self.io_map.remove(&req) else {
+            panic!("completion for unknown request {req}");
+        };
+        match target {
+            IoTarget::Writeback(gvm) => {
+                let wb = &mut self.writeback[gvm as usize];
+                wb.inflight -= 1;
+                wb.dirty_bytes = wb.dirty_bytes.saturating_sub(bytes);
+                self.pump_writeback(gvm);
+                // Dirty budget freed: wake parked buffered writers.
+                while let Some(key) = self.writeback[gvm as usize].parked.pop_front() {
+                    self.issue_chunks(key);
+                    if self.writeback[gvm as usize].dirty_bytes
+                        >= self.writeback[gvm as usize].limit
+                    {
+                        break;
+                    }
+                }
+            }
+            IoTarget::Stream(key) => {
+                let gvm;
+                let cpu;
+                {
+                    let s = self.streams.get_mut(&key).expect("live stream");
+                    s.completed_sectors += bytes / 512;
+                    s.inflight -= 1;
+                    gvm = s.node * self.params.shape.vms_per_node + s.vm;
+                    cpu = s.cpu_ns_per_byte;
+                    if cpu > 0 {
+                        s.cpu_out += 1;
+                    }
+                }
+                if cpu > 0 {
+                    self.add_cpu_work(gvm, CpuOwner::Stream(key), cpu * bytes);
+                }
+                self.issue_chunks(key);
+                self.check_stream_done(key);
+            }
+        }
+    }
+
+    fn on_cpu_done(&mut self, work: WorkId) {
+        let owner = self.cpu_map.remove(&work).expect("unknown cpu work");
+        match owner {
+            CpuOwner::Stream(key) => {
+                if let Some(s) = self.streams.get_mut(&key) {
+                    s.cpu_out -= 1;
+                }
+                self.issue_chunks(key);
+                self.check_stream_done(key);
+            }
+            CpuOwner::Op(task) => {
+                self.tasks.get_mut(&task).expect("live task").cur += 1;
+                self.advance_task(task);
+            }
+        }
+    }
+
+    fn check_stream_done(&mut self, key: u64) {
+        let done = match self.streams.get(&key) {
+            Some(s) => {
+                s.completed_sectors >= s.sectors && s.cpu_out == 0 && s.issued_sectors >= s.sectors
+            }
+            None => false,
+        };
+        if !done {
+            return;
+        }
+        let s = self.streams.remove(&key).expect("live stream");
+        // Buffered writes populate the cache at admission; only direct
+        // (sync) writes do so at disk completion.
+        if s.dir == Dir::Write && !s.buffered {
+            if let Some(file) = s.file {
+                let gvm = s.node * self.params.shape.vms_per_node + s.vm;
+                self.caches[gvm as usize].on_write(file, s.sectors * 512);
+            }
+        }
+        match s.owner {
+            Owner::TaskStream(task) => {
+                self.tasks.get_mut(&task).expect("live task").cur += 1;
+                self.advance_task(task);
+            }
+            Owner::FetchSrc(fid) => {
+                let f = &self.fetches[&fid];
+                let src_node = self.tracker.block_home(f.map) / self.params.shape.vms_per_node;
+                let dst_gvm = self.tracker.reduce_home(f.reduce_idx);
+                let dst_node = dst_gvm / self.params.shape.vms_per_node;
+                let bytes = f.bytes;
+                self.start_flow(FlowOwner::Fetch(fid), src_node, dst_node, bytes);
+            }
+            Owner::FetchDst(fid) => self.on_fetch_finished(fid),
+            Owner::RepLocal(task) => {
+                let rt = self.tasks.get_mut(&task).expect("live task");
+                rt.rep_local_done = true;
+                self.maybe_finish_repwrite(task);
+            }
+            Owner::RepRemote(task) => {
+                let rt = self.tasks.get_mut(&task).expect("live task");
+                rt.rep_remote_done = true;
+                self.maybe_finish_repwrite(task);
+            }
+        }
+    }
+
+    fn maybe_finish_repwrite(&mut self, task: TaskId) {
+        let rt = self.tasks.get_mut(&task).expect("live task");
+        let need_remote = self.job.replicas > 1;
+        if rt.rep_local_done && (rt.rep_remote_done || !need_remote) {
+            rt.rep_local_done = false;
+            rt.rep_remote_done = false;
+            rt.cur += 1;
+            self.advance_task(task);
+        }
+    }
+
+    fn on_flow_done(&mut self, flow: FlowId) {
+        let owner = self.flow_map.remove(&flow).expect("unknown flow");
+        match owner {
+            FlowOwner::Fetch(fid) => {
+                let f = &self.fetches[&fid];
+                let r = f.reduce_idx;
+                let bytes = f.bytes;
+                let dst_gvm = self.tracker.reduce_home(r);
+                let reduce_task = self.tracker.reduce_task_id(r);
+                let total = self.job.shuffle_per_reduce(&self.params.shape);
+                let ext = self.files[dst_gvm as usize]
+                    .ensure(FileRef::ShuffleRun { task: reduce_task }, total.max(1));
+                let off = self.shuffle_off[r as usize];
+                self.shuffle_off[r as usize] += bytes;
+                self.start_stream(
+                    Owner::FetchDst(fid),
+                    dst_gvm,
+                    STREAM_TASK_BASE + reduce_task,
+                    ext.start + off / 512,
+                    bytes.max(1),
+                    Dir::Write,
+                    false,
+                    0,
+                    self.params.write_window,
+                    Some(FileRef::ShuffleRun { task: reduce_task }),
+                    true,
+                );
+            }
+            FlowOwner::Replica(task) => {
+                let rt = &self.tasks[&task];
+                let remote_gvm = self.replica_gvm(rt.gvm);
+                let bytes = match rt.ops[rt.cur] {
+                    TaskOp::ReplicatedWrite { bytes, .. } => bytes,
+                    _ => unreachable!("replica flow outside ReplicatedWrite"),
+                };
+                let file = FileRef::ReduceOutput { task, replica: 1 };
+                let ext = self.files[remote_gvm as usize].ensure(file, bytes);
+                self.start_stream(
+                    Owner::RepRemote(task),
+                    remote_gvm,
+                    STREAM_DATANODE,
+                    ext.start,
+                    bytes.max(1),
+                    Dir::Write,
+                    false,
+                    0,
+                    self.params.write_window,
+                    Some(file),
+                    true,
+                );
+            }
+        }
+    }
+
+    fn on_fetch_finished(&mut self, fid: u64) {
+        let f = self.fetches.remove(&fid).expect("live fetch");
+        let events = self.tracker.on_fetch_complete(f.reduce_idx, f.map, self.now);
+        let reduce_task = self.tracker.reduce_task_id(f.reduce_idx);
+        {
+            let rt = self.tasks.get_mut(&reduce_task).expect("live reduce");
+            rt.active_fetches -= 1;
+        }
+        self.try_start_fetches(f.reduce_idx);
+        // Advance the reducer past its Shuffle op when everything landed.
+        let rt = &self.tasks[&reduce_task];
+        if matches!(rt.ops.get(rt.cur), Some(TaskOp::Shuffle))
+            && rt.active_fetches == 0
+            && self.tracker.reduce_shuffle_complete(f.reduce_idx)
+        {
+            self.tasks.get_mut(&reduce_task).expect("live").cur += 1;
+            self.advance_task(reduce_task);
+        }
+        self.handle_job_events(events);
+    }
+
+    fn try_start_fetches(&mut self, r: u32) {
+        let reduce_task = self.tracker.reduce_task_id(r);
+        loop {
+            let rt = self.tasks.get_mut(&reduce_task).expect("live reduce");
+            if !matches!(rt.ops.get(rt.cur), Some(TaskOp::Shuffle)) {
+                return;
+            }
+            if rt.active_fetches >= self.job.parallel_copies {
+                return;
+            }
+            let Some(map) = rt.fetch_queue.pop_front() else { return };
+            rt.active_fetches += 1;
+            let bytes = (self.job.map_output_per_block()
+                / self.tracker.num_reduces() as u64)
+                .max(1);
+            let fid = self.next_fetch;
+            self.next_fetch += 1;
+            self.fetches.insert(
+                fid,
+                Fetch {
+                    reduce_idx: r,
+                    map,
+                    bytes,
+                },
+            );
+            // Source-side read of the map's output partition by the
+            // per-VM HTTP server daemon. A recently committed output is
+            // still in the source VM's page cache and skips the disk.
+            let src_gvm = self.tracker.block_home(map);
+            let file = map_output_file(&self.job, map);
+            if self.caches[src_gvm as usize].read_hit(file, bytes) {
+                let src_node = src_gvm / self.params.shape.vms_per_node;
+                let dst_node =
+                    self.tracker.reduce_home(r) / self.params.shape.vms_per_node;
+                self.start_flow(FlowOwner::Fetch(fid), src_node, dst_node, bytes);
+                continue;
+            }
+            let ext = self.files[src_gvm as usize]
+                .get(file)
+                .expect("map output exists after map committed");
+            // Partition offset within the output: reducer index slice.
+            let off_sectors =
+                ext.sectors * r as u64 / self.tracker.num_reduces() as u64;
+            self.start_stream(
+                Owner::FetchSrc(fid),
+                src_gvm,
+                STREAM_HTTP_SERVER,
+                ext.start + off_sectors,
+                bytes,
+                Dir::Read,
+                true,
+                0,
+                self.params.read_window,
+                None,
+                false,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task execution
+    // ------------------------------------------------------------------
+
+    fn start_task(&mut self, a: mrsim::Assignment) {
+        let ops = match a.kind {
+            TaskKind::Map => map_plan(&self.job, a.task, a.block.expect("map has a block")),
+            TaskKind::Reduce => reduce_plan(&self.job, &self.params.shape, a.task),
+        };
+        self.tasks.insert(
+            a.task,
+            TaskRt {
+                kind: a.kind,
+                gvm: a.gvm,
+                ops,
+                cur: 0,
+                fetch_queue: VecDeque::new(),
+                active_fetches: 0,
+                rep_local_done: false,
+                rep_remote_done: false,
+            },
+        );
+        // Reducers all start with the job, before any map commits, so
+        // there is nothing to pre-fill: fetch work arrives exclusively
+        // through MapFetchable heartbeat events.
+        self.advance_task(a.task);
+    }
+
+    fn advance_task(&mut self, task: TaskId) {
+        loop {
+            let rt = &self.tasks[&task];
+            let gvm = rt.gvm;
+            if rt.cur >= rt.ops.len() {
+                return self.finish_task(task);
+            }
+            match rt.ops[rt.cur].clone() {
+                TaskOp::Cpu { nanos } => {
+                    self.add_cpu_work(gvm, CpuOwner::Op(task), nanos);
+                    return;
+                }
+                TaskOp::StreamRead {
+                    file,
+                    offset,
+                    bytes,
+                    cpu_ns_per_byte,
+                } => {
+                    // Recently written data is served from the VM's page
+                    // cache: no disk I/O, just the copy + user-function
+                    // CPU time on the VCPU.
+                    if self.caches[gvm as usize].read_hit(file, offset + bytes) {
+                        let work = bytes * cpu_ns_per_byte.max(1);
+                        self.add_cpu_work(gvm, CpuOwner::Op(task), work);
+                        return;
+                    }
+                    // Reads address existing data: size the extent at
+                    // the end of this access, not just this segment.
+                    let ext = self.files[gvm as usize].ensure(file, offset + bytes);
+                    self.start_stream(
+                        Owner::TaskStream(task),
+                        gvm,
+                        STREAM_TASK_BASE + task,
+                        ext.start + offset / 512,
+                        bytes,
+                        Dir::Read,
+                        true,
+                        cpu_ns_per_byte,
+                        self.params.read_window,
+                        None,
+                        false,
+                    );
+                    return;
+                }
+                TaskOp::StreamWrite {
+                    file,
+                    offset,
+                    bytes,
+                    sync,
+                    cpu_ns_per_byte,
+                } => {
+                    let ext = self.files[gvm as usize].ensure(file, offset + bytes);
+                    self.start_stream(
+                        Owner::TaskStream(task),
+                        gvm,
+                        STREAM_TASK_BASE + task,
+                        ext.start + offset / 512,
+                        bytes,
+                        Dir::Write,
+                        sync,
+                        cpu_ns_per_byte,
+                        self.params.write_window,
+                        Some(file),
+                        !sync,
+                    );
+                    return;
+                }
+                TaskOp::Shuffle => {
+                    let r = self.tracker.reduce_index(task);
+                    self.try_start_fetches(r);
+                    let rt = &self.tasks[&task];
+                    if rt.active_fetches == 0 && self.tracker.reduce_shuffle_complete(r) {
+                        self.tasks.get_mut(&task).expect("live").cur += 1;
+                        continue;
+                    }
+                    return; // fetch completions will advance us
+                }
+                TaskOp::ReplicatedWrite { file, bytes } => {
+                    let ext = self.files[gvm as usize].ensure(file, bytes);
+                    self.start_stream(
+                        Owner::RepLocal(task),
+                        gvm,
+                        STREAM_TASK_BASE + task,
+                        ext.start,
+                        bytes,
+                        Dir::Write,
+                        false,
+                        0,
+                        self.params.write_window,
+                        Some(file),
+                        true,
+                    );
+                    if self.job.replicas > 1 {
+                        let (src_node, _) = self.gvm_loc(gvm);
+                        let remote = self.replica_gvm(gvm);
+                        let dst_node = remote / self.params.shape.vms_per_node;
+                        self.start_flow(FlowOwner::Replica(task), src_node, dst_node, bytes);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn finish_task(&mut self, task: TaskId) {
+        let kind = self.tasks[&task].kind;
+        match kind {
+            TaskKind::Map => {
+                let (next, events) = self.tracker.on_map_done(task, self.now);
+                // The committed map's output becomes fetchable after the
+                // next TaskTracker heartbeat round.
+                self.queue.push(
+                    self.now + self.params.heartbeat,
+                    Ev::MapFetchable { map: task },
+                );
+                if let Some(a) = next {
+                    self.start_task(a);
+                }
+                self.handle_job_events(events);
+            }
+            TaskKind::Reduce => {
+                let events = self.tracker.on_reduce_done(task, self.now);
+                self.handle_job_events(events);
+            }
+        }
+        let total = (self.tracker.num_maps() + self.tracker.num_reduces()) as f64;
+        let done = (self.tracker.maps_done_count() + self.tracker.reduces_done_count()) as f64;
+        self.progress.push((self.now, done / total));
+    }
+
+    fn handle_job_events(&mut self, events: Vec<JobEvent>) {
+        for ev in events {
+            match ev {
+                JobEvent::MapsAllDone => {
+                    if let Some(pair) = self.plan.at_maps_done {
+                        self.switch_all(pair);
+                    }
+                }
+                JobEvent::ShuffleAllDone => {
+                    if let Some(pair) = self.plan.at_shuffle_done {
+                        self.switch_all(pair);
+                    }
+                }
+                JobEvent::ReduceShuffleDone(_) | JobEvent::JobDone => {}
+            }
+        }
+    }
+
+    fn switch_all(&mut self, pair: SchedPair) {
+        for node in 0..self.nodes.len() as u32 {
+            let actions = self.nodes[node as usize].begin_switch(self.now, pair);
+            self.push_stack_actions(node, actions);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Borrow one node's stack (post-run inspection).
+    pub fn node(&self, i: usize) -> &NodeStack {
+        &self.nodes[i]
+    }
+
+    /// Execute the job to completion and report the outcome.
+    pub fn run(&mut self) -> JobOutcome {
+        let initial = self.tracker.initial_assignments();
+        for a in initial {
+            self.start_task(a);
+        }
+        if let Some((_, period)) = &self.online {
+            let p = *period;
+            self.queue.push(SimTime::ZERO + p, Ev::PolicyTick);
+        }
+        while !self.tracker.finished() {
+            let Some((t, ev)) = self.queue.pop() else {
+                panic!(
+                    "event queue drained before job completion (deadlock): \
+                     {} maps done, streams={}, fetches={}",
+                    self.tracker.maps_done_count(),
+                    self.streams.len(),
+                    self.fetches.len()
+                );
+            };
+            self.now = t;
+            match ev {
+                Ev::Stack { node, ev } => {
+                    let actions = self.nodes[node as usize].handle(t, ev);
+                    self.push_stack_actions(node, actions);
+                }
+                Ev::Net { ticket } => {
+                    if self.net_timer.fire(ticket) {
+                        for flow in self.net.take_completed(t) {
+                            self.on_flow_done(flow);
+                        }
+                        self.rearm_net();
+                    }
+                }
+                Ev::Cpu { gvm, ticket } => {
+                    if self.cpu_timers[gvm as usize].fire(ticket) {
+                        for work in self.vcpus[gvm as usize].take_completed(t) {
+                            self.on_cpu_done(work);
+                        }
+                        self.rearm_cpu(gvm);
+                    }
+                }
+                Ev::MapFetchable { map } => {
+                    for r in 0..self.tracker.num_reduces() {
+                        let rt_id = self.tracker.reduce_task_id(r);
+                        if let Some(rt) = self.tasks.get_mut(&rt_id) {
+                            rt.fetch_queue.push_back(map);
+                        }
+                    }
+                    for r in 0..self.tracker.num_reduces() {
+                        self.try_start_fetches(r);
+                    }
+                }
+                Ev::PolicyTick => {
+                    if self.online.is_some() {
+                        let snap = self.snapshot();
+                        let (policy, period) = self.online.as_mut().expect("checked");
+                        let period = *period;
+                        let decision = if snap.switching { None } else { policy.decide(&snap) };
+                        if let Some(pair) = decision {
+                            if pair != snap.current_pair {
+                                self.switch_all(pair);
+                            }
+                        }
+                        self.queue.push(self.now + period, Ev::PolicyTick);
+                    }
+                }
+            }
+        }
+        let end = self.tracker.t_job_done.expect("job finished");
+        for n in &mut self.nodes {
+            n.finish_meters(end);
+        }
+        let phases = PhaseTimes::new(
+            SimTime::ZERO,
+            self.tracker.t_maps_done.expect("maps done"),
+            self.tracker.t_shuffle_done.expect("shuffle done"),
+            end,
+        );
+        JobOutcome {
+            phases,
+            makespan: phases.total(),
+            progress: std::mem::take(&mut self.progress),
+            dom0_throughput: self
+                .nodes
+                .iter()
+                .map(|n| n.dom0_meter().samples().samples().to_vec())
+                .collect(),
+            vm_throughput: (0..self.params.shape.total_vms())
+                .map(|g| {
+                    let (node, vm) = self.gvm_loc(g);
+                    self.nodes[node as usize]
+                        .vm_meter(vm)
+                        .samples()
+                        .samples()
+                        .to_vec()
+                })
+                .collect(),
+            disk_stats: self.nodes.iter().map(|n| n.disk_stats().clone()).collect(),
+            switch_log: std::mem::take(&mut self.switch_log),
+            network_bytes: self.net.delivered_bytes as u64,
+        }
+    }
+}
+
+/// Convenience: run `job` under `plan` on `params`, returning the
+/// outcome.
+pub fn run_job(params: &ClusterParams, job: &JobSpec, plan: SwitchPlan) -> JobOutcome {
+    ClusterSim::new(params.clone(), job.clone(), plan).run()
+}

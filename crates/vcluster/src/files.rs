@@ -1,0 +1,113 @@
+//! Per-VM file-extent allocation.
+//!
+//! Every VM's virtual disk is a contiguous extent of the host disk
+//! (`vmstack` handles that mapping); inside the VM, logical files
+//! ([`mrsim::FileRef`]) are laid out by a simple bump allocator. Intra-
+//! file sequential access is therefore sequential on the virtual (and,
+//! within a VM's image, the physical) disk — the property all four
+//! elevators' behaviour hinges on.
+
+use mrsim::FileRef;
+use std::collections::BTreeMap;
+
+/// An allocated extent (sectors, VM-relative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First sector.
+    pub start: u64,
+    /// Length in sectors.
+    pub sectors: u64,
+}
+
+/// Bump allocator for one VM's virtual disk.
+#[derive(Debug)]
+pub struct VmFiles {
+    extents: BTreeMap<FileRef, Extent>,
+    next_sector: u64,
+    capacity_sectors: u64,
+}
+
+impl VmFiles {
+    /// Allocator over a VM extent of the given size.
+    pub fn new(capacity_sectors: u64) -> Self {
+        VmFiles {
+            extents: BTreeMap::new(),
+            next_sector: 0,
+            capacity_sectors,
+        }
+    }
+
+    /// Get the extent of `file`, allocating `bytes` (sector-rounded,
+    /// minimum one sector) on first touch. Re-touching with a different
+    /// size keeps the original allocation (files never grow beyond the
+    /// first-declared size — callers allocate at final size).
+    pub fn ensure(&mut self, file: FileRef, bytes: u64) -> Extent {
+        if let Some(&e) = self.extents.get(&file) {
+            return e;
+        }
+        let sectors = bytes.div_ceil(512).max(1);
+        assert!(
+            self.next_sector + sectors <= self.capacity_sectors,
+            "VM disk full: {} + {} > {} ({:?})",
+            self.next_sector,
+            sectors,
+            self.capacity_sectors,
+            file
+        );
+        let e = Extent {
+            start: self.next_sector,
+            sectors,
+        };
+        self.next_sector += sectors;
+        self.extents.insert(file, e);
+        e
+    }
+
+    /// Extent of an already-allocated file.
+    pub fn get(&self, file: FileRef) -> Option<Extent> {
+        self.extents.get(&file).copied()
+    }
+
+    /// Sectors allocated so far.
+    pub fn used_sectors(&self) -> u64 {
+        self.next_sector
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let mut f = VmFiles::new(1_000_000);
+        let a = f.ensure(FileRef::HdfsBlock { block: 0, replica: 0 }, 64 * 1024 * 1024);
+        let b = f.ensure(FileRef::Spill { task: 0, seq: 0 }, 1024 * 1024);
+        assert_eq!(a.start, 0);
+        assert_eq!(a.sectors, 131072);
+        assert_eq!(b.start, a.sectors);
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut f = VmFiles::new(1_000_000);
+        let a = f.ensure(FileRef::MapOutput { task: 3 }, 4096);
+        let again = f.ensure(FileRef::MapOutput { task: 3 }, 9999);
+        assert_eq!(a, again);
+        assert_eq!(f.used_sectors(), 8);
+    }
+
+    #[test]
+    fn minimum_one_sector() {
+        let mut f = VmFiles::new(100);
+        let e = f.ensure(FileRef::MergedRun { task: 1 }, 0);
+        assert_eq!(e.sectors, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "VM disk full")]
+    fn capacity_enforced() {
+        let mut f = VmFiles::new(100);
+        f.ensure(FileRef::ShuffleRun { task: 0 }, 101 * 512);
+    }
+}

@@ -1,0 +1,306 @@
+//! Flow-level network model with max-min fair bandwidth sharing.
+//!
+//! Each node has a full-duplex NIC (1 GbE in the paper's testbed).
+//! Active flows receive max-min fair rates computed by water-filling
+//! over the per-node ingress/egress capacities; same-node transfers use
+//! loopback and are only limited by the loopback rate. The model is a
+//! state machine: the driver advances it to the current time, asks for
+//! the earliest flow completion, and re-arms its timer whenever the
+//! flow set (and hence the rate allocation) changes.
+
+use serde::{Deserialize, Serialize};
+use simcore::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Flow identifier.
+pub type FlowId = u64;
+
+/// Network configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetParams {
+    /// Per-node NIC bandwidth, bytes/second, each direction
+    /// (1 GbE ≈ 119 MiB/s of goodput).
+    pub nic_bytes_per_sec: u64,
+    /// Loopback bandwidth for same-node transfers, bytes/second.
+    pub loopback_bytes_per_sec: u64,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            nic_bytes_per_sec: 119 * 1024 * 1024,
+            loopback_bytes_per_sec: 1024 * 1024 * 1024,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    src: u32,
+    dst: u32,
+    /// Remaining bytes (f64: rates divide unevenly; deterministic IEEE).
+    left: f64,
+    /// Current allocated rate, bytes/sec.
+    rate: f64,
+}
+
+/// The network state machine.
+pub struct Network {
+    params: NetParams,
+    nodes: u32,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: FlowId,
+    last_advance: SimTime,
+    /// Total bytes delivered (accounting).
+    pub delivered_bytes: f64,
+}
+
+impl Network {
+    /// Network over `nodes` nodes.
+    pub fn new(params: NetParams, nodes: u32) -> Self {
+        Network {
+            params,
+            nodes,
+            flows: BTreeMap::new(),
+            next_id: 1,
+            last_advance: SimTime::ZERO,
+            delivered_bytes: 0.0,
+        }
+    }
+
+    /// Number of active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Progress every flow to `now` at its allocated rate.
+    pub fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if dt <= 0.0 {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            let moved = (f.rate * dt).min(f.left);
+            f.left -= moved;
+            self.delivered_bytes += moved;
+        }
+    }
+
+    /// Water-filling max-min allocation over NIC ports. Loopback flows
+    /// get the fixed loopback rate and do not consume NIC capacity.
+    fn reallocate(&mut self) {
+        let n = self.nodes as usize;
+        let mut egress_cap = vec![self.params.nic_bytes_per_sec as f64; n];
+        let mut ingress_cap = vec![self.params.nic_bytes_per_sec as f64; n];
+        let mut unfrozen: Vec<FlowId> = Vec::new();
+        for (&id, f) in self.flows.iter_mut() {
+            if f.src == f.dst {
+                f.rate = self.params.loopback_bytes_per_sec as f64;
+            } else {
+                f.rate = 0.0;
+                unfrozen.push(id);
+            }
+        }
+        // Iteratively saturate the tightest port.
+        while !unfrozen.is_empty() {
+            let mut egress_cnt = vec![0u32; n];
+            let mut ingress_cnt = vec![0u32; n];
+            for id in &unfrozen {
+                let f = &self.flows[id];
+                egress_cnt[f.src as usize] += 1;
+                ingress_cnt[f.dst as usize] += 1;
+            }
+            // Fair share offered by each port; the minimum is binding.
+            let mut bottleneck = f64::INFINITY;
+            for i in 0..n {
+                if egress_cnt[i] > 0 {
+                    bottleneck = bottleneck.min(egress_cap[i] / egress_cnt[i] as f64);
+                }
+                if ingress_cnt[i] > 0 {
+                    bottleneck = bottleneck.min(ingress_cap[i] / ingress_cnt[i] as f64);
+                }
+            }
+            debug_assert!(bottleneck.is_finite());
+            // Grant the bottleneck share to every unfrozen flow; freeze
+            // flows crossing a port that is now saturated.
+            let mut still = Vec::with_capacity(unfrozen.len());
+            for id in unfrozen.drain(..) {
+                let f = self.flows.get_mut(&id).expect("live flow");
+                f.rate += bottleneck;
+                egress_cap[f.src as usize] -= bottleneck;
+                ingress_cap[f.dst as usize] -= bottleneck;
+                still.push(id);
+            }
+            // A port with (near-)zero residual capacity freezes its flows.
+            const EPS: f64 = 1e-6;
+            let frozen_ports_e: Vec<bool> = egress_cap.iter().map(|&c| c <= EPS).collect();
+            let frozen_ports_i: Vec<bool> = ingress_cap.iter().map(|&c| c <= EPS).collect();
+            unfrozen = still
+                .into_iter()
+                .filter(|id| {
+                    let f = &self.flows[id];
+                    !frozen_ports_e[f.src as usize] && !frozen_ports_i[f.dst as usize]
+                })
+                .collect();
+        }
+    }
+
+    /// Start a flow; returns its id. Caller must `advance` to `now`
+    /// first (enforced), then re-arm its completion timer.
+    pub fn start_flow(&mut self, now: SimTime, src: u32, dst: u32, bytes: u64) -> FlowId {
+        assert!(src < self.nodes && dst < self.nodes, "bad node id");
+        assert!(bytes > 0, "zero-byte flow");
+        self.advance(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                left: bytes as f64,
+                rate: 0.0,
+            },
+        );
+        self.reallocate();
+        id
+    }
+
+    /// Earliest projected completion time across active flows.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .map(|f| {
+                let secs = if f.rate > 0.0 { f.left / f.rate } else { f64::INFINITY };
+                self.last_advance + SimDuration::from_secs_f64(secs.min(1e9))
+            })
+            .min()
+    }
+
+    /// Pop every flow that has (effectively) finished by `now`.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.advance(now);
+        const EPS: f64 = 0.5; // half a byte
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.left <= EPS)
+            .map(|(&id, _)| id)
+            .collect();
+        if !done.is_empty() {
+            for id in &done {
+                self.flows.remove(id);
+            }
+            self.reallocate();
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(nodes: u32) -> Network {
+        Network::new(NetParams::default(), nodes)
+    }
+
+    #[test]
+    fn single_flow_full_rate() {
+        let mut n = net(2);
+        let bytes = 119 * 1024 * 1024; // exactly 1 second at NIC rate
+        n.start_flow(SimTime::ZERO, 0, 1, bytes);
+        let t = n.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "{}", t);
+        let done = n.take_completed(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(n.active_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_egress() {
+        let mut n = net(3);
+        let b = 119 * 1024 * 1024;
+        n.start_flow(SimTime::ZERO, 0, 1, b);
+        n.start_flow(SimTime::ZERO, 0, 2, b);
+        // Both limited by node 0 egress: each gets half rate -> 2 s.
+        let t = n.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_min_not_just_equal_split() {
+        let mut n = net(4);
+        let b = 119 * 1024 * 1024;
+        // Two flows out of node 0, plus one flow 2->3 that should get
+        // the full rate (its ports are uncontended).
+        n.start_flow(SimTime::ZERO, 0, 1, b);
+        n.start_flow(SimTime::ZERO, 0, 2, b);
+        let free = n.start_flow(SimTime::ZERO, 2, 3, b);
+        let t1 = n.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6, "uncontended flow runs at line rate");
+        let done = n.take_completed(t1);
+        assert_eq!(done, vec![free]);
+    }
+
+    #[test]
+    fn ingress_contention_counts_too() {
+        let mut n = net(3);
+        let b = 119 * 1024 * 1024;
+        n.start_flow(SimTime::ZERO, 0, 2, b);
+        n.start_flow(SimTime::ZERO, 1, 2, b);
+        let t = n.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-6, "node 2 ingress is the bottleneck");
+    }
+
+    #[test]
+    fn rates_rise_when_flows_finish() {
+        let mut n = net(2);
+        let b = 119 * 1024 * 1024;
+        n.start_flow(SimTime::ZERO, 0, 1, b / 2);
+        n.start_flow(SimTime::ZERO, 0, 1, b);
+        // First flow: half rate until it finishes at t=1s.
+        let t1 = n.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        n.take_completed(t1);
+        // Second flow had b/2 left at t1, now at full rate: +0.5 s.
+        let t2 = n.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loopback_bypasses_nic() {
+        let mut n = net(2);
+        let b = 119 * 1024 * 1024;
+        n.start_flow(SimTime::ZERO, 0, 1, b);
+        let lb = n.start_flow(SimTime::ZERO, 0, 0, 1024 * 1024 * 1024);
+        // Loopback: 1 GiB at 1 GiB/s = 1 s, concurrent with the NIC flow
+        // which also takes 1 s at full rate (loopback does not consume
+        // NIC capacity).
+        let t = n.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        let done = n.take_completed(t);
+        assert!(done.contains(&lb));
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn conservation() {
+        let mut n = net(4);
+        let mut total = 0u64;
+        for i in 0..12u64 {
+            let b = (i + 1) * 3_000_000;
+            total += b;
+            n.start_flow(SimTime::from_millis(i * 50), (i % 4) as u32, ((i + 1) % 4) as u32, b);
+        }
+        let mut guard = 0;
+        while n.active_flows() > 0 {
+            let t = n.next_completion().unwrap();
+            n.take_completed(t);
+            guard += 1;
+            assert!(guard < 100, "flows never drain");
+        }
+        assert!((n.delivered_bytes - total as f64).abs() < 16.0);
+    }
+}

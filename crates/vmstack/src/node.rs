@@ -1,0 +1,612 @@
+//! The virtualized block path of one physical node.
+//!
+//! ```text
+//!  VM task ──submit──▶ guest elevator ──ring (depth N)──▶ Dom0 elevator ──▶ disk
+//!            (stream = task id)            (blkfront/blkback)  (stream = VM id)
+//! ```
+//!
+//! Each guest runs its own elevator over its tasks' requests; dispatched
+//! guest requests enter a bounded ring (the Xen blkfront/blkback path)
+//! and become Dom0-level requests whose *stream is the VM id* — the
+//! hypervisor sees every VM as a single process, exactly the aggregation
+//! the paper describes. The Dom0 elevator feeds the physical disk, one
+//! request at a time. Guest LBAs are offset into a per-VM contiguous
+//! extent of the physical disk (file-backed VM images), so guest-
+//! sequential access is host-sequential *within* a VM but interleaving
+//! across VMs costs seeks — the mechanism behind the consolidation
+//! slowdowns of the paper's Fig. 1.
+//!
+//! The stack is a pure state machine: callers inject events and receive
+//! action lists; the event loop lives in `vcluster`.
+
+use crate::switching::{SwitchState, SwitchTiming};
+
+/// Which levels a switch touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchScope {
+    /// Dom0 and every guest (the paper's pair switch).
+    Both,
+    /// Dom0 only.
+    HostOnly,
+    /// Guests only.
+    GuestOnly,
+}
+use blkdev::{Disk, DiskParams};
+use iosched::{
+    build_elevator, Dispatch, Dir, Elevator, IoRequest, QueuedRq, RequestId, SchedPair, Tunables,
+};
+use simcore::{SimDuration, SimTime, ThroughputMeter, Timer, TimerTicket};
+use std::collections::HashMap;
+
+/// Identifier of a VM on this node.
+pub type VmId = u32;
+
+/// Events the node stack schedules for itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackEvent {
+    /// Re-poll a guest elevator (idle window or freeze expired).
+    GuestKick {
+        /// Which VM.
+        vm: VmId,
+        /// Arming ticket (stale tickets are ignored).
+        ticket: TimerTicket,
+    },
+    /// Re-poll the Dom0 elevator.
+    Dom0Kick {
+        /// Arming ticket (stale tickets are ignored).
+        ticket: TimerTicket,
+    },
+    /// The in-service physical disk request finished.
+    DiskDone,
+}
+
+/// Actions the stack asks its driver to perform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackAction {
+    /// Schedule `event` at `at`.
+    At(SimTime, StackEvent),
+    /// A guest-submitted request fully completed.
+    IoDone {
+        /// VM that submitted it.
+        vm: VmId,
+        /// The id the submitter attached.
+        req: RequestId,
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// A previously requested elevator switch fully took effect
+    /// (both Dom0 and every guest).
+    SwitchComplete {
+        /// The pair now installed.
+        pair: SchedPair,
+    },
+}
+
+/// Static configuration of a node stack.
+#[derive(Debug, Clone)]
+pub struct NodeParams {
+    /// Physical disk model parameters.
+    pub disk: DiskParams,
+    /// Elevator tunables (shared by both levels).
+    pub tunables: Tunables,
+    /// Ring depth: in-flight request slots per VM (Xen blkfront has 32
+    /// ring slots).
+    pub ring_depth: usize,
+    /// Maximum sectors per ring slot. A blkfront request carries at
+    /// most 11 4-KiB segments = 88 sectors (44 KiB); larger guest
+    /// requests are split across slots, and the Dom0 elevator re-merges
+    /// them — or not, which is precisely why noop collapses at the VMM
+    /// level.
+    pub ring_seg_sectors: u64,
+    /// Per-VM virtual disk extent, in sectors.
+    pub vm_extent_sectors: u64,
+    /// Switch timing model (drain + re-init stalls).
+    pub switch: SwitchTiming,
+    /// Throughput meter window (paper Fig. 3 uses ~1 s samples).
+    pub meter_window: SimDuration,
+}
+
+impl Default for NodeParams {
+    fn default() -> Self {
+        NodeParams {
+            disk: DiskParams::default(),
+            tunables: Tunables::default(),
+            ring_depth: 32,
+            ring_seg_sectors: 88,
+            // 40 GiB per VM image by default.
+            vm_extent_sectors: 40 * 1024 * 1024 * 2,
+            switch: SwitchTiming::default(),
+            meter_window: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// One guest's scheduling state.
+struct Guest {
+    elevator: Box<dyn Elevator>,
+    /// In-flight requests in the ring (dispatched, not yet completed).
+    in_ring: usize,
+    timer: Timer,
+    switch: SwitchState,
+    /// Physical base of this VM's extent.
+    base: u64,
+    meter: ThroughputMeter,
+}
+
+/// One ring slot: a segment of a guest request in flight to Dom0.
+struct RingSegment {
+    vm: VmId,
+    /// Key into `parents`.
+    parent: u64,
+}
+
+/// A guest request split across ring slots.
+struct RingParent {
+    grq: QueuedRq,
+    /// Segments still in flight.
+    remaining: u32,
+}
+
+/// The two-level block stack of one node.
+pub struct NodeStack {
+    params: NodeParams,
+    disk: Disk,
+    dom0: Box<dyn Elevator>,
+    dom0_timer: Timer,
+    dom0_switch: SwitchState,
+    guests: Vec<Guest>,
+    /// Dom0-level request id → ring segment.
+    ring: HashMap<RequestId, RingSegment>,
+    /// Guest requests with segments in flight.
+    parents: HashMap<u64, RingParent>,
+    next_parent: u64,
+    next_dom0_id: RequestId,
+    in_service: Option<QueuedRq>,
+    /// Guest requests submitted and not yet completed.
+    outstanding: usize,
+    pair: SchedPair,
+    /// Pending switch target (Some while any level is still draining).
+    switching_to: Option<SchedPair>,
+    dom0_meter: ThroughputMeter,
+    /// Completed-request latency, seconds (submit → IoDone).
+    pub latency: simcore::OnlineStats,
+}
+
+impl NodeStack {
+    /// Build a stack with `vm_count` guests and the given initial pair.
+    pub fn new(params: NodeParams, vm_count: u32, pair: SchedPair) -> Self {
+        assert!(vm_count > 0, "need at least one VM");
+        let needed = params.vm_extent_sectors * vm_count as u64;
+        assert!(
+            needed <= params.disk.capacity_sectors,
+            "VM extents ({needed} sectors) exceed disk capacity"
+        );
+        let guests = (0..vm_count)
+            .map(|v| Guest {
+                elevator: build_elevator(pair.guest, &params.tunables),
+                in_ring: 0,
+                timer: Timer::new(),
+                switch: SwitchState::new(),
+                base: v as u64 * params.vm_extent_sectors,
+                meter: ThroughputMeter::new(params.meter_window),
+            })
+            .collect();
+        NodeStack {
+            disk: Disk::new(params.disk.clone()),
+            dom0: build_elevator(pair.host, &params.tunables),
+            dom0_timer: Timer::new(),
+            dom0_switch: SwitchState::new(),
+            guests,
+            ring: HashMap::new(),
+            parents: HashMap::new(),
+            next_parent: 1,
+            next_dom0_id: 1,
+            in_service: None,
+            outstanding: 0,
+            pair,
+            switching_to: None,
+            dom0_meter: ThroughputMeter::new(params.meter_window),
+            latency: simcore::OnlineStats::new(),
+            params,
+        }
+    }
+
+    /// Number of VMs.
+    pub fn vm_count(&self) -> u32 {
+        self.guests.len() as u32
+    }
+
+    /// The currently installed pair (the old one while a switch drains).
+    pub fn pair(&self) -> SchedPair {
+        self.pair
+    }
+
+    /// True while a switch is still draining/stalling.
+    pub fn switching(&self) -> bool {
+        self.switching_to.is_some()
+    }
+
+    /// Guest requests submitted but not yet completed.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// True when no I/O is pending anywhere in the stack.
+    pub fn is_idle(&self) -> bool {
+        self.outstanding == 0 && self.in_service.is_none() && !self.switching()
+    }
+
+    /// Queued requests in the Dom0 elevator (for the online switcher).
+    pub fn dom0_queue_len(&self) -> usize {
+        self.dom0.queued()
+    }
+
+    /// Queued requests in one guest's elevator.
+    pub fn guest_queue_len(&self, vm: VmId) -> usize {
+        self.guests[vm as usize].elevator.queued()
+    }
+
+    /// Dom0-level throughput meter (physical disk completions).
+    pub fn dom0_meter(&self) -> &ThroughputMeter {
+        &self.dom0_meter
+    }
+
+    /// Mutable Dom0 meter (CDF extraction sorts samples).
+    pub fn dom0_meter_mut(&mut self) -> &mut ThroughputMeter {
+        &mut self.dom0_meter
+    }
+
+    /// Per-VM throughput meter (guest request completions).
+    pub fn vm_meter(&self, vm: VmId) -> &ThroughputMeter {
+        &self.guests[vm as usize].meter
+    }
+
+    /// Mutable per-VM meter.
+    pub fn vm_meter_mut(&mut self, vm: VmId) -> &mut ThroughputMeter {
+        &mut self.guests[vm as usize].meter
+    }
+
+    /// The physical disk's cumulative statistics.
+    pub fn disk_stats(&self) -> &blkdev::DiskStats {
+        self.disk.stats()
+    }
+
+    /// Borrow the Dom0 elevator (downcast via `as_any` for
+    /// scheduler-specific counters).
+    pub fn dom0_elevator(&self) -> &dyn Elevator {
+        self.dom0.as_ref()
+    }
+
+    /// Close meter windows at end of run.
+    pub fn finish_meters(&mut self, now: SimTime) {
+        self.dom0_meter.finish(now);
+        for g in &mut self.guests {
+            g.meter.finish(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Submission path
+    // ------------------------------------------------------------------
+
+    /// Submit a guest request. `req.sector` is relative to the VM's
+    /// virtual disk; `req.stream` identifies the submitting task.
+    pub fn submit(&mut self, now: SimTime, vm: VmId, req: IoRequest) -> Vec<StackAction> {
+        assert!(
+            req.sector + req.sectors <= self.params.vm_extent_sectors,
+            "guest request beyond VM extent"
+        );
+        self.outstanding += 1;
+        let mut out = Vec::new();
+        let g = &mut self.guests[vm as usize];
+        if g.switch.is_draining() {
+            g.switch.stage(req);
+        } else {
+            g.elevator.add(req, now);
+        }
+        self.pump_guest(now, vm, &mut out);
+        self.pump_dom0(now, &mut out);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Handle a previously scheduled stack event.
+    pub fn handle(&mut self, now: SimTime, ev: StackEvent) -> Vec<StackAction> {
+        let mut out = Vec::new();
+        match ev {
+            StackEvent::GuestKick { vm, ticket } => {
+                if self.guests[vm as usize].timer.fire(ticket) {
+                    self.pump_guest(now, vm, &mut out);
+                    self.pump_dom0(now, &mut out);
+                }
+            }
+            StackEvent::Dom0Kick { ticket } => {
+                if self.dom0_timer.fire(ticket) {
+                    self.pump_dom0(now, &mut out);
+                }
+            }
+            StackEvent::DiskDone => self.on_disk_done(now, &mut out),
+        }
+        out
+    }
+
+    /// Arm a guest kick at `at` unless one is already pending (at most
+    /// one live kick per timer keeps the event queue small and every
+    /// pending ticket current).
+    fn arm_guest_kick(&mut self, vm: VmId, at: SimTime, out: &mut Vec<StackAction>) {
+        let g = &mut self.guests[vm as usize];
+        if !g.timer.is_armed() {
+            let ticket = g.timer.arm();
+            out.push(StackAction::At(at, StackEvent::GuestKick { vm, ticket }));
+        }
+    }
+
+    fn arm_dom0_kick(&mut self, at: SimTime, out: &mut Vec<StackAction>) {
+        if !self.dom0_timer.is_armed() {
+            let ticket = self.dom0_timer.arm();
+            out.push(StackAction::At(at, StackEvent::Dom0Kick { ticket }));
+        }
+    }
+
+    /// Drive the guest elevator: move dispatchable requests into the
+    /// ring (and on into Dom0) while ring slots are available.
+    fn pump_guest(&mut self, now: SimTime, vm: VmId, out: &mut Vec<StackAction>) {
+        loop {
+            // Re-init stall after a guest switch.
+            if let Some(until) = self.guests[vm as usize].switch.frozen_until() {
+                if now < until {
+                    self.arm_guest_kick(vm, until, out);
+                    return;
+                }
+                let g = &mut self.guests[vm as usize];
+                let staged = g.switch.thaw();
+                for r in staged {
+                    g.elevator.add(r, now);
+                }
+                self.finish_switch_if_done(now, out);
+            }
+            if self.guests[vm as usize].in_ring >= self.params.ring_depth {
+                return;
+            }
+            match self.guests[vm as usize].elevator.dispatch(now) {
+                Dispatch::Request(grq) => {
+                    // Split across ring slots of at most ring_seg_sectors.
+                    let seg_max = self.params.ring_seg_sectors.max(1);
+                    let nsegs = grq.sectors.div_ceil(seg_max) as u32;
+                    let base = {
+                        let g = &mut self.guests[vm as usize];
+                        g.in_ring += nsegs as usize;
+                        g.base
+                    };
+                    let parent = self.next_parent;
+                    self.next_parent += 1;
+                    let start = base + grq.sector;
+                    let total = grq.sectors;
+                    let dir = grq.dir;
+                    let sync = grq.sync;
+                    self.parents.insert(
+                        parent,
+                        RingParent {
+                            grq,
+                            remaining: nsegs,
+                        },
+                    );
+                    let mut off = 0;
+                    while off < total {
+                        let len = seg_max.min(total - off);
+                        let id = self.next_dom0_id;
+                        self.next_dom0_id += 1;
+                        let dom0_req = IoRequest {
+                            id,
+                            stream: vm,
+                            sector: start + off,
+                            sectors: len,
+                            dir,
+                            sync,
+                            submitted: now,
+                        };
+                        self.ring.insert(id, RingSegment { vm, parent });
+                        if self.dom0_switch.is_draining() {
+                            self.dom0_switch.stage(dom0_req);
+                        } else {
+                            self.dom0.add(dom0_req, now);
+                        }
+                        off += len;
+                    }
+                    // Check drain progress of the guest switch.
+                    self.try_finish_guest_drain(now, vm, out);
+                }
+                Dispatch::Idle { until } => {
+                    self.arm_guest_kick(vm, until, out);
+                    return;
+                }
+                Dispatch::Empty => {
+                    self.try_finish_guest_drain(now, vm, out);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drive the Dom0 elevator onto the disk.
+    fn pump_dom0(&mut self, now: SimTime, out: &mut Vec<StackAction>) {
+        if self.in_service.is_some() {
+            return;
+        }
+        // Re-init stall after the Dom0 switch.
+        if let Some(until) = self.dom0_switch.frozen_until() {
+            if now < until {
+                self.arm_dom0_kick(until, out);
+                return;
+            }
+            let staged = self.dom0_switch.thaw();
+            for r in staged {
+                self.dom0.add(r, now);
+            }
+            self.finish_switch_if_done(now, out);
+        }
+        match self.dom0.dispatch(now) {
+            Dispatch::Request(rq) => {
+                let b = self
+                    .disk
+                    .service(now, rq.sector, rq.sectors, rq.dir == Dir::Write);
+                self.in_service = Some(rq);
+                out.push(StackAction::At(now + b.total(), StackEvent::DiskDone));
+            }
+            Dispatch::Idle { until } => {
+                self.arm_dom0_kick(until, out);
+            }
+            Dispatch::Empty => {
+                self.try_finish_dom0_drain(now, out);
+            }
+        }
+    }
+
+    /// Physical completion: fan out to rings, guests and submitters.
+    fn on_disk_done(&mut self, now: SimTime, out: &mut Vec<StackAction>) {
+        let rq = self.in_service.take().expect("DiskDone without in-service rq");
+        self.dom0_meter.record(now, rq.bytes());
+        self.dom0.completed(&rq, now);
+        for part in &rq.parts {
+            let seg = self
+                .ring
+                .remove(&part.id)
+                .expect("completed part not in ring");
+            let vm = seg.vm;
+            self.guests[vm as usize].in_ring -= 1;
+            let parent = self
+                .parents
+                .get_mut(&seg.parent)
+                .expect("segment has a parent");
+            parent.remaining -= 1;
+            if parent.remaining > 0 {
+                continue;
+            }
+            let parent = self.parents.remove(&seg.parent).expect("just seen");
+            let g = &mut self.guests[vm as usize];
+            g.meter.record(now, parent.grq.bytes());
+            g.elevator.completed(&parent.grq, now);
+            for gpart in &parent.grq.parts {
+                self.latency
+                    .record(now.saturating_since(gpart.submitted).as_secs_f64());
+                self.outstanding -= 1;
+                out.push(StackAction::IoDone {
+                    vm,
+                    req: gpart.id,
+                    bytes: gpart.bytes(),
+                });
+            }
+        }
+        // Freed ring slots: refill from every guest that was blocked.
+        for vm in 0..self.guests.len() as u32 {
+            self.pump_guest(now, vm, out);
+        }
+        self.pump_dom0(now, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Elevator hot switching
+    // ------------------------------------------------------------------
+
+    /// Begin switching to `pair` at both levels, Linux-style: each
+    /// elevator stops accepting new requests (they are staged), drains
+    /// what it holds, then swaps and stalls for its re-init time. The
+    /// observable cost — queue drain under load plus the stalls — is
+    /// what the paper's Fig. 5 measures.
+    ///
+    /// Switching while a switch is in progress replaces the target pair.
+    pub fn begin_switch(&mut self, now: SimTime, pair: SchedPair) -> Vec<StackAction> {
+        self.begin_switch_scoped(now, pair, SwitchScope::Both)
+    }
+
+    /// Switch only the Dom0 elevator, keeping the guests' (the
+    /// finer-grained control the paper's §IV-B says it is analysing).
+    pub fn begin_switch_host(&mut self, now: SimTime, host: iosched::SchedKind) -> Vec<StackAction> {
+        let pair = SchedPair::new(host, self.pair.guest);
+        self.begin_switch_scoped(now, pair, SwitchScope::HostOnly)
+    }
+
+    /// Switch only the guests' elevators, keeping Dom0's.
+    pub fn begin_switch_guests(
+        &mut self,
+        now: SimTime,
+        guest: iosched::SchedKind,
+    ) -> Vec<StackAction> {
+        let pair = SchedPair::new(self.pair.host, guest);
+        self.begin_switch_scoped(now, pair, SwitchScope::GuestOnly)
+    }
+
+    fn begin_switch_scoped(
+        &mut self,
+        now: SimTime,
+        pair: SchedPair,
+        scope: SwitchScope,
+    ) -> Vec<StackAction> {
+        let mut out = Vec::new();
+        self.switching_to = Some(pair);
+        if scope != SwitchScope::GuestOnly {
+            self.dom0_switch.begin(pair.host);
+        }
+        if scope != SwitchScope::HostOnly {
+            for vm in 0..self.guests.len() as u32 {
+                self.guests[vm as usize].switch.begin(pair.guest);
+            }
+        }
+        // Drains may finish immediately on empty elevators.
+        for vm in 0..self.guests.len() as u32 {
+            self.try_finish_guest_drain(now, vm, &mut out);
+            // pump so a frozen guest schedules its thaw kick
+            self.pump_guest(now, vm, &mut out);
+        }
+        self.try_finish_dom0_drain(now, &mut out);
+        self.pump_dom0(now, &mut out);
+        // A scoped switch on an idle level may already be complete.
+        self.finish_switch_if_done(now, &mut out);
+        out
+    }
+
+    fn try_finish_guest_drain(&mut self, now: SimTime, vm: VmId, out: &mut Vec<StackAction>) {
+        let thaw_at = now + self.params.switch.guest_reinit;
+        {
+            let g = &mut self.guests[vm as usize];
+            if !(g.switch.is_draining() && g.elevator.queued() == 0) {
+                return;
+            }
+            let kind = g.switch.target().expect("draining has a target");
+            g.elevator = build_elevator(kind, &self.params.tunables);
+            g.switch.swap_done(thaw_at);
+        }
+        self.arm_guest_kick(vm, thaw_at, out);
+    }
+
+    fn try_finish_dom0_drain(&mut self, now: SimTime, out: &mut Vec<StackAction>) {
+        if self.dom0_switch.is_draining()
+            && self.dom0.queued() == 0
+            && self.in_service.is_none()
+        {
+            let kind = self.dom0_switch.target().expect("draining has a target");
+            self.dom0 = build_elevator(kind, &self.params.tunables);
+            let thaw_at = now + self.params.switch.dom0_reinit;
+            self.dom0_switch.swap_done(thaw_at);
+            self.arm_dom0_kick(thaw_at, out);
+        }
+    }
+
+    /// If every level finished draining *and* thawed, declare the switch
+    /// complete.
+    fn finish_switch_if_done(&mut self, _now: SimTime, out: &mut Vec<StackAction>) {
+        let Some(pair) = self.switching_to else {
+            return;
+        };
+        let done = self.dom0_switch.is_settled()
+            && self.guests.iter().all(|g| g.switch.is_settled());
+        if done {
+            self.pair = pair;
+            self.switching_to = None;
+            out.push(StackAction::SwitchComplete { pair });
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the two-level stack: any mix of synthetic
+//! processes, any pair, any mid-run switch — every byte completes and
+//! the run is deterministic.
+
+use iosched::{SchedKind, SchedPair};
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use vmstack::runner::{NodeRunner, Pattern, SyntheticProc};
+use vmstack::NodeParams;
+
+const MIB: u64 = 1024 * 1024;
+
+#[derive(Debug, Clone)]
+struct GenProc {
+    vm: u32,
+    stream: u32,
+    write: bool,
+    mib: u64,
+    chunk_sectors: u64,
+    window: usize,
+    random: Option<u64>,
+    delay_ms: u64,
+}
+
+fn gen_proc(vms: u32) -> impl Strategy<Value = GenProc> {
+    (
+        0..vms,
+        0u32..3,
+        any::<bool>(),
+        1u64..24,
+        prop::sample::select(vec![64u64, 128, 256, 512]),
+        1usize..12,
+        prop::option::of(0u64..1000),
+        0u64..2000,
+    )
+        .prop_map(
+            |(vm, stream, write, mib, chunk_sectors, window, random, delay_ms)| GenProc {
+                vm,
+                stream,
+                write,
+                mib,
+                chunk_sectors,
+                window,
+                random,
+                delay_ms,
+            },
+        )
+}
+
+fn sched_kind(i: u8) -> SchedKind {
+    SchedKind::ALL[(i % 4) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any workload mix on any pair completes with exact byte
+    /// accounting, and repeating the run is bit-identical.
+    #[test]
+    fn completion_and_determinism(
+        procs in prop::collection::vec(gen_proc(3), 1..8),
+        host in 0u8..4,
+        guest in 0u8..4,
+        switch_to_host in 0u8..4,
+        switch_to_guest in 0u8..4,
+        switch_ms in prop::option::of(50u64..3000),
+    ) {
+        let pair = SchedPair::new(sched_kind(host), sched_kind(guest));
+        let target = SchedPair::new(sched_kind(switch_to_host), sched_kind(switch_to_guest));
+        let build = || {
+            let mut r = NodeRunner::new(NodeParams::default(), 3, pair);
+            for (i, g) in procs.iter().enumerate() {
+                // Distinct extents per process to stay within the image.
+                let base = (i as u64) * 4096 * MIB / 512;
+                let mut p = SyntheticProc {
+                    vm: g.vm,
+                    stream: g.stream + (i as u32) * 4,
+                    dir: if g.write { iosched::Dir::Write } else { iosched::Dir::Read },
+                    sync: !g.write,
+                    start_sector: base,
+                    total_sectors: g.mib * MIB / 512,
+                    chunk_sectors: g.chunk_sectors,
+                    window: g.window,
+                    think: SimDuration::from_micros(100),
+                    pattern: Pattern::Sequential,
+                    start_delay: SimDuration::from_millis(g.delay_ms),
+                };
+                if let Some(seed) = g.random {
+                    p.pattern = Pattern::Random { seed };
+                }
+                r.add_proc(p);
+            }
+            if let Some(ms) = switch_ms {
+                r.switch_at(SimTime::from_millis(ms), target);
+            }
+            r
+        };
+        let expected: u64 = procs.iter().map(|g| g.mib * MIB).sum();
+        let mut r1 = build();
+        let out1 = r1.run();
+        prop_assert_eq!(out1.bytes, expected);
+        prop_assert!(r1.stack().is_idle());
+        let mut r2 = build();
+        let out2 = r2.run();
+        prop_assert_eq!(out1.makespan, out2.makespan, "nondeterministic run");
+        prop_assert_eq!(out1.proc_finish, out2.proc_finish);
+    }
+}

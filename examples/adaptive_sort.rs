@@ -1,0 +1,77 @@
+//! A transparent walk-through of the meta-scheduler on sort: per-pair
+//! phase profiles (Fig. 6), every heuristic evaluation (Algorithm 1),
+//! the chosen per-phase plan and the switches the final run performed.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_sort
+//! ```
+
+use adaptive_disk_sched::metasched::{Experiment, MetaScheduler};
+use adaptive_disk_sched::mrsim::{JobSpec, WorkloadSpec};
+use adaptive_disk_sched::vcluster::ClusterParams;
+
+fn main() {
+    let job = JobSpec {
+        data_per_vm_bytes: 256 * 1024 * 1024,
+        ..JobSpec::new(WorkloadSpec::sort())
+    };
+    let exp = Experiment::new(ClusterParams::default(), job);
+    let meta = MetaScheduler::new(exp.clone());
+    let report = meta.tune();
+
+    println!("== phase profiles (one full run per pair; the paper's Fig. 6)");
+    let mut profiles = report.profiles.clone();
+    profiles.sort_by_key(|p| p.total);
+    for p in &profiles {
+        println!(
+            "  {:>14}: Ph1 {:>6.1}s  Ph2 {:>5.1}s  Ph3 {:>6.1}s  total {:>6.1}s",
+            p.pair.to_string(),
+            p.phase[0].as_secs_f64(),
+            p.phase[1].as_secs_f64(),
+            p.phase[2].as_secs_f64(),
+            p.total.as_secs_f64()
+        );
+    }
+
+    println!("\n== phase split chosen: {:?}", report.split);
+
+    println!("\n== Algorithm 1 evaluations (switch costs included)");
+    for e in &report.heuristic.evaluations {
+        let plan: Vec<String> = e.assignment.iter().map(|p| p.code()).collect();
+        println!("  {:?} -> {:.1}s", plan, e.time.as_secs_f64());
+    }
+
+    println!("\n== outcome");
+    println!(
+        "  solution (paper notation, None = 0/no-switch): {:?}",
+        report
+            .heuristic
+            .solution
+            .iter()
+            .map(|s| s.map(|p| p.code()))
+            .collect::<Vec<_>>()
+    );
+    let final_plan = report.final_assignment();
+    println!(
+        "  deployed: {:?} at {:.1}s",
+        final_plan.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+        report.final_time().as_secs_f64()
+    );
+    println!(
+        "  vs default {:.1}s ({:+.1}%), vs best single {:.1}s ({:+.1}%)",
+        report.default_time.as_secs_f64(),
+        -report.gain_vs_default_pct(),
+        report.best_single.total.as_secs_f64(),
+        -report.gain_vs_best_single_pct(),
+    );
+
+    // Show the switches actually executed by the deployed plan.
+    let out = exp.run(adaptive_disk_sched::metasched::assignment_plan(&final_plan));
+    if out.switch_log.is_empty() {
+        println!("  final run performed no mid-job switches");
+    } else {
+        for (t, pair) in &out.switch_log {
+            println!("  switch completed at {:.1}s -> {}", t.as_secs_f64(), pair);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Explore how every (VMM, VM) elevator pair performs for a chosen
+//! workload — the experiment behind the paper's Fig. 2 / Table I.
+//!
+//! ```sh
+//! cargo run --release --example pair_explorer -- sort
+//! cargo run --release --example pair_explorer -- wordcount
+//! cargo run --release --example pair_explorer -- wordcount-nc
+//! ```
+
+use adaptive_disk_sched::iosched::SchedPair;
+use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
+use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "sort".into());
+    let workload = match which.as_str() {
+        "sort" => WorkloadSpec::sort(),
+        "wordcount" | "wc" => WorkloadSpec::wordcount(),
+        "wordcount-nc" | "wc-nc" => WorkloadSpec::wordcount_no_combiner(),
+        other => {
+            eprintln!("unknown workload {other:?}; use sort | wordcount | wordcount-nc");
+            std::process::exit(2);
+        }
+    };
+    let params = ClusterParams::default();
+    let job = JobSpec {
+        data_per_vm_bytes: 256 * 1024 * 1024,
+        ..JobSpec::new(workload.clone())
+    };
+
+    println!("{} on 4 nodes x 4 VMs, {} MB per data node", workload.name, job.data_per_vm_bytes >> 20);
+    println!("{:>14} {:>9} {:>8} {:>8} {:>8}", "pair", "total(s)", "Ph1", "Ph2", "Ph3");
+    let mut results: Vec<(SchedPair, f64)> = Vec::new();
+    for pair in SchedPair::all() {
+        let out = run_job(&params, &job, SwitchPlan::single(pair));
+        println!(
+            "{:>14} {:>9.1} {:>8.1} {:>8.1} {:>8.1}",
+            pair.to_string(),
+            out.makespan.as_secs_f64(),
+            out.phases.duration(JobPhase::Ph1).as_secs_f64(),
+            out.phases.duration(JobPhase::Ph2).as_secs_f64(),
+            out.phases.duration(JobPhase::Ph3).as_secs_f64(),
+        );
+        results.push((pair, out.makespan.as_secs_f64()));
+    }
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!(
+        "\nbest: {} ({:.1}s); worst: {} ({:.1}s); default (CFQ, CFQ) ranks #{}",
+        results[0].0,
+        results[0].1,
+        results.last().unwrap().0,
+        results.last().unwrap().1,
+        results
+            .iter()
+            .position(|(p, _)| *p == SchedPair::DEFAULT)
+            .unwrap()
+            + 1
+    );
+}

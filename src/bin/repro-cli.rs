@@ -1,0 +1,260 @@
+//! Command-line driver for the reproduction.
+//!
+//! ```text
+//! repro-cli run   [--workload sort] [--pair cc] [--nodes 4] [--vms 4] [--data-mb 512]
+//! repro-cli sweep [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512]
+//! repro-cli tune  [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512] [--json]
+//! repro-cli switch-cost [--from cc] [--to ad] [--vms 4] [--mb 600]
+//! repro-cli waves [--data-mb 128,192,256,320,384,448,512]
+//! ```
+//!
+//! Pairs use the paper's two-letter codes (`c`=CFQ, `d`=deadline,
+//! `a`=anticipatory, `n`=noop; first letter = VMM/Dom0, second = VMs).
+
+use adaptive_disk_sched::iosched::SchedPair;
+use adaptive_disk_sched::metasched::{
+    measure_switch_cost, DdConfig, Experiment, MetaScheduler,
+};
+use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
+use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro-cli <run|sweep|tune|switch-cost|waves> [--key value]...\n\
+         see the module docs (src/bin/repro-cli.rs) for the full flag list"
+    );
+    exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut m = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument {a:?}");
+            usage();
+        };
+        let Some(v) = it.next() else {
+            eprintln!("flag --{key} needs a value");
+            usage();
+        };
+        m.insert(key.to_string(), v.clone());
+    }
+    m
+}
+
+fn workload(flags: &HashMap<String, String>) -> WorkloadSpec {
+    match flags.get("workload").map(String::as_str).unwrap_or("sort") {
+        "sort" => WorkloadSpec::sort(),
+        "wordcount" | "wc" => WorkloadSpec::wordcount(),
+        "wordcount-nc" | "wc-nc" => WorkloadSpec::wordcount_no_combiner(),
+        other => {
+            eprintln!("unknown workload {other:?}");
+            exit(2);
+        }
+    }
+}
+
+fn cluster(flags: &HashMap<String, String>) -> ClusterParams {
+    let mut p = ClusterParams::default();
+    if let Some(n) = flags.get("nodes") {
+        p.shape.nodes = n.parse().expect("--nodes");
+    }
+    if let Some(v) = flags.get("vms") {
+        p.shape.vms_per_node = v.parse().expect("--vms");
+    }
+    p
+}
+
+fn job(flags: &HashMap<String, String>) -> JobSpec {
+    let mut j = JobSpec::new(workload(flags));
+    if let Some(mb) = flags.get("data-mb") {
+        j.data_per_vm_bytes = mb.parse::<u64>().expect("--data-mb") * 1024 * 1024;
+    }
+    j
+}
+
+fn pair(flags: &HashMap<String, String>, key: &str, default: &str) -> SchedPair {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .unwrap_or(default)
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("--{key}: {e}");
+            exit(2);
+        })
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let params = cluster(&flags);
+    let j = job(&flags);
+    let p = pair(&flags, "pair", "cc");
+    let out = run_job(&params, &j, SwitchPlan::single(p));
+    println!(
+        "{} under {} on {}x{} VMs, {} MB/VM:",
+        j.workload.name,
+        p,
+        params.shape.nodes,
+        params.shape.vms_per_node,
+        j.data_per_vm_bytes >> 20
+    );
+    println!("  makespan {:.1}s", out.makespan.as_secs_f64());
+    for ph in JobPhase::ALL {
+        println!(
+            "  {ph}: {:.1}s",
+            out.phases.duration(ph).as_secs_f64()
+        );
+    }
+    println!(
+        "  non-concurrent shuffle: {:.1}%  network: {} MB",
+        out.phases.non_concurrent_shuffle_pct(),
+        out.network_bytes >> 20
+    );
+}
+
+fn cmd_sweep(flags: HashMap<String, String>) {
+    let params = cluster(&flags);
+    let j = job(&flags);
+    let mut results: Vec<(SchedPair, f64)> = SchedPair::all()
+        .into_iter()
+        .map(|p| {
+            let t = run_job(&params, &j, SwitchPlan::single(p)).makespan.as_secs_f64();
+            println!("{:>14}: {:>8.1}s", p.to_string(), t);
+            (p, t)
+        })
+        .collect();
+    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!(
+        "best {} ({:.1}s); default (CFQ, CFQ) {:.1}s",
+        results[0].0,
+        results[0].1,
+        results
+            .iter()
+            .find(|(p, _)| *p == SchedPair::DEFAULT)
+            .unwrap()
+            .1
+    );
+}
+
+fn cmd_tune(flags: HashMap<String, String>) {
+    let exp = Experiment::new(cluster(&flags), job(&flags));
+    let report = MetaScheduler::new(exp).tune();
+    if flags.contains_key("json") {
+        // Machine-readable one-liner for scripting.
+        let plan: Vec<String> = report.final_assignment().iter().map(|p| p.code()).collect();
+        println!(
+            "{}",
+            serde_json_line(&[
+                ("default_s", format!("{:.3}", report.default_time.as_secs_f64())),
+                (
+                    "best_single_s",
+                    format!("{:.3}", report.best_single.total.as_secs_f64())
+                ),
+                ("best_single_pair", report.best_single.pair.code()),
+                ("adaptive_s", format!("{:.3}", report.final_time().as_secs_f64())),
+                ("plan", plan.join("+")),
+                ("gain_vs_default_pct", format!("{:.2}", report.gain_vs_default_pct())),
+                (
+                    "gain_vs_best_single_pct",
+                    format!("{:.2}", report.gain_vs_best_single_pct())
+                ),
+                ("evaluations", report.heuristic.runs().to_string()),
+            ])
+        );
+        return;
+    }
+    println!("default (CFQ, CFQ): {:.1}s", report.default_time.as_secs_f64());
+    println!(
+        "best single {}: {:.1}s",
+        report.best_single.pair,
+        report.best_single.total.as_secs_f64()
+    );
+    println!(
+        "adaptive {:?}: {:.1}s ({:+.1}% vs default, {:+.1}% vs best single, {} evaluations)",
+        report
+            .final_assignment()
+            .iter()
+            .map(|p| p.code())
+            .collect::<Vec<_>>(),
+        report.final_time().as_secs_f64(),
+        report.gain_vs_default_pct(),
+        report.gain_vs_best_single_pct(),
+        report.heuristic.runs(),
+    );
+}
+
+fn serde_json_line(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| {
+            if v.parse::<f64>().is_ok() {
+                format!("\"{k}\":{v}")
+            } else {
+                format!("\"{k}\":\"{v}\"")
+            }
+        })
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn cmd_switch_cost(flags: HashMap<String, String>) {
+    let mut cfg = DdConfig::default();
+    if let Some(v) = flags.get("vms") {
+        cfg.vms = v.parse().expect("--vms");
+    }
+    if let Some(mb) = flags.get("mb") {
+        cfg.bytes_per_vm = mb.parse::<u64>().expect("--mb") * 1_000_000;
+    }
+    let from = pair(&flags, "from", "cc");
+    let to = pair(&flags, "to", "ad");
+    let c = measure_switch_cost(&cfg, from, to);
+    println!(
+        "switch {} -> {} under {} VMs x {} MB dd: cost {:.2}s (combined run {:.1}s)",
+        from,
+        to,
+        cfg.vms,
+        cfg.bytes_per_vm / 1_000_000,
+        c.cost.as_secs_f64(),
+        c.combined.as_secs_f64()
+    );
+}
+
+fn cmd_waves(flags: HashMap<String, String>) {
+    let params = cluster(&flags);
+    let list = flags
+        .get("data-mb")
+        .cloned()
+        .unwrap_or_else(|| "128,192,256,320,384,448,512".into());
+    println!("{:>8} {:>7} {:>24} {:>10}", "data/VM", "waves", "non-concurrent shuffle", "time");
+    for mb in list.split(',') {
+        let mb: u64 = mb.trim().parse().expect("--data-mb list");
+        let mut j = JobSpec::new(WorkloadSpec::sort());
+        j.data_per_vm_bytes = mb * 1024 * 1024;
+        let waves = j.waves(&params.shape);
+        let out = run_job(&params, &j, SwitchPlan::single(SchedPair::DEFAULT));
+        println!(
+            "{:>6}MB {:>7.2} {:>23.1}% {:>9.1}s",
+            mb,
+            waves,
+            out.phases.non_concurrent_shuffle_pct(),
+            out.makespan.as_secs_f64()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "run" => cmd_run(flags),
+        "sweep" => cmd_sweep(flags),
+        "tune" => cmd_tune(flags),
+        "switch-cost" => cmd_switch_cost(flags),
+        "waves" => cmd_waves(flags),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,33 @@
+//! # adaptive-disk-sched — reproduction of "Adaptive Disk I/O
+//! Scheduling for MapReduce in Virtualized Environment" (ICPP 2011)
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`simcore`] — deterministic discrete-event kernel;
+//! * [`blkdev`] — mechanical disk service model;
+//! * [`iosched`] — the four Linux 2.6 elevators (noop, deadline,
+//!   anticipatory, CFQ) and the [`iosched::SchedPair`] type;
+//! * [`vmstack`] — Xen-style two-level block path with hot elevator
+//!   switching;
+//! * [`mrsim`] — Hadoop-like job/task model with the paper's three
+//!   benchmarks;
+//! * [`vcluster`] — whole-cluster simulation (CPU sharing, flow
+//!   network, page cache, writeback) executing jobs under
+//!   [`vcluster::SwitchPlan`]s;
+//! * [`metasched`] — the paper's contribution: per-phase profiling,
+//!   switch-cost measurement and the Algorithm 1 meta-scheduler.
+//!
+//! ```no_run
+//! use adaptive_disk_sched::metasched::{Experiment, MetaScheduler};
+//!
+//! let report = MetaScheduler::new(Experiment::paper_sort()).tune();
+//! println!("adaptive beats the default pair by {:.1}%", report.gain_vs_default_pct());
+//! ```
+
+pub use blkdev;
+pub use iosched;
+pub use metasched;
+pub use mrsim;
+pub use simcore;
+pub use vcluster;
+pub use vmstack;
