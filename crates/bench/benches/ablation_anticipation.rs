@@ -5,17 +5,15 @@
 
 use iosched::{SchedKind, SchedPair};
 use mrsim::WorkloadSpec;
-use rayon::prelude::*;
 use repro_bench::{paper_cluster, paper_job, print_table};
+use simcore::par::par_map;
 use simcore::SimDuration;
 use vcluster::{run_job, SwitchPlan};
 
 fn main() {
     let job = paper_job(WorkloadSpec::sort());
     let sweep = [0u64, 2, 6, 12, 25];
-    let rows: Vec<Vec<String>> = sweep
-        .par_iter()
-        .map(|&ms| {
+    let rows: Vec<Vec<String>> = par_map(&sweep, |&ms| {
             let mut params = paper_cluster();
             params.node.tunables.anticipatory.antic_expire = SimDuration::from_millis(ms);
             let out = run_job(
@@ -24,8 +22,7 @@ fn main() {
                 SwitchPlan::single(SchedPair::new(SchedKind::Anticipatory, SchedKind::Deadline)),
             );
             vec![format!("{ms} ms"), format!("{:.1}", out.makespan.as_secs_f64())]
-        })
-        .collect();
+        });
     print_table(
         "Ablation — sort under (AS, DL) vs anticipation window",
         &["antic_expire", "sort time (s)"],

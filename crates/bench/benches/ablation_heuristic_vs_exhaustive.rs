@@ -8,8 +8,8 @@
 use iosched::SchedPair;
 use metasched::{algorithm1, assignment_plan, profile_pairs, Experiment, PhaseSplit};
 use mrsim::WorkloadSpec;
-use rayon::prelude::*;
 use repro_bench::{paper_cluster, paper_job};
+use simcore::par::par_map;
 
 fn main() {
     let exp = Experiment::new(paper_cluster(), paper_job(WorkloadSpec::sort()));
@@ -24,10 +24,8 @@ fn main() {
             plans.push([a, b]);
         }
     }
-    let exhaustive: Vec<([SchedPair; 2], f64)> = plans
-        .par_iter()
-        .map(|&pl| (pl, exp.run(assignment_plan(&pl)).makespan.as_secs_f64()))
-        .collect();
+    let exhaustive: Vec<([SchedPair; 2], f64)> =
+        par_map(&plans, |&pl| (pl, exp.run(assignment_plan(&pl)).makespan.as_secs_f64()));
     let (best_plan, best_t) = exhaustive
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())

@@ -4,16 +4,14 @@
 
 use iosched::SchedPair;
 use metasched::{measure_switch_cost, DdConfig};
-use rayon::prelude::*;
 use repro_bench::print_table;
+use simcore::par::par_map;
 use simcore::SimDuration;
 use vmstack::SwitchTiming;
 
 fn main() {
     let sweep = [(0u64, 0u64), (500, 200), (1500, 700), (4000, 2000)];
-    let rows: Vec<Vec<String>> = sweep
-        .par_iter()
-        .map(|&(dom0_ms, guest_ms)| {
+    let rows: Vec<Vec<String>> = par_map(&sweep, |&(dom0_ms, guest_ms)| {
             let mut cfg = DdConfig::default();
             cfg.node.switch = SwitchTiming {
                 dom0_reinit: SimDuration::from_millis(dom0_ms),
@@ -24,8 +22,7 @@ fn main() {
                 format!("{dom0_ms}/{guest_ms} ms"),
                 format!("{:.2}", c.cost.as_secs_f64()),
             ]
-        })
-        .collect();
+        });
     print_table(
         "Ablation — same-pair switch cost vs re-init stalls (4-VM dd)",
         &["dom0/guest re-init", "measured cost (s)"],

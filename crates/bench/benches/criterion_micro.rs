@@ -1,85 +1,82 @@
-//! Criterion micro-benchmarks of the simulator itself: elevator
-//! add/dispatch throughput, mechanical disk service computation, and a
-//! complete small MapReduce job — the costs that bound every
-//! reproduction experiment above.
+//! Micro-benchmarks of the simulator itself: elevator add/dispatch
+//! throughput, mechanical disk service computation, and a complete
+//! small MapReduce job — the costs that bound every reproduction
+//! experiment above.
+//!
+//! Runs on the in-tree `repro_bench::micro` timer harness (warmup +
+//! fixed iteration count, mean/stddev from `simcore::stats`) so the
+//! workspace needs no external benchmarking crate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use iosched::{build_elevator, Dispatch, Dir, IoRequest, SchedKind, Tunables};
 use mrsim::{JobSpec, WorkloadSpec};
+use repro_bench::micro::bench;
 use simcore::SimTime;
 use std::hint::black_box;
 use vcluster::{run_job, ClusterParams, SwitchPlan};
 
-fn bench_elevators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("elevator_add_dispatch");
-    for kind in SchedKind::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut e = build_elevator(kind, &Tunables::default());
-                let now = SimTime::ZERO;
-                for i in 0..256u64 {
-                    e.add(
-                        IoRequest {
-                            id: i + 1,
-                            stream: (i % 8) as u32,
-                            sector: (i * 7919) % 1_000_000,
-                            sectors: 64,
-                            dir: if i % 3 == 0 { Dir::Write } else { Dir::Read },
-                            sync: i % 3 != 0,
-                            submitted: now,
-                        },
-                        now,
-                    );
-                }
-                let mut t = now;
-                let mut served = 0;
-                loop {
-                    match e.dispatch(t) {
-                        Dispatch::Request(rq) => {
-                            e.completed(&rq, t);
-                            served += 1;
-                        }
-                        Dispatch::Idle { until } => t = until,
-                        Dispatch::Empty => break,
-                    }
-                }
-                black_box(served)
-            })
-        });
+fn elevator_round(kind: SchedKind) -> u64 {
+    let mut e = build_elevator(kind, &Tunables::default());
+    let now = SimTime::ZERO;
+    for i in 0..256u64 {
+        e.add(
+            IoRequest {
+                id: i + 1,
+                stream: (i % 8) as u32,
+                sector: (i * 7919) % 1_000_000,
+                sectors: 64,
+                dir: if i % 3 == 0 { Dir::Write } else { Dir::Read },
+                sync: i % 3 != 0,
+                submitted: now,
+            },
+            now,
+        );
     }
-    g.finish();
-}
-
-fn bench_disk(c: &mut Criterion) {
-    c.bench_function("disk_service_1k_requests", |b| {
-        b.iter(|| {
-            let mut d = blkdev::Disk::new(blkdev::DiskParams::default());
-            let mut now = SimTime::ZERO;
-            for i in 0..1000u64 {
-                let s = d.service(now, (i * 104_729) % 1_900_000_000, 128, i % 2 == 0);
-                now += s.total();
+    let mut t = now;
+    let mut served = 0;
+    loop {
+        match e.dispatch(t) {
+            Dispatch::Request(rq) => {
+                e.completed(&rq, t);
+                served += 1;
             }
-            black_box(now)
-        })
-    });
+            Dispatch::Idle { until } => t = until,
+            Dispatch::Empty => break,
+        }
+    }
+    served
 }
 
-fn bench_small_job(c: &mut Criterion) {
+fn main() {
+    println!("\n## Micro-benchmarks (in-tree harness)\n");
+    for kind in SchedKind::ALL {
+        bench(
+            &format!("elevator_add_dispatch/{kind}"),
+            10,
+            60,
+            || black_box(elevator_round(kind)),
+        );
+    }
+
+    bench("disk_service_1k_requests", 10, 60, || {
+        let mut d = blkdev::Disk::new(blkdev::DiskParams::default());
+        let mut now = SimTime::ZERO;
+        for i in 0..1000u64 {
+            let s = d.service(now, (i * 104_729) % 1_900_000_000, 128, i % 2 == 0);
+            now += s.total();
+        }
+        black_box(now)
+    });
+
     let mut params = ClusterParams::default();
     params.shape.nodes = 2;
     params.shape.vms_per_node = 2;
     let mut job = JobSpec::new(WorkloadSpec::sort());
     job.data_per_vm_bytes = 128 * 1024 * 1024;
-    c.bench_function("small_sort_job_end_to_end", |b| {
-        b.iter(|| {
-            black_box(run_job(
-                &params,
-                &job,
-                SwitchPlan::single(iosched::SchedPair::DEFAULT),
-            ))
-        })
+    bench("small_sort_job_end_to_end", 2, 10, || {
+        black_box(run_job(
+            &params,
+            &job,
+            SwitchPlan::single(iosched::SchedPair::DEFAULT),
+        ))
     });
 }
-
-criterion_group!(benches, bench_elevators, bench_disk, bench_small_job);
-criterion_main!(benches);

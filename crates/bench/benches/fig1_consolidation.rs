@@ -6,8 +6,8 @@
 //! regardless of consolidation, with (CFQ, CFQ) never the best choice.
 
 use iosched::SchedPair;
-use rayon::prelude::*;
 use repro_bench::{pair_label, print_table, quick, variation_pct};
+use simcore::par::par_map;
 use vmstack::runner::{NodeRunner, SyntheticProc};
 use vmstack::NodeParams;
 
@@ -27,10 +27,9 @@ fn main() {
     let pairs = SchedPair::all();
     let mut per_vm_avgs = Vec::new();
     let mut rows = Vec::new();
-    let results: Vec<Vec<f64>> = [1u32, 2, 3]
-        .par_iter()
-        .map(|&vms| pairs.par_iter().map(|&p| elapsed(p, vms, bytes)).collect())
-        .collect();
+    let results: Vec<Vec<f64>> = par_map(&[1u32, 2, 3], |&vms| {
+        par_map(&pairs, |&p| elapsed(p, vms, bytes))
+    });
     for (i, &p) in pairs.iter().enumerate() {
         rows.push(vec![
             pair_label(p),

@@ -8,24 +8,20 @@
 
 use iosched::{SchedKind, SchedPair};
 use mrsim::WorkloadSpec;
-use rayon::prelude::*;
 use repro_bench::{pair_label, paper_cluster, paper_job, print_table, variation_pct};
+use simcore::par::par_map;
 use vcluster::{run_job, SwitchPlan};
 
 fn main() {
     let pairs = SchedPair::all();
     let workloads = WorkloadSpec::paper_benchmarks();
     let params = paper_cluster();
-    let results: Vec<Vec<f64>> = workloads
-        .par_iter()
-        .map(|w| {
-            let job = paper_job(w.clone());
-            pairs
-                .par_iter()
-                .map(|&p| run_job(&params, &job, SwitchPlan::single(p)).makespan.as_secs_f64())
-                .collect()
+    let results: Vec<Vec<f64>> = par_map(&workloads, |w| {
+        let job = paper_job(w.clone());
+        par_map(&pairs, |&p| {
+            run_job(&params, &job, SwitchPlan::single(p)).makespan.as_secs_f64()
         })
-        .collect();
+    });
 
     let mut rows = Vec::new();
     for (i, &p) in pairs.iter().enumerate() {

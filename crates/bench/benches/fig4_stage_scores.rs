@@ -9,8 +9,8 @@
 
 use iosched::{SchedKind, SchedPair};
 use mrsim::WorkloadSpec;
-use rayon::prelude::*;
 use repro_bench::{paper_cluster, paper_job, print_table};
+use simcore::par::par_map;
 use vcluster::{run_job, SwitchPlan};
 
 /// Time (s) at which each progress decile was reached.
@@ -37,13 +37,10 @@ fn main() {
         SchedPair::new(SchedKind::Cfq, SchedKind::Deadline),
         SchedPair::new(SchedKind::Anticipatory, SchedKind::Anticipatory),
     ];
-    let all: Vec<(SchedPair, Vec<f64>)> = pairs
-        .par_iter()
-        .map(|&p| {
-            let out = run_job(&params, &job, SwitchPlan::single(p));
-            (p, decile_times(&out.progress))
-        })
-        .collect();
+    let all: Vec<(SchedPair, Vec<f64>)> = par_map(&pairs, |&p| {
+        let out = run_job(&params, &job, SwitchPlan::single(p));
+        (p, decile_times(&out.progress))
+    });
     let mut rows = Vec::new();
     for (p, ts) in &all {
         let mut row = vec![p.to_string()];

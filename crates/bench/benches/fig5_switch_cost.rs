@@ -9,8 +9,8 @@
 
 use iosched::SchedPair;
 use metasched::{DdConfig, SwitchCost};
-use rayon::prelude::*;
 use repro_bench::{print_table, quick};
+use simcore::par::par_map;
 use simcore::SimTime;
 
 fn main() {
@@ -20,30 +20,28 @@ fn main() {
     }
     let states = SchedPair::all();
     // Solo times once per state, then the full combined matrix.
-    let solo: Vec<_> = states.par_iter().map(|&p| cfg.time_single(p)).collect();
-    let matrix: Vec<Vec<SwitchCost>> = states
-        .par_iter()
-        .enumerate()
-        .map(|(i, &from)| {
-            states
-                .iter()
-                .enumerate()
-                .map(|(j, &to)| {
-                    let half = SimTime::ZERO + solo[i].div(2);
-                    let combined = cfg.time_with_switch(from, to, half);
-                    let base = (solo[i].as_nanos() + solo[j].as_nanos()) / 2;
-                    metasched::SwitchCost {
-                        from,
-                        to,
-                        combined,
-                        cost: simcore::SimDuration::from_nanos(
-                            combined.as_nanos().saturating_sub(base),
-                        ),
-                    }
-                })
-                .collect()
-        })
-        .collect();
+    let solo: Vec<_> = par_map(&states, |&p| cfg.time_single(p));
+    let from_idx: Vec<usize> = (0..states.len()).collect();
+    let matrix: Vec<Vec<SwitchCost>> = par_map(&from_idx, |&i| {
+        let from = states[i];
+        states
+            .iter()
+            .enumerate()
+            .map(|(j, &to)| {
+                let half = SimTime::ZERO + solo[i].div(2);
+                let combined = cfg.time_with_switch(from, to, half);
+                let base = (solo[i].as_nanos() + solo[j].as_nanos()) / 2;
+                metasched::SwitchCost {
+                    from,
+                    to,
+                    combined,
+                    cost: simcore::SimDuration::from_nanos(
+                        combined.as_nanos().saturating_sub(base),
+                    ),
+                }
+            })
+            .collect()
+    });
 
     let header: Vec<String> = std::iter::once("from\\to".to_string())
         .chain(states.iter().map(|p| p.code()))

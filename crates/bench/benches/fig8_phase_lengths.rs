@@ -7,8 +7,8 @@
 
 use iosched::SchedPair;
 use mrsim::{JobSpec, WorkloadSpec};
-use rayon::prelude::*;
 use repro_bench::{paper_cluster, paper_job, print_table};
+use simcore::par::par_map;
 use vcluster::{run_job, SwitchPlan};
 
 fn main() {
@@ -26,9 +26,7 @@ fn main() {
             },
         ));
     }
-    let rows: Vec<Vec<String>> = configs
-        .par_iter()
-        .map(|(name, job)| {
+    let rows: Vec<Vec<String>> = par_map(&configs, |(name, job)| {
             let out = run_job(&params, job, SwitchPlan::single(SchedPair::DEFAULT));
             let t = out.makespan.as_secs_f64();
             let p1 = out.phases.duration(mrsim::JobPhase::Ph1).as_secs_f64();
@@ -41,8 +39,7 @@ fn main() {
                 format!("{:.0}%", 100.0 * p2 / t),
                 format!("{:.0}%", 100.0 * p3 / t),
             ]
-        })
-        .collect();
+        });
     print_table(
         "Fig. 8 — phase shares under (CFQ, CFQ)",
         &["benchmark", "total (s)", "Ph1 (maps)", "Ph2 (shuffle tail)", "Ph3 (reduce)"],

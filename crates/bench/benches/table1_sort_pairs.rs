@@ -7,23 +7,22 @@
 
 use iosched::{SchedKind, SchedPair};
 use mrsim::WorkloadSpec;
-use rayon::prelude::*;
 use repro_bench::{gain_pct, paper_cluster, paper_job, print_table};
+use simcore::par::par_map;
 use std::collections::BTreeMap;
 use vcluster::{run_job, SwitchPlan};
 
 fn main() {
     let params = paper_cluster();
     let job = paper_job(WorkloadSpec::sort());
-    let times: BTreeMap<SchedPair, f64> = SchedPair::all()
-        .par_iter()
-        .map(|&p| {
-            (
-                p,
-                run_job(&params, &job, SwitchPlan::single(p)).makespan.as_secs_f64(),
-            )
-        })
-        .collect();
+    let times: BTreeMap<SchedPair, f64> = par_map(&SchedPair::all(), |&p| {
+        (
+            p,
+            run_job(&params, &job, SwitchPlan::single(p)).makespan.as_secs_f64(),
+        )
+    })
+    .into_iter()
+    .collect();
 
     let hosts = SchedKind::ALL;
     let mut rows = Vec::new();

@@ -5,8 +5,8 @@
 //! waves (more waves ⇒ almost all shuffle overlaps the maps).
 
 use mrsim::WorkloadSpec;
-use rayon::prelude::*;
 use repro_bench::{paper_cluster, paper_job, print_table};
+use simcore::par::par_map;
 use vcluster::{run_job, SwitchPlan};
 
 fn main() {
@@ -14,9 +14,7 @@ fn main() {
     // waves = blocks / map slots; with 32 slots and 64 MB blocks, data
     // per VM of 128 MB gives 1 wave, 256 MB gives 2, ...
     let wave_targets = [1.0f64, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0];
-    let rows: Vec<Vec<String>> = wave_targets
-        .par_iter()
-        .map(|&w| {
+    let rows: Vec<Vec<String>> = par_map(&wave_targets, |&w| {
             let mut job = paper_job(WorkloadSpec::sort());
             job.data_per_vm_bytes = (w * 2.0 * job.block_bytes as f64) as u64;
             let waves = job.waves(&params.shape);
@@ -26,8 +24,7 @@ fn main() {
                 format!("{:.1}", out.phases.non_concurrent_shuffle_pct()),
                 format!("{:.0}", out.makespan.as_secs_f64()),
             ]
-        })
-        .collect();
+        });
     print_table(
         "Table II — non-concurrent shuffle share vs map waves (sort, (CFQ, CFQ))",
         &["waves", "non-concurrent shuffle %", "job time (s)"],

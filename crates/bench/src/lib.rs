@@ -81,6 +81,77 @@ pub fn pair_label(p: SchedPair) -> String {
     p.to_string()
 }
 
+/// In-tree micro-benchmark timer harness (replaces criterion): a fixed
+/// warmup, then `iters` timed iterations, reporting mean ± stddev and
+/// min via [`simcore::stats::OnlineStats`]. Wall-clock based and
+/// intentionally simple — these are order-of-magnitude numbers bounding
+/// the reproduction experiments, not a statistics engine.
+pub mod micro {
+    use simcore::OnlineStats;
+    use std::time::Instant;
+
+    /// One benchmark's timing summary, in nanoseconds per iteration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Timing {
+        /// Mean ns/iteration.
+        pub mean_ns: f64,
+        /// Population stddev of ns/iteration.
+        pub stddev_ns: f64,
+        /// Fastest iteration, ns.
+        pub min_ns: f64,
+        /// Timed iterations.
+        pub iters: u32,
+    }
+
+    /// Run `f` for `warmup` untimed and `iters` timed iterations.
+    ///
+    /// The closure's return value is passed through
+    /// [`std::hint::black_box`] so the work is not optimized away.
+    pub fn time_fn<R>(warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> Timing {
+        assert!(iters > 0, "need at least one timed iteration");
+        for _ in 0..warmup {
+            std::hint::black_box(f());
+        }
+        let mut stats = OnlineStats::new();
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            stats.record(t0.elapsed().as_nanos() as f64);
+        }
+        Timing {
+            mean_ns: stats.mean(),
+            stddev_ns: stats.std_dev(),
+            min_ns: stats.min().unwrap_or(0.0),
+            iters,
+        }
+    }
+
+    fn fmt_ns(ns: f64) -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+
+    /// Time `f` and print a one-line `name: mean ± stddev (min ...)`.
+    pub fn bench<R>(name: &str, warmup: u32, iters: u32, f: impl FnMut() -> R) -> Timing {
+        let t = time_fn(warmup, iters, f);
+        println!(
+            "{name:<40} {:>12} ± {:<10} (min {}, {} iters)",
+            fmt_ns(t.mean_ns),
+            fmt_ns(t.stddev_ns),
+            fmt_ns(t.min_ns),
+            t.iters
+        );
+        t
+    }
+}
+
 /// Spread of a set of timings: `(max - min) / min`, percent.
 pub fn variation_pct(times: &[f64]) -> f64 {
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -7,11 +7,10 @@
 //! choice of elevator is visible in end-to-end performance.
 
 use crate::geometry::{DiskParams, Sector, SECTOR_BYTES};
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimRng, SimTime};
 
 /// Timing decomposition of one serviced request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceBreakdown {
     /// Command/controller overhead.
     pub overhead: SimDuration,
@@ -37,7 +36,7 @@ impl ServiceBreakdown {
 }
 
 /// Cumulative device statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DiskStats {
     /// Requests serviced.
     pub requests: u64,

@@ -12,7 +12,6 @@
 //! anticipate to preserve sequential streams), so reproducing it is what
 //! makes scheduler choice matter in the experiments.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimDuration;
 
 /// Bytes per logical sector (fixed, as in the Linux block layer).
@@ -22,7 +21,7 @@ pub const SECTOR_BYTES: u64 = 512;
 pub type Sector = u64;
 
 /// Static description of one disk.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiskParams {
     /// Total capacity in sectors.
     pub capacity_sectors: Sector,

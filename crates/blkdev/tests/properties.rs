@@ -1,34 +1,41 @@
-//! Property-based tests of the disk service model.
+//! Property-based tests of the disk service model (in-tree
+//! `simcore::check` harness).
 
 use blkdev::{Disk, DiskParams};
-use proptest::prelude::*;
+use simcore::check::check;
 use simcore::{SimDuration, SimTime};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Service times are strictly positive, rotational waits bounded by
-    /// one revolution, and the head always lands at the request's end.
-    #[test]
-    fn service_sanity(reqs in prop::collection::vec((0u64..1_900_000_000u64, 1u64..2048), 1..100)) {
+/// Service times are strictly positive, rotational waits bounded by
+/// one revolution, and the head always lands at the request's end.
+#[test]
+fn service_sanity() {
+    check(128, |g| {
+        let reqs = g.vec(1, 100, |g| (g.u64_in(0, 1_900_000_000), g.u64_in(1, 2048)));
         let mut d = Disk::new(DiskParams::default());
         let rev = d.params().revolution();
         let mut now = SimTime::ZERO;
         for &(lba, sectors) in &reqs {
             let b = d.service(now, lba, sectors, false);
-            prop_assert!(b.total() > SimDuration::ZERO);
-            prop_assert!(b.rotation < rev);
-            prop_assert_eq!(d.head(), lba + sectors);
+            assert!(b.total() > SimDuration::ZERO);
+            assert!(b.rotation < rev);
+            assert_eq!(d.head(), lba + sectors);
             now += b.total();
         }
-        prop_assert_eq!(d.stats().requests, reqs.len() as u64);
-        prop_assert_eq!(d.stats().bytes, reqs.iter().map(|&(_, s)| s * 512).sum::<u64>());
-    }
+        assert_eq!(d.stats().requests, reqs.len() as u64);
+        assert_eq!(
+            d.stats().bytes,
+            reqs.iter().map(|&(_, s)| s * 512).sum::<u64>()
+        );
+    });
+}
 
-    /// A sequential continuation is never slower than the same request
-    /// after repositioning.
-    #[test]
-    fn sequential_is_fastest(lba in 1_000u64..1_000_000_000u64, sectors in 8u64..1024) {
+/// A sequential continuation is never slower than the same request
+/// after repositioning.
+#[test]
+fn sequential_is_fastest() {
+    check(128, |g| {
+        let lba = g.u64_in(1_000, 1_000_000_000);
+        let sectors = g.u64_in(8, 1024);
         let params = DiskParams::default();
         // Sequential: reach lba by servicing the preceding extent first.
         let mut d1 = Disk::new(params.clone());
@@ -38,28 +45,42 @@ proptest! {
         let mut d2 = Disk::new(params);
         let far = d2.service(SimTime::ZERO, 1_900_000_000, 8, false);
         let pos = d2.service(SimTime::ZERO + far.total(), lba, sectors, false);
-        prop_assert!(seq.total() <= pos.total(),
-            "sequential {} vs positioned {}", seq.total(), pos.total());
-    }
+        assert!(
+            seq.total() <= pos.total(),
+            "sequential {} vs positioned {}",
+            seq.total(),
+            pos.total()
+        );
+    });
+}
 
-    /// Longer transfers take longer, all else equal.
-    #[test]
-    fn transfer_monotone_in_size(lba in 0u64..1_000_000_000u64, s1 in 1u64..512, extra in 1u64..512) {
+/// Longer transfers take longer, all else equal.
+#[test]
+fn transfer_monotone_in_size() {
+    check(128, |g| {
+        let lba = g.u64_in(0, 1_000_000_000);
+        let s1 = g.u64_in(1, 512);
+        let extra = g.u64_in(1, 512);
         let p = DiskParams::default();
         let t1 = p.transfer_time(lba, s1);
         let t2 = p.transfer_time(lba, s1 + extra);
-        prop_assert!(t2 > t1);
-    }
+        assert!(t2 > t1);
+    });
+}
 
-    /// Seek time is symmetric and respects the triangle-ish property of
-    /// the sqrt model (going far costs no less than going near).
-    #[test]
-    fn seek_monotone(a in 0u64..1_900_000_000u64, d1 in 0u64..500_000_000u64, d2 in 0u64..500_000_000u64) {
+/// Seek time is symmetric and respects the triangle-ish property of
+/// the sqrt model (going far costs no less than going near).
+#[test]
+fn seek_monotone() {
+    check(128, |g| {
+        let a = g.u64_in(0, 1_900_000_000);
+        let d1 = g.u64_in(0, 500_000_000);
+        let d2 = g.u64_in(0, 500_000_000);
         let p = DiskParams::default();
         let near = a.saturating_add(d1.min(d2));
         let far = a.saturating_add(d1.max(d2)).min(p.capacity_sectors - 1);
         let near = near.min(p.capacity_sectors - 1);
-        prop_assert!(p.seek_time(a, far) >= p.seek_time(a, near));
-        prop_assert_eq!(p.seek_time(a, far), p.seek_time(far, a));
-    }
+        assert!(p.seek_time(a, far) >= p.seek_time(a, near));
+        assert_eq!(p.seek_time(a, far), p.seek_time(far, a));
+    });
 }

@@ -7,7 +7,6 @@
 //! a full simulated job run, never an analytic estimate.
 
 use mrsim::{JobPhase, JobSpec, PhaseTimes};
-use serde::Serialize;
 use simcore::SimDuration;
 use vcluster::{run_job, ClusterParams, JobOutcome, SwitchPlan};
 
@@ -48,7 +47,7 @@ impl Experiment {
 
 /// Per-phase score of one pair, measured from a single-pair run
 /// (the input rows of the paper's Fig. 6).
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PhaseProfile {
     /// The pair the job ran under.
     pub pair: iosched::SchedPair,

@@ -5,22 +5,20 @@
 //! performance score of each phase with each pair schedulers"* — one
 //! run per candidate pair, phase durations extracted from the job's
 //! milestone events. Runs are independent, so they execute in parallel
-//! (rayon) when profiling all 16 pairs.
+//! (`simcore::par`, honouring `SIM_THREADS`) when profiling all 16
+//! pairs.
 
 use crate::experiment::{Experiment, PhaseProfile};
 use iosched::SchedPair;
-use rayon::prelude::*;
+use simcore::par::par_map;
 use simcore::SimDuration;
 
 /// Profile every pair in `pairs` with one full single-pair run each.
 pub fn profile_pairs(exp: &Experiment, pairs: &[SchedPair]) -> Vec<PhaseProfile> {
-    pairs
-        .par_iter()
-        .map(|&pair| {
-            let out = exp.run_single(pair);
-            PhaseProfile::from_outcome(pair, &out.phases)
-        })
-        .collect()
+    par_map(pairs, |&pair| {
+        let out = exp.run_single(pair);
+        PhaseProfile::from_outcome(pair, &out.phases)
+    })
 }
 
 /// Pairs ranked ascending by their measured duration of phase `phase`

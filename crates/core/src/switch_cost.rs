@@ -12,8 +12,7 @@
 //! consolidation.
 
 use iosched::SchedPair;
-use rayon::prelude::*;
-use serde::Serialize;
+use simcore::par::par_map;
 use simcore::{SimDuration, SimTime};
 use vmstack::runner::{NodeRunner, SyntheticProc};
 use vmstack::NodeParams;
@@ -62,7 +61,7 @@ impl DdConfig {
 }
 
 /// One cell of the switch-cost matrix.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SwitchCost {
     /// State before the switch.
     pub from: SchedPair,
@@ -95,15 +94,12 @@ pub fn measure_switch_cost(cfg: &DdConfig, from: SchedPair, to: SchedPair) -> Sw
 /// The full matrix over the given states (the paper's Fig. 5 uses all
 /// 16 pair states on both axes). Rows/columns follow `states` order.
 pub fn switch_cost_matrix(cfg: &DdConfig, states: &[SchedPair]) -> Vec<Vec<SwitchCost>> {
-    states
-        .par_iter()
-        .map(|&from| {
-            states
-                .iter()
-                .map(|&to| measure_switch_cost(cfg, from, to))
-                .collect()
-        })
-        .collect()
+    par_map(states, |&from| {
+        states
+            .iter()
+            .map(|&to| measure_switch_cost(cfg, from, to))
+            .collect()
+    })
 }
 
 #[cfg(test)]

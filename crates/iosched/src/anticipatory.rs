@@ -15,12 +15,11 @@
 use crate::elevator::{Dispatch, Elevator, SchedKind};
 use crate::pool::{add_with_merge, DeadlineFifo, DirPools};
 use crate::request::{AddOutcome, Dir, IoRequest, QueuedRq, Sector, StreamId};
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Anticipatory tunables (Linux defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AsConfig {
     /// How long to idle waiting for the anticipated stream.
     pub antic_expire: SimDuration,

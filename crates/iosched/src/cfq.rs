@@ -18,12 +18,11 @@
 use crate::elevator::{Dispatch, Elevator, SchedKind};
 use crate::pool::{add_with_merge, RqPool};
 use crate::request::{AddOutcome, IoRequest, QueuedRq, Sector, StreamId};
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 use std::collections::{HashMap, VecDeque};
 
 /// CFQ tunables (Linux defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CfqConfig {
     /// Time slice for sync (per-stream) queues.
     pub slice_sync: SimDuration,

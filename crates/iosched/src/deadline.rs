@@ -11,11 +11,10 @@
 use crate::elevator::{Dispatch, Elevator, SchedKind};
 use crate::pool::{add_with_merge, DeadlineFifo, DirPools};
 use crate::request::{AddOutcome, Dir, IoRequest, QueuedRq, Sector};
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// Deadline tunables (`/sys/block/<dev>/queue/iosched/*` defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DeadlineConfig {
     /// Read FIFO expiry.
     pub read_expire: SimDuration,

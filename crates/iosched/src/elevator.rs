@@ -1,13 +1,12 @@
 //! The elevator interface, scheduler identities, tunables and factory.
 
 use crate::request::{AddOutcome, IoRequest, QueuedRq};
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::fmt;
 use std::str::FromStr;
 
 /// The four Linux 2.6 disk schedulers studied in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SchedKind {
     /// FIFO with merging only.
     Noop,
@@ -87,7 +86,7 @@ impl FromStr for SchedKind {
 }
 
 /// A (VMM-level, VM-level) scheduler pair — the unit the paper tunes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SchedPair {
     /// Scheduler in the hypervisor (Dom0).
     pub host: SchedKind,
@@ -193,7 +192,7 @@ pub trait Elevator: Send {
 }
 
 /// Tunables for all schedulers (Linux 2.6 defaults).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tunables {
     /// Cap on merged request size, in sectors (512 KiB default, matching
     /// `max_sectors_kb`).

@@ -6,7 +6,6 @@
 //! [`QueuedRq`], which carries the original requests it satisfies in
 //! [`QueuedRq::parts`] so completions can be fanned back out.
 
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 
 /// Logical block address in 512-byte sectors (matches `blkdev`).
@@ -21,7 +20,7 @@ pub type RequestId = u64;
 pub type StreamId = u32;
 
 /// Transfer direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dir {
     /// Read from the device.
     Read,
@@ -41,7 +40,7 @@ impl Dir {
 }
 
 /// One submitted block request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IoRequest {
     /// Unique id.
     pub id: RequestId,
@@ -77,7 +76,7 @@ impl IoRequest {
 }
 
 /// A queued (possibly merged) request as dispatched to the device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueuedRq {
     /// First sector of the merged extent.
     pub sector: Sector,

@@ -1,10 +1,11 @@
 //! Property-based tests: whatever request sequence an elevator is fed,
 //! it must conserve requests (everything submitted is dispatched or
 //! drained exactly once), keep merged extents internally consistent,
-//! and make causally sane idle decisions.
+//! and make causally sane idle decisions. (In-tree `simcore::check`
+//! harness.)
 
 use iosched::{build_elevator, Dispatch, Dir, IoRequest, SchedKind, Tunables};
-use proptest::prelude::*;
+use simcore::check::{check, Gen};
 use simcore::{SimDuration, SimTime};
 use std::collections::HashSet;
 
@@ -18,23 +19,17 @@ struct GenReq {
     gap_us: u64,
 }
 
-fn gen_req() -> impl Strategy<Value = GenReq> {
-    (
-        0u32..4,
-        0u64..2_000_000,
-        1u64..512,
-        any::<bool>(),
-        any::<bool>(),
-        0u64..5_000,
-    )
-        .prop_map(|(stream, sector, sectors, write, sync, gap_us)| GenReq {
-            stream,
-            sector,
-            sectors,
-            write,
-            sync: if write { sync } else { true },
-            gap_us,
-        })
+fn gen_req(g: &mut Gen) -> GenReq {
+    let write = g.bool();
+    let sync = g.bool();
+    GenReq {
+        stream: g.u32_in(0, 4),
+        sector: g.u64_in(0, 2_000_000),
+        sectors: g.u64_in(1, 512),
+        write,
+        sync: if write { sync } else { true },
+        gap_us: g.u64_in(0, 5_000),
+    }
 }
 
 /// Feed a request sequence, interleaving dispatch/completion cycles,
@@ -116,54 +111,64 @@ fn all_kinds() -> [SchedKind; 4] {
     SchedKind::ALL
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No request is ever lost or duplicated, for any scheduler.
-    #[test]
-    fn conservation(reqs in prop::collection::vec(gen_req(), 1..120), every in 1usize..8) {
+/// No request is ever lost or duplicated, for any scheduler.
+#[test]
+fn conservation() {
+    check(64, |g| {
+        let reqs = g.vec(1, 120, gen_req);
+        let every = g.usize_in(1, 8);
         for kind in all_kinds() {
             let (dispatched, drained) = exercise(kind, &reqs, every);
             let mut seen = HashSet::new();
             for id in dispatched.iter().chain(drained.iter()) {
-                prop_assert!(seen.insert(*id), "{kind}: id {id} appeared twice");
+                assert!(seen.insert(*id), "{kind}: id {id} appeared twice");
             }
-            prop_assert_eq!(
+            assert_eq!(
                 seen.len(),
                 reqs.len(),
                 "{} lost requests: {} of {}",
-                kind, seen.len(), reqs.len()
+                kind,
+                seen.len(),
+                reqs.len()
             );
         }
-    }
+    });
+}
 
-    /// Everything an elevator dispatches lies inside what was submitted
-    /// (no invented sectors) and merged extents never mix directions.
-    #[test]
-    fn extent_sanity(reqs in prop::collection::vec(gen_req(), 1..80)) {
+/// Everything an elevator dispatches lies inside what was submitted
+/// (no invented sectors) and merged extents never mix directions.
+#[test]
+fn extent_sanity() {
+    check(64, |g| {
+        let reqs = g.vec(1, 80, gen_req);
         for kind in all_kinds() {
             let mut e = build_elevator(kind, &Tunables::default());
             let now = SimTime::ZERO;
-            for (i, g) in reqs.iter().enumerate() {
-                e.add(IoRequest {
-                    id: i as u64 + 1,
-                    stream: g.stream,
-                    sector: g.sector,
-                    sectors: g.sectors,
-                    dir: if g.write { Dir::Write } else { Dir::Read },
-                    sync: g.sync,
-                    submitted: now,
-                }, now);
+            for (i, r) in reqs.iter().enumerate() {
+                e.add(
+                    IoRequest {
+                        id: i as u64 + 1,
+                        stream: r.stream,
+                        sector: r.sector,
+                        sectors: r.sectors,
+                        dir: if r.write { Dir::Write } else { Dir::Read },
+                        sync: r.sync,
+                        submitted: now,
+                    },
+                    now,
+                );
             }
             let mut t = now;
             loop {
                 match e.dispatch(t) {
                     Dispatch::Request(rq) => {
                         rq.check_invariants();
-                        prop_assert!(rq.sectors <= Tunables::default().max_merge_sectors,
-                            "{kind}: merged beyond the cap");
+                        assert!(
+                            rq.sectors <= Tunables::default().max_merge_sectors,
+                            "{kind}: merged beyond the cap"
+                        );
                         for p in &rq.parts {
-                            prop_assert_eq!(p.dir, rq.dir);
+                            assert_eq!(p.dir, rq.dir);
                         }
                         e.completed(&rq, t);
                     }
@@ -172,30 +177,36 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// `queued()` equals the number of (merged) requests actually
-    /// retrievable via drain.
-    #[test]
-    fn queued_count_matches_drain(reqs in prop::collection::vec(gen_req(), 1..60)) {
+/// `queued()` equals the number of (merged) requests actually
+/// retrievable via drain.
+#[test]
+fn queued_count_matches_drain() {
+    check(64, |g| {
+        let reqs = g.vec(1, 60, gen_req);
         for kind in all_kinds() {
             let mut e = build_elevator(kind, &Tunables::default());
             let now = SimTime::ZERO;
-            for (i, g) in reqs.iter().enumerate() {
-                e.add(IoRequest {
-                    id: i as u64 + 1,
-                    stream: g.stream,
-                    sector: g.sector,
-                    sectors: g.sectors,
-                    dir: if g.write { Dir::Write } else { Dir::Read },
-                    sync: g.sync,
-                    submitted: now,
-                }, now);
+            for (i, r) in reqs.iter().enumerate() {
+                e.add(
+                    IoRequest {
+                        id: i as u64 + 1,
+                        stream: r.stream,
+                        sector: r.sector,
+                        sectors: r.sectors,
+                        dir: if r.write { Dir::Write } else { Dir::Read },
+                        sync: r.sync,
+                        submitted: now,
+                    },
+                    now,
+                );
             }
             let queued = e.queued();
             let drained = e.drain();
-            prop_assert_eq!(queued, drained.len(), "{}", kind);
-            prop_assert_eq!(e.queued(), 0, "{}", kind);
+            assert_eq!(queued, drained.len(), "{}", kind);
+            assert_eq!(e.queued(), 0, "{}", kind);
         }
-    }
+    });
 }

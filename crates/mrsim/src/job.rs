@@ -2,10 +2,9 @@
 //! waves — including the paper's Table II wave formula).
 
 use crate::workload::WorkloadSpec;
-use serde::{Deserialize, Serialize};
 
 /// Shape of the virtual cluster a job runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterShape {
     /// Physical nodes.
     pub nodes: u32,
@@ -47,7 +46,7 @@ impl ClusterShape {
 }
 
 /// One MapReduce job.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JobSpec {
     /// The application.
     pub workload: WorkloadSpec,

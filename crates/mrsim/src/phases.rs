@@ -10,11 +10,10 @@
 //! most, and merges Ph2 into Ph3 when Ph2 is short (many waves); the
 //! [`PhaseTimes::merged_boundary`] helper encodes that rule.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 
 /// The paper's phases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum JobPhase {
     /// Maps (and concurrent shuffle) running.
     Ph1,
@@ -40,7 +39,7 @@ impl std::fmt::Display for JobPhase {
 }
 
 /// Milestone timestamps of one executed job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseTimes {
     /// Job submission.
     pub start: SimTime,

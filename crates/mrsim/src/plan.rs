@@ -10,14 +10,13 @@
 //! sequential writes in Ph3).
 
 use crate::job::{ClusterShape, JobSpec};
-use serde::{Deserialize, Serialize};
 
 /// Global task identifier: maps are `0..num_maps`, reduces follow.
 pub type TaskId = u32;
 
 /// A logical file a task reads or writes. The cluster simulator lazily
 /// maps these onto per-VM disk extents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FileRef {
     /// Replica `replica` of HDFS block `block`.
     HdfsBlock {
@@ -59,7 +58,7 @@ pub enum FileRef {
 }
 
 /// One step of a task program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TaskOp {
     /// Windowed sequential read with per-byte CPU folded in (models
     /// readahead overlapping the user function).

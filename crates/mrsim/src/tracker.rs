@@ -10,12 +10,11 @@
 
 use crate::job::{ClusterShape, JobSpec};
 use crate::plan::TaskId;
-use serde::{Deserialize, Serialize};
 use simcore::SimTime;
 use std::collections::VecDeque;
 
 /// Task flavour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskKind {
     /// Map task.
     Map,
@@ -24,7 +23,7 @@ pub enum TaskKind {
 }
 
 /// A task assignment to a slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Assignment {
     /// The task.
     pub task: TaskId,
@@ -37,7 +36,7 @@ pub struct Assignment {
 }
 
 /// Progress milestones the tracker emits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobEvent {
     /// Every map task has committed (end of the paper's Ph1).
     MapsAllDone,

@@ -7,10 +7,9 @@
 //! captures exactly the knobs that drive that classification plus the
 //! CPU cost of the user functions.
 
-use serde::{Deserialize, Serialize};
 
 /// Disk-operation intensity class (paper §III-A1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DiskClass {
     /// Map and reduce outputs are both comparable to the input (sort).
     Heavy,
@@ -21,7 +20,7 @@ pub enum DiskClass {
 }
 
 /// Per-application parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec {
     /// Human-readable name (used in reports).
     pub name: String,

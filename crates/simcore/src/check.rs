@@ -1,0 +1,153 @@
+//! Tiny in-tree property-testing harness.
+//!
+//! Replaces the former proptest dev-dependency. A property is a closure
+//! over a [`Gen`] (a seeded value source built on [`crate::SimRng`]);
+//! [`check`] runs it for a fixed number of cases, each on an
+//! independent, deterministically derived stream. On failure the case
+//! number and seed are printed so the exact case can be re-run with
+//! [`check_case`]. There is no shrinking — cases are small by
+//! construction and fully reproducible.
+
+use crate::rng::SimRng;
+
+/// Master seed all property cases derive from. Fixed so failures are
+/// stable across runs and machines.
+const MASTER_SEED: u64 = 0x5eed_cafe_f00d_d00d;
+
+/// A source of random test values for one property case.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// Generator over an explicit seed (see [`check_case`]).
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen {
+            rng: SimRng::from_seed(seed),
+        }
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.range_u64(lo, hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.rng.unit()
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u32() & 1 == 1
+    }
+
+    /// `Some(f(self))` with probability 1/2, else `None`.
+    pub fn option<T>(&mut self, mut f: impl FnMut(&mut Gen) -> T) -> Option<T> {
+        if self.bool() {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// Uniformly pick one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.rng.index(xs.len())]
+    }
+
+    /// Vector with a length drawn from `[len_lo, len_hi)`, elements
+    /// from `f`.
+    pub fn vec<T>(
+        &mut self,
+        len_lo: usize,
+        len_hi: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len_lo, len_hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Seed of property case `case` (0-based).
+fn case_seed(case: u32) -> u64 {
+    MASTER_SEED.wrapping_add((case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Run `property` for `cases` independent cases. Assertion panics
+/// inside the property fail the test; the failing case number and seed
+/// are reported first.
+pub fn check(cases: u32, property: impl Fn(&mut Gen) + std::panic::RefUnwindSafe) {
+    for case in 0..cases {
+        let seed = case_seed(case);
+        let outcome = std::panic::catch_unwind(|| {
+            let mut g = Gen::from_seed(seed);
+            property(&mut g);
+        });
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property failed at case {case}/{cases} (seed {seed:#018x}); \
+                 re-run it alone with check_case({seed:#018x}, ...)"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Re-run a single property case by seed (for debugging a failure
+/// reported by [`check`]).
+pub fn check_case(seed: u64, property: impl Fn(&mut Gen)) {
+    let mut g = Gen::from_seed(seed);
+    property(&mut g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        for case in 0..5 {
+            let mut g1 = Gen::from_seed(case_seed(case));
+            let mut g2 = Gen::from_seed(case_seed(case));
+            for _ in 0..32 {
+                assert_eq!(g1.u64_in(0, 1000), g2.u64_in(0, 1000));
+            }
+        }
+    }
+
+    #[test]
+    fn generators_respect_bounds() {
+        check(64, |g| {
+            let x = g.u64_in(10, 20);
+            assert!((10..20).contains(&x));
+            let f = g.f64_in(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let v = g.vec(1, 5, |g| g.bool());
+            assert!((1..5).contains(&v.len()));
+            let picked = *g.pick(&[1, 2, 3]);
+            assert!((1..=3).contains(&picked));
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn failures_propagate() {
+        check(8, |g| {
+            assert!(g.u64_in(0, 100) < 101, "always true");
+            assert!(g.u64_in(0, 100) > 200, "always false");
+        });
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal JSON writer for experiment dumps.
+//!
+//! Replaces the former serde/serde_json dependency. Only writing is
+//! supported (the repository never parses JSON): objects, arrays,
+//! strings with full RFC 8259 escaping, integers, floats, booleans and
+//! null. Floats use Rust's shortest round-trip formatting; non-finite
+//! floats serialize as `null` (JSON has no NaN/Infinity).
+
+use std::fmt::Write as _;
+
+/// A JSON value tree, built with the [`From`] conversions and
+/// [`Json::obj`] / [`Json::arr`], then serialized with
+/// [`Json::to_string`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer number (serialized without a decimal point).
+    Int(i64),
+    /// Floating-point number.
+    Num(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array of values.
+    Arr(Vec<Json>),
+    /// Object: insertion-ordered key/value pairs (deterministic dumps).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Array from anything convertible to values.
+    pub fn arr<T: Into<Json>, I: IntoIterator<Item = T>>(items: I) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Add a field to an object (panics on non-objects); consumes and
+    /// returns `self` so fields chain.
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serialize into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize to a fresh string.
+    #[allow(clippy::inherent_to_string)]
+    pub fn to_string(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s);
+        s
+    }
+}
+
+/// Write `s` as a quoted, escaped JSON string.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u64> for Json {
+    fn from(i: u64) -> Json {
+        // Dumps never exceed i64 range in practice; saturate defensively.
+        Json::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<u32> for Json {
+    fn from(i: u32) -> Json {
+        Json::Int(i as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(i: usize) -> Json {
+        Json::Int(i64::try_from(i).unwrap_or(i64::MAX))
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(xs: Vec<T>) -> Json {
+        Json::arr(xs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::from(true).to_string(), "true");
+        assert_eq!(Json::from(-3i64).to_string(), "-3");
+        assert_eq!(Json::from(2.5).to_string(), "2.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            Json::from("a\"b\\c\nd\te\u{01}").to_string(),
+            r##""a\"b\\c\nd\te\u0001""##
+        );
+        assert_eq!(Json::from("héllo ☃").to_string(), "\"héllo ☃\"");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let j = Json::obj()
+            .field("name", "sort")
+            .field("times", vec![1.5, 2.0])
+            .field("meta", Json::obj().field("vms", 4u32).field("ok", true));
+        assert_eq!(
+            j.to_string(),
+            r#"{"name":"sort","times":[1.5,2],"meta":{"vms":4,"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let j = Json::obj().field("z", 1i64).field("a", 2i64);
+        assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+}

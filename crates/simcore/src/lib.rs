@@ -5,24 +5,35 @@
 //! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time;
 //! * [`EventQueue`] — time-ordered, FIFO-tie-broken event heap with
 //!   causality checking, plus epoch-based cancellable [`Timer`]s;
-//! * [`SimRng`] — seeded, label-splittable random streams so whole
-//!   cluster runs are reproducible bit-for-bit;
+//! * [`SimRng`] — seeded, label-splittable random streams (an in-tree
+//!   RFC 7539 ChaCha20 keystream) so whole cluster runs are
+//!   reproducible bit-for-bit;
 //! * [`stats`] — streaming moments, sample sets with quantile/CDF
 //!   extraction, Jain fairness, and the windowed [`ThroughputMeter`]
-//!   used to reproduce the paper's Fig. 3.
+//!   used to reproduce the paper's Fig. 3;
+//! * [`par`] — deterministic scoped-thread `par_map` for experiment
+//!   sweeps (`SIM_THREADS` overrides the worker count);
+//! * [`json`] — minimal JSON writer for experiment dumps;
+//! * [`check`] — tiny property-testing harness for the test suites.
 //!
-//! Everything here is simulation-agnostic; the disk model, elevators,
-//! virtualization stack and MapReduce engine are separate crates layered
-//! on top.
+//! Everything here is simulation-agnostic **and dependency-free** (std
+//! only — the whole workspace builds offline); the disk model,
+//! elevators, virtualization stack and MapReduce engine are separate
+//! crates layered on top.
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod events;
+pub mod json;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use events::{EventQueue, Timer, TimerTicket};
+pub use json::Json;
+pub use par::{par_map, par_map_threads};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, SampleSet, ThroughputMeter};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,110 @@
+//! Deterministic fork-join parallelism on scoped OS threads.
+//!
+//! Replaces the former rayon dependency for the embarrassingly parallel
+//! sweeps (pair profiling, switch-cost matrices, figure regeneration).
+//! Work items are claimed from a shared atomic cursor, so load balances
+//! dynamically, but results are always returned **in input order** —
+//! the output of [`par_map`] is byte-identical whatever the thread
+//! count or claim interleaving. Combined with the seeded [`crate::SimRng`]
+//! streams this keeps whole experiment sweeps reproducible:
+//! `SIM_THREADS=1` and `SIM_THREADS=8` produce the same bytes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count: the `SIM_THREADS` environment variable when set
+/// to a positive integer, otherwise the machine's available parallelism
+/// (1 if that cannot be determined).
+pub fn threads() -> usize {
+    match std::env::var("SIM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Map `f` over `items` on [`threads()`] worker threads, returning the
+/// results in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(threads(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (used by the determinism
+/// tests to compare 1-thread and N-thread runs directly).
+pub fn par_map_threads<T, R, F>(n: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = n.max(1).min(items.len().max(1));
+    if n == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        for h in handles {
+            // A panic in any worker propagates here and aborts the map.
+            tagged.extend(h.join().expect("par_map worker panicked"));
+        }
+        tagged.sort_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let xs: Vec<u64> = (0..257).collect();
+        let ys = par_map_threads(8, &xs, |&x| x * 3);
+        assert_eq!(ys, xs.iter().map(|&x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let xs: Vec<u64> = (0..100).collect();
+        let a = par_map_threads(1, &xs, |&x| x.wrapping_mul(0x9e3779b9).rotate_left(7));
+        let b = par_map_threads(8, &xs, |&x| x.wrapping_mul(0x9e3779b9).rotate_left(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map_threads(4, &none, |&x| x).is_empty());
+        assert_eq!(par_map_threads(4, &[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let xs = [1u32, 2, 3];
+        assert_eq!(par_map_threads(64, &xs, |&x| x * 2), vec![2, 4, 6]);
+    }
+}

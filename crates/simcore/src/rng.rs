@@ -5,21 +5,113 @@
 //! consumer of randomness does not perturb the draws seen by existing
 //! components (the classic "stream splitting" discipline for
 //! reproducible simulation).
+//!
+//! The generator is an in-tree ChaCha20 keystream (the RFC 7539 block
+//! function, full 20 rounds) — no external crates, byte-for-byte
+//! verifiable against the RFC test vectors (see [`chacha20_block`]),
+//! and identical on every platform because it is pure 32-bit integer
+//! arithmetic.
 
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// The ChaCha constant words `"expa" "nd 3" "2-by" "te k"`.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
-/// A seedable, splittable random stream.
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// The RFC 7539 §2.3 ChaCha20 block function: 256-bit key, 32-bit block
+/// counter, 96-bit nonce, returning the 64-byte keystream block.
+///
+/// Exposed so the RFC test vectors can be checked directly against the
+/// exact primitive [`SimRng`] draws from.
+pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut kw = [0u32; 8];
+    for (i, w) in kw.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    let mut nw = [0u32; 3];
+    for (i, w) in nw.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    let words = block_words(&kw, [counter, nw[0], nw[1], nw[2]]);
+    let mut out = [0u8; 64];
+    for (i, w) in words.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+fn block_words(key: &[u32; 8], tail: [u32; 4]) -> [u32; 16] {
+    let mut s: [u32; 16] = [
+        SIGMA[0], SIGMA[1], SIGMA[2], SIGMA[3], key[0], key[1], key[2], key[3], key[4], key[5],
+        key[6], key[7], tail[0], tail[1], tail[2], tail[3],
+    ];
+    let init = s;
+    for _ in 0..10 {
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 8, 13);
+        quarter_round(&mut s, 3, 4, 9, 14);
+    }
+    for (w, i) in s.iter_mut().zip(init.iter()) {
+        *w = w.wrapping_add(*i);
+    }
+    s
+}
+
+/// SplitMix64 step — used only to expand a 64-bit seed into the 256-bit
+/// ChaCha key, never as a generator itself.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seedable, splittable random stream backed by a ChaCha20 keystream.
+///
+/// Draws consume the keystream 8 bytes at a time with a 64-bit block
+/// counter (words 12/13 of the ChaCha state, nonce words zero), so a
+/// single stream is effectively inexhaustible.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    key: [u32; 8],
+    seed: u64,
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill before reading".
+    pos: usize,
 }
 
 impl SimRng {
     /// Root stream for a run.
     pub fn from_seed(seed: u64) -> Self {
+        let mut st = seed;
+        let mut key = [0u32; 8];
+        for i in 0..4 {
+            let w = splitmix64(&mut st);
+            key[2 * i] = w as u32;
+            key[2 * i + 1] = (w >> 32) as u32;
+        }
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            key,
+            seed,
+            counter: 0,
+            buf: [0; 16],
+            pos: 16,
         }
     }
 
@@ -34,31 +126,72 @@ impl SimRng {
             h ^= *b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        // Mix in this stream's own word stream position-independently by
-        // using its seed word; ChaCha8Rng exposes get_seed().
-        let seed = self.inner.get_seed();
-        let mut base: u64 = 0;
-        for (i, b) in seed.iter().enumerate().take(8) {
-            base |= (*b as u64) << (8 * i);
-        }
-        SimRng::from_seed(base ^ h)
+        SimRng::from_seed(self.seed ^ h)
     }
 
-    /// Uniform draw in `[0, 1)`.
+    fn refill(&mut self) {
+        self.buf = block_words(
+            &self.key,
+            [self.counter as u32, (self.counter >> 32) as u32, 0, 0],
+        );
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("ChaCha20 block counter exhausted");
+        self.pos = 0;
+    }
+
+    /// Next 32 bits of the keystream.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    /// Next 64 bits of the keystream (two consecutive 32-bit words,
+    /// low word first — matching the little-endian byte stream).
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    /// Fill `dest` with keystream bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let w = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+
+    /// Uniform draw in `[0, 1)` (53 mantissa bits).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    ///
+    /// Unbiased via Lemire's multiply-shift with rejection.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        if (m as u64) < span {
+            let t = span.wrapping_neg() % span;
+            while (m as u64) < t {
+                m = (self.next_u64() as u128) * (span as u128);
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
     /// Uniform usize in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// Exponential draw with the given mean (inverse-CDF method).
@@ -103,21 +236,6 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,12 +268,38 @@ mod tests {
     }
 
     #[test]
+    fn fill_bytes_matches_word_stream() {
+        let mut a = SimRng::from_seed(5);
+        let mut b = SimRng::from_seed(5);
+        let mut bytes = [0u8; 12];
+        a.fill_bytes(&mut bytes);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&bytes[..4], &w0);
+        assert_eq!(&bytes[4..8], &w1);
+        assert_eq!(&bytes[8..], &w2[..]);
+    }
+
+    #[test]
     fn unit_in_range() {
         let mut r = SimRng::from_seed(3);
         for _ in 0..1000 {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn range_bounds_and_coverage() {
+        let mut r = SimRng::from_seed(21);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.range_u64(3, 10);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in a small range drawn");
     }
 
     #[test]

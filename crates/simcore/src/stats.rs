@@ -4,11 +4,10 @@
 //! Fig. 3 CDFs of VMM/VM I/O throughput).
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Streaming mean/variance/min/max over `f64` observations
 /// (Welford's algorithm — numerically stable, O(1) memory).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -102,7 +101,7 @@ impl OnlineStats {
 /// Used where the full distribution is reported (paper Fig. 3). Samples
 /// are kept verbatim; call [`SampleSet::cdf_points`] to obtain the
 /// empirical CDF as `(value, fraction ≤ value)` pairs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SampleSet {
     xs: Vec<f64>,
     sorted: bool,
@@ -217,7 +216,7 @@ impl SampleSet {
 ///
 /// Matches the measurement style of the paper's Fig. 3, where iostat-like
 /// per-interval throughput samples are turned into a CDF.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ThroughputMeter {
     window: SimDuration,
     window_start: SimTime,

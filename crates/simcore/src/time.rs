@@ -6,13 +6,12 @@
 //! nanoseconds cover ~584 years of simulated time, far beyond any
 //! experiment in this repository.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
 /// A point in simulated time, in nanoseconds since the start of the run.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 
@@ -22,7 +21,7 @@ pub struct SimTime(u64);
 /// point-vs-span confusion (`SimTime + SimDuration = SimTime`,
 /// `SimTime - SimTime = SimDuration`).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 

@@ -1,14 +1,14 @@
-//! Property-based tests for the simulation kernel.
+//! Property-based tests for the simulation kernel (in-tree
+//! `simcore::check` harness).
 
-use proptest::prelude::*;
+use simcore::check::check;
 use simcore::{EventQueue, SampleSet, SimDuration, SimTime, ThroughputMeter};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Events always pop in nondecreasing time order, FIFO within ties.
-    #[test]
-    fn event_queue_sorted(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Events always pop in nondecreasing time order, FIFO within ties.
+#[test]
+fn event_queue_sorted() {
+    check(128, |g| {
+        let times = g.vec(1, 200, |g| g.u64_in(0, 1_000_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
@@ -17,24 +17,27 @@ proptest! {
         let mut seen_at_time: Vec<usize> = Vec::new();
         let mut count = 0;
         while let Some((t, payload)) = q.pop() {
-            prop_assert!(t >= last_time);
+            assert!(t >= last_time);
             if t != last_time {
                 seen_at_time.clear();
             }
             // FIFO among equal timestamps: payload indices increase.
             if let Some(&prev) = seen_at_time.last() {
-                prop_assert!(payload > prev, "tie broken out of order");
+                assert!(payload > prev, "tie broken out of order");
             }
             seen_at_time.push(payload);
             last_time = t;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
-    }
+        assert_eq!(count, times.len());
+    });
+}
 
-    /// Quantiles are bounded by min/max and monotone in q.
-    #[test]
-    fn quantiles_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+/// Quantiles are bounded by min/max and monotone in q.
+#[test]
+fn quantiles_monotone() {
+    check(128, |g| {
+        let xs = g.vec(1, 300, |g| g.f64_in(-1e6, 1e6));
         let mut s = SampleSet::new();
         for &x in &xs {
             s.record(x);
@@ -43,37 +46,41 @@ proptest! {
         let hi = s.quantile(1.0).unwrap();
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(lo, min);
-        prop_assert_eq!(hi, max);
+        assert_eq!(lo, min);
+        assert_eq!(hi, max);
         let mut prev = lo;
         for i in 0..=10 {
             let v = s.quantile(i as f64 / 10.0).unwrap();
-            prop_assert!(v >= prev);
+            assert!(v >= prev);
             prev = v;
         }
-    }
+    });
+}
 
-    /// The empirical CDF is a nondecreasing step function ending at 1.
-    #[test]
-    fn cdf_well_formed(xs in prop::collection::vec(0f64..1e9, 1..200)) {
+/// The empirical CDF is a nondecreasing step function ending at 1.
+#[test]
+fn cdf_well_formed() {
+    check(128, |g| {
+        let xs = g.vec(1, 200, |g| g.f64_in(0.0, 1e9));
         let mut s = SampleSet::new();
         for &x in &xs {
             s.record(x);
         }
         let cdf = s.cdf_points();
-        prop_assert_eq!(cdf.len(), xs.len());
+        assert_eq!(cdf.len(), xs.len());
         for w in cdf.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
-            prop_assert!(w[0].1 < w[1].1);
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
         }
-        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
-    }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    });
+}
 
-    /// A throughput meter never loses bytes.
-    #[test]
-    fn meter_conserves_bytes(
-        events in prop::collection::vec((0u64..30_000u64, 1u64..10_000_000u64), 1..100)
-    ) {
+/// A throughput meter never loses bytes.
+#[test]
+fn meter_conserves_bytes() {
+    check(128, |g| {
+        let events = g.vec(1, 100, |g| (g.u64_in(0, 30_000), g.u64_in(1, 10_000_000)));
         let mut m = ThroughputMeter::new(SimDuration::from_secs(1));
         let mut t = SimTime::ZERO;
         let mut total = 0u64;
@@ -83,24 +90,29 @@ proptest! {
             total += bytes;
         }
         m.finish(t + SimDuration::from_secs(1));
-        prop_assert_eq!(m.total_bytes(), total);
+        assert_eq!(m.total_bytes(), total);
         // Integrating the samples over their windows returns the total.
         let mb: f64 = m.samples().samples().iter().sum::<f64>();
         // All full windows are 1 s, the final partial may undercount in
         // the integral — allow the final sample's worth of slack.
         let integrated = mb * 1024.0 * 1024.0;
-        prop_assert!(integrated >= total as f64 * 0.99 - 1.0,
-            "integrated {integrated} vs total {total}");
-    }
+        assert!(
+            integrated >= total as f64 * 0.99 - 1.0,
+            "integrated {integrated} vs total {total}"
+        );
+    });
+}
 
-    /// Jain's fairness index stays in (0, 1].
-    #[test]
-    fn jain_bounds(xs in prop::collection::vec(0f64..1e6, 1..64)) {
+/// Jain's fairness index stays in (0, 1].
+#[test]
+fn jain_bounds() {
+    check(128, |g| {
+        let xs = g.vec(1, 64, |g| g.f64_in(0.0, 1e6));
         let mut s = SampleSet::new();
         for &x in &xs {
             s.record(x);
         }
         let j = s.jain_fairness().unwrap();
-        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain {j}");
-    }
+        assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain {j}");
+    });
 }

@@ -8,7 +8,6 @@
 //! the earliest flow completion, and re-arms its timer whenever the
 //! flow set (and hence the rate allocation) changes.
 
-use serde::{Deserialize, Serialize};
 use simcore::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -16,7 +15,7 @@ use std::collections::BTreeMap;
 pub type FlowId = u64;
 
 /// Network configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetParams {
     /// Per-node NIC bandwidth, bytes/second, each direction
     /// (1 GbE ≈ 119 MiB/s of goodput).

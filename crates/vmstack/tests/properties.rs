@@ -1,9 +1,9 @@
 //! Property-based tests of the two-level stack: any mix of synthetic
 //! processes, any pair, any mid-run switch — every byte completes and
-//! the run is deterministic.
+//! the run is deterministic. (In-tree `simcore::check` harness.)
 
 use iosched::{SchedKind, SchedPair};
-use proptest::prelude::*;
+use simcore::check::{check, Gen};
 use simcore::{SimDuration, SimTime};
 use vmstack::runner::{NodeRunner, Pattern, SyntheticProc};
 use vmstack::NodeParams;
@@ -22,70 +22,51 @@ struct GenProc {
     delay_ms: u64,
 }
 
-fn gen_proc(vms: u32) -> impl Strategy<Value = GenProc> {
-    (
-        0..vms,
-        0u32..3,
-        any::<bool>(),
-        1u64..24,
-        prop::sample::select(vec![64u64, 128, 256, 512]),
-        1usize..12,
-        prop::option::of(0u64..1000),
-        0u64..2000,
-    )
-        .prop_map(
-            |(vm, stream, write, mib, chunk_sectors, window, random, delay_ms)| GenProc {
-                vm,
-                stream,
-                write,
-                mib,
-                chunk_sectors,
-                window,
-                random,
-                delay_ms,
-            },
-        )
+fn gen_proc(g: &mut Gen, vms: u32) -> GenProc {
+    GenProc {
+        vm: g.u32_in(0, vms),
+        stream: g.u32_in(0, 3),
+        write: g.bool(),
+        mib: g.u64_in(1, 24),
+        chunk_sectors: *g.pick(&[64u64, 128, 256, 512]),
+        window: g.usize_in(1, 12),
+        random: g.option(|g| g.u64_in(0, 1000)),
+        delay_ms: g.u64_in(0, 2000),
+    }
 }
 
 fn sched_kind(i: u8) -> SchedKind {
     SchedKind::ALL[(i % 4) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any workload mix on any pair completes with exact byte
-    /// accounting, and repeating the run is bit-identical.
-    #[test]
-    fn completion_and_determinism(
-        procs in prop::collection::vec(gen_proc(3), 1..8),
-        host in 0u8..4,
-        guest in 0u8..4,
-        switch_to_host in 0u8..4,
-        switch_to_guest in 0u8..4,
-        switch_ms in prop::option::of(50u64..3000),
-    ) {
-        let pair = SchedPair::new(sched_kind(host), sched_kind(guest));
-        let target = SchedPair::new(sched_kind(switch_to_host), sched_kind(switch_to_guest));
+/// Any workload mix on any pair completes with exact byte accounting,
+/// and repeating the run is bit-identical.
+#[test]
+fn completion_and_determinism() {
+    check(24, |g| {
+        let procs = g.vec(1, 8, |g| gen_proc(g, 3));
+        let pair = SchedPair::new(sched_kind(g.u32_in(0, 4) as u8), sched_kind(g.u32_in(0, 4) as u8));
+        let target = SchedPair::new(sched_kind(g.u32_in(0, 4) as u8), sched_kind(g.u32_in(0, 4) as u8));
+        let switch_ms = g.option(|g| g.u64_in(50, 3000));
         let build = || {
             let mut r = NodeRunner::new(NodeParams::default(), 3, pair);
-            for (i, g) in procs.iter().enumerate() {
+            for (i, gp) in procs.iter().enumerate() {
                 // Distinct extents per process to stay within the image.
                 let base = (i as u64) * 4096 * MIB / 512;
                 let mut p = SyntheticProc {
-                    vm: g.vm,
-                    stream: g.stream + (i as u32) * 4,
-                    dir: if g.write { iosched::Dir::Write } else { iosched::Dir::Read },
-                    sync: !g.write,
+                    vm: gp.vm,
+                    stream: gp.stream + (i as u32) * 4,
+                    dir: if gp.write { iosched::Dir::Write } else { iosched::Dir::Read },
+                    sync: !gp.write,
                     start_sector: base,
-                    total_sectors: g.mib * MIB / 512,
-                    chunk_sectors: g.chunk_sectors,
-                    window: g.window,
+                    total_sectors: gp.mib * MIB / 512,
+                    chunk_sectors: gp.chunk_sectors,
+                    window: gp.window,
                     think: SimDuration::from_micros(100),
                     pattern: Pattern::Sequential,
-                    start_delay: SimDuration::from_millis(g.delay_ms),
+                    start_delay: SimDuration::from_millis(gp.delay_ms),
                 };
-                if let Some(seed) = g.random {
+                if let Some(seed) = gp.random {
                     p.pattern = Pattern::Random { seed };
                 }
                 r.add_proc(p);
@@ -95,14 +76,14 @@ proptest! {
             }
             r
         };
-        let expected: u64 = procs.iter().map(|g| g.mib * MIB).sum();
+        let expected: u64 = procs.iter().map(|gp| gp.mib * MIB).sum();
         let mut r1 = build();
         let out1 = r1.run();
-        prop_assert_eq!(out1.bytes, expected);
-        prop_assert!(r1.stack().is_idle());
+        assert_eq!(out1.bytes, expected);
+        assert!(r1.stack().is_idle());
         let mut r2 = build();
         let out2 = r2.run();
-        prop_assert_eq!(out1.makespan, out2.makespan, "nondeterministic run");
-        prop_assert_eq!(out1.proc_finish, out2.proc_finish);
-    }
+        assert_eq!(out1.makespan, out2.makespan, "nondeterministic run");
+        assert_eq!(out1.proc_finish, out2.proc_finish);
+    });
 }

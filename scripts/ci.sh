@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Hermetic CI: build and test the whole workspace fully offline, then
+# verify the resolved dependency graph contains nothing from outside
+# this repository. Run from anywhere; no network, no cargo registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+# Dependency guard: every node reachable over normal, build, and dev
+# edges must be a path crate inside this repo. A registry dependency
+# shows up without a local path and fails the grep below.
+root="$(pwd)"
+external="$(cargo tree --workspace --offline -e normal,build,dev --prefix none \
+  | sed 's/ (\*)$//' | sort -u | grep -vF "(${root}" || true)"
+if [[ -n "${external}" ]]; then
+  echo "error: non-workspace dependencies crept back in:" >&2
+  echo "${external}" >&2
+  exit 1
+fi
+
+echo "ci: offline build + tests green; dependency graph is workspace-only"

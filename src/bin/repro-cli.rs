@@ -17,6 +17,7 @@ use adaptive_disk_sched::metasched::{
 };
 use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
 use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
+use simcore::Json;
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -143,27 +144,19 @@ fn cmd_tune(flags: HashMap<String, String>) {
     let exp = Experiment::new(cluster(&flags), job(&flags));
     let report = MetaScheduler::new(exp).tune();
     if flags.contains_key("json") {
-        // Machine-readable one-liner for scripting.
+        // Machine-readable one-liner for scripting (simcore::Json —
+        // the in-tree writer used for all experiment dumps).
         let plan: Vec<String> = report.final_assignment().iter().map(|p| p.code()).collect();
-        println!(
-            "{}",
-            serde_json_line(&[
-                ("default_s", format!("{:.3}", report.default_time.as_secs_f64())),
-                (
-                    "best_single_s",
-                    format!("{:.3}", report.best_single.total.as_secs_f64())
-                ),
-                ("best_single_pair", report.best_single.pair.code()),
-                ("adaptive_s", format!("{:.3}", report.final_time().as_secs_f64())),
-                ("plan", plan.join("+")),
-                ("gain_vs_default_pct", format!("{:.2}", report.gain_vs_default_pct())),
-                (
-                    "gain_vs_best_single_pct",
-                    format!("{:.2}", report.gain_vs_best_single_pct())
-                ),
-                ("evaluations", report.heuristic.runs().to_string()),
-            ])
-        );
+        let line = Json::obj()
+            .field("default_s", rounded(report.default_time.as_secs_f64(), 3))
+            .field("best_single_s", rounded(report.best_single.total.as_secs_f64(), 3))
+            .field("best_single_pair", report.best_single.pair.code())
+            .field("adaptive_s", rounded(report.final_time().as_secs_f64(), 3))
+            .field("plan", plan.join("+"))
+            .field("gain_vs_default_pct", rounded(report.gain_vs_default_pct(), 2))
+            .field("gain_vs_best_single_pct", rounded(report.gain_vs_best_single_pct(), 2))
+            .field("evaluations", report.heuristic.runs() as u64);
+        println!("{}", line.to_string());
         return;
     }
     println!("default (CFQ, CFQ): {:.1}s", report.default_time.as_secs_f64());
@@ -186,18 +179,10 @@ fn cmd_tune(flags: HashMap<String, String>) {
     );
 }
 
-fn serde_json_line(fields: &[(&str, String)]) -> String {
-    let body: Vec<String> = fields
-        .iter()
-        .map(|(k, v)| {
-            if v.parse::<f64>().is_ok() {
-                format!("\"{k}\":{v}")
-            } else {
-                format!("\"{k}\":\"{v}\"")
-            }
-        })
-        .collect();
-    format!("{{{}}}", body.join(","))
+/// Round to `digits` decimal places for stable JSON output.
+fn rounded(x: f64, digits: u32) -> f64 {
+    let scale = 10f64.powi(digits as i32);
+    (x * scale).round() / scale
 }
 
 fn cmd_switch_cost(flags: HashMap<String, String>) {

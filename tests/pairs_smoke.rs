@@ -1,0 +1,103 @@
+//! End-to-end smoke test: a tiny sort job under all 16 (VMM, VM)
+//! elevator pairs, checking the qualitative shape of the paper's §5
+//! pair matrix — noop at the VMM is the worst family, and the stock
+//! (CFQ, CFQ) default is never the winner.
+//!
+//! The sweep itself runs through `simcore::par::par_map`, so this also
+//! exercises the in-tree parallel map on real workloads.
+
+use adaptive_disk_sched::iosched::{SchedKind, SchedPair};
+use adaptive_disk_sched::mrsim::{JobSpec, WorkloadSpec};
+use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
+use simcore::par::par_map;
+
+#[test]
+fn all_sixteen_pairs_match_the_papers_shape() {
+    let mut params = ClusterParams::default();
+    params.shape.nodes = 2;
+    params.shape.vms_per_node = 2;
+    let job = JobSpec {
+        data_per_vm_bytes: 96 * 1024 * 1024,
+        ..JobSpec::new(WorkloadSpec::sort())
+    };
+
+    let pairs = SchedPair::all();
+    assert_eq!(pairs.len(), 16);
+    let times: Vec<(SchedPair, f64)> = par_map(&pairs, |&p| {
+        let out = run_job(&params, &job, SwitchPlan::single(p));
+        (p, out.makespan.as_secs_f64())
+    });
+
+    // Every configuration completes in sane, finite time.
+    for &(p, t) in &times {
+        assert!(t.is_finite() && t > 1.0, "{p}: implausible makespan {t}");
+    }
+
+    let best = times
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let worst = times
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+
+    // §5 shape target 1: the catastrophic configurations have noop in
+    // the VMM — the worst pair overall is one of them, the noop-host
+    // family is on average slower than every other host family, and
+    // even the *best* noop-at-VMM pair clearly loses to the winner.
+    assert_eq!(
+        worst.0.host,
+        SchedKind::Noop,
+        "worst pair {} should have noop at the VMM",
+        worst.0
+    );
+    let family_mean = |host: SchedKind| -> f64 {
+        let fam: Vec<f64> = times
+            .iter()
+            .filter(|(p, _)| p.host == host)
+            .map(|&(_, t)| t)
+            .collect();
+        fam.iter().sum::<f64>() / fam.len() as f64
+    };
+    let noop_mean = family_mean(SchedKind::Noop);
+    for host in SchedKind::ALL {
+        if host != SchedKind::Noop {
+            assert!(
+                noop_mean > family_mean(host),
+                "noop-host family ({noop_mean:.1}s mean) should be slower than \
+                 host {host} ({:.1}s mean)",
+                family_mean(host)
+            );
+        }
+    }
+    let best_noop_host = times
+        .iter()
+        .filter(|(p, _)| p.host == SchedKind::Noop)
+        .map(|&(_, t)| t)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_noop_host > 1.2 * best.1,
+        "noop at the VMM should clearly lose: best noop-host \
+         {best_noop_host:.1}s vs overall best {:.1}s",
+        best.1
+    );
+
+    // §5 shape target 2: the stock (CFQ, CFQ) default never wins — the
+    // whole premise of adaptive pair selection.
+    assert_ne!(best.0, SchedPair::DEFAULT, "(CFQ, CFQ) must not be the best pair");
+    let default_t = times
+        .iter()
+        .find(|(p, _)| *p == SchedPair::DEFAULT)
+        .unwrap()
+        .1;
+    assert!(
+        best.1 < default_t,
+        "some pair must beat the default: best {} {:.1}s vs default {:.1}s",
+        best.0,
+        best.1,
+        default_t
+    );
+}
