@@ -7,9 +7,13 @@
 //! fixed iteration count, mean/stddev from `simcore::stats`) so the
 //! workspace needs no external benchmarking crate.
 
+//! `REPRO_QUICK=1` shrinks warmup and iteration counts to a smoke pass
+//! (CI runs it that way: the numbers are then only a liveness check).
+
 use iosched::{build_elevator, Dispatch, Dir, IoRequest, SchedKind, Tunables};
 use mrsim::{JobSpec, WorkloadSpec};
 use repro_bench::micro::bench;
+use repro_bench::quick;
 use simcore::SimTime;
 use std::hint::black_box;
 use vcluster::{run_job, ClusterParams, SwitchPlan};
@@ -47,17 +51,18 @@ fn elevator_round(kind: SchedKind) -> u64 {
 }
 
 fn main() {
+    let (warmup, iters) = if quick() { (2, 5) } else { (10, 60) };
     println!("\n## Micro-benchmarks (in-tree harness)\n");
     for kind in SchedKind::ALL {
         bench(
             &format!("elevator_add_dispatch/{kind}"),
-            10,
-            60,
+            warmup,
+            iters,
             || black_box(elevator_round(kind)),
         );
     }
 
-    bench("disk_service_1k_requests", 10, 60, || {
+    bench("disk_service_1k_requests", warmup, iters, || {
         let mut d = blkdev::Disk::new(blkdev::DiskParams::default());
         let mut now = SimTime::ZERO;
         for i in 0..1000u64 {
@@ -71,8 +76,9 @@ fn main() {
     params.shape.nodes = 2;
     params.shape.vms_per_node = 2;
     let mut job = JobSpec::new(WorkloadSpec::sort());
-    job.data_per_vm_bytes = 128 * 1024 * 1024;
-    bench("small_sort_job_end_to_end", 2, 10, || {
+    job.data_per_vm_bytes = if quick() { 64 } else { 128 } * 1024 * 1024;
+    let job_iters = if quick() { 2 } else { 10 };
+    bench("small_sort_job_end_to_end", 2, job_iters, || {
         black_box(run_job(
             &params,
             &job,

@@ -4,24 +4,26 @@
 //! Paper shape: (AS, DL) achieves the higher VMM-level throughput
 //! (their 52.3 vs 47.1 MB/s mean, 184 vs 159 MB/s max); (CFQ, CFQ)
 //! achieves the better *fairness* across the VMs.
+//!
+//! All numbers come from the run's metrics document
+//! (`JobOutcome::metrics`, schema `adios.metrics/1`) rather than ad-hoc
+//! sample plumbing: the `throughput` section carries the node-0 probe's
+//! Dom0 and per-VM MB/s sample summaries and a Jain fairness gauge.
 
 use iosched::{SchedKind, SchedPair};
 use mrsim::WorkloadSpec;
 use repro_bench::{paper_cluster, paper_job, print_table};
-use simcore::SampleSet;
+use simcore::Json;
 use vcluster::{run_job, SwitchPlan};
 
-fn cdf_row(label: &str, samples: &[f64], k: usize) -> Vec<String> {
-    let mut s = SampleSet::new();
-    for &x in samples {
-        s.record(x);
-    }
+const QUANTILES: [&str; 6] = ["p0", "p25", "p50", "p75", "p100", "mean"];
+
+fn quantile_row(label: &str, summary: &Json) -> Vec<String> {
     let mut row = vec![label.to_string()];
-    for i in 0..k {
-        let q = i as f64 / (k - 1) as f64;
-        row.push(format!("{:.1}", s.quantile(q).unwrap_or(0.0)));
+    for q in QUANTILES {
+        let v = summary.get(q).and_then(Json::as_f64).unwrap_or(0.0);
+        row.push(format!("{v:.1}"));
     }
-    row.push(format!("{:.1}", s.mean().unwrap_or(0.0)));
     row
 }
 
@@ -37,28 +39,35 @@ fn main() {
     let mut fairness = Vec::new();
     for pair in pairs {
         let out = run_job(&params, &job, SwitchPlan::single(pair));
+        let tput = out
+            .metrics
+            .get("throughput")
+            .expect("metrics doc has a throughput section");
         // Node 0 instrumented, like the paper's single-machine probe.
-        dom0_rows.push(cdf_row(&pair.to_string(), &out.dom0_throughput[0], 6));
-        let vm_all: Vec<f64> = out.vm_throughput[0..4]
-            .iter()
-            .flat_map(|v| v.iter().copied())
-            .collect();
-        vm_rows.push(cdf_row(&pair.to_string(), &vm_all, 6));
-        // Fairness: per-VM mean throughputs into Jain's index.
-        let mut per_vm = SampleSet::new();
-        for v in &out.vm_throughput[0..4] {
-            per_vm.record(v.iter().sum::<f64>() / v.len().max(1) as f64);
+        dom0_rows.push(quantile_row(
+            &pair.to_string(),
+            tput.get("dom0_mbps").expect("dom0 probe"),
+        ));
+        for v in 0.. {
+            let Some(summary) = tput.get(&format!("vm{v}_mbps")) else {
+                break;
+            };
+            vm_rows.push(quantile_row(&format!("{pair} vm{v}"), summary));
         }
-        fairness.push((pair, per_vm.jain_fairness().unwrap_or(0.0)));
+        let jain = tput
+            .get("vm_fairness_jain")
+            .and_then(Json::as_f64)
+            .expect("fairness gauge");
+        fairness.push((pair, jain));
     }
     print_table(
         "Fig. 3a — VMM (Dom0) I/O throughput CDF, MB/s at cumulative fraction",
-        &["pair", "p0", "p20", "p40", "p60", "p80", "p100", "mean"],
+        &["pair", "p0", "p25", "p50", "p75", "p100", "mean"],
         &dom0_rows,
     );
     print_table(
-        "Fig. 3b — per-VM I/O throughput CDF (node 0, all four VMs), MB/s",
-        &["pair", "p0", "p20", "p40", "p60", "p80", "p100", "mean"],
+        "Fig. 3b — per-VM I/O throughput CDF (node 0), MB/s",
+        &["pair/vm", "p0", "p25", "p50", "p75", "p100", "mean"],
         &vm_rows,
     );
     for (pair, j) in &fairness {

@@ -12,6 +12,40 @@ use metasched::{DdConfig, SwitchCost};
 use repro_bench::{print_table, quick};
 use simcore::par::par_map;
 use simcore::SimTime;
+use vmstack::runner::{NodeRunner, SyntheticProc};
+
+/// Where the cost of one switch actually goes, from the stack's own
+/// level counters: drain time under the old elevators vs the fixed
+/// post-swap re-init stalls.
+fn print_switch_anatomy(cfg: &DdConfig, from: SchedPair, to: SchedPair, at: SimTime) {
+    let mut r = NodeRunner::new(cfg.node.clone(), cfg.vms, from);
+    for vm in 0..cfg.vms {
+        r.add_proc(SyntheticProc::dd_writer(vm, 0, 0, cfg.bytes_per_vm));
+    }
+    r.switch_at(at, to);
+    r.run();
+    let stack = r.stack();
+    let dom0 = stack.dom0_counters();
+    let mut guest_drain = 0.0;
+    let mut guest_freeze = 0.0;
+    for vm in 0..cfg.vms {
+        let g = stack.guest_counters(vm);
+        guest_drain += g.drain_durations.samples().iter().sum::<f64>();
+        guest_freeze += g.freeze_secs;
+    }
+    println!(
+        "\nanatomy of {} -> {}: dom0 drain {:.2}s + reinit {:.2}s; \
+         guests drain {:.2}s + reinit {:.2}s (summed over {} VMs)",
+        from,
+        to,
+        dom0.drain_durations.samples().iter().sum::<f64>(),
+        dom0.freeze_secs,
+        guest_drain,
+        guest_freeze,
+        cfg.vms
+    );
+    assert_eq!(dom0.switches, 1, "exactly one Dom0 switch completed");
+}
 
 fn main() {
     let mut cfg = DdConfig::default();
@@ -83,4 +117,14 @@ fn main() {
     }
     println!("{asym}/120 state pairs have asymmetric switch cost (non-commutative)");
     assert!(asym > 20, "switch cost should be broadly non-commutative");
+
+    // Break one representative switch down with the stack's own
+    // per-level drain/freeze counters (default pair -> the matrix's
+    // first state, halfway through the solo run).
+    print_switch_anatomy(
+        &cfg,
+        SchedPair::DEFAULT,
+        states[0],
+        SimTime::ZERO + solo[0].div(2),
+    );
 }

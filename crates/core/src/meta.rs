@@ -6,7 +6,7 @@ use crate::experiment::{Experiment, PhaseProfile};
 use crate::heuristic::{algorithm1, HeuristicResult, PhaseSplit};
 use crate::profiler::{best_single, profile_pairs};
 use iosched::SchedPair;
-use simcore::SimDuration;
+use simcore::{Json, SimDuration};
 
 /// Meta-scheduler configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +73,60 @@ impl TuneReport {
     pub fn gain_vs_best_single_pct(&self) -> f64 {
         100.0 * (1.0 - self.final_time().as_secs_f64() / self.best_single.total.as_secs_f64())
     }
+
+    /// Serialize the whole tuning pass — every candidate's phase
+    /// profile, the chosen split, each Algorithm 1 evaluation in search
+    /// order, and the deployed plan — as one deterministic JSON
+    /// document (the meta-scheduler's slice of a run's observability).
+    pub fn to_json(&self) -> Json {
+        let profiles = Json::Arr(
+            self.profiles
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .field("pair", p.pair.code())
+                        .field("total_s", p.total.as_secs_f64())
+                        .field("ph1_s", p.phase[0].as_secs_f64())
+                        .field("ph2_s", p.phase[1].as_secs_f64())
+                        .field("ph3_s", p.phase[2].as_secs_f64())
+                })
+                .collect(),
+        );
+        let evaluations = Json::Arr(
+            self.heuristic
+                .evaluations
+                .iter()
+                .map(|e| {
+                    Json::obj()
+                        .field(
+                            "assignment",
+                            Json::arr(e.assignment.iter().map(|p| p.code())),
+                        )
+                        .field("time_s", e.time.as_secs_f64())
+                })
+                .collect(),
+        );
+        let solution = Json::arr(self.heuristic.solution.iter().map(|s| match s {
+            // The paper's `0` entry: keep the previous phase's pair.
+            None => "0".to_string(),
+            Some(p) => p.code(),
+        }));
+        Json::obj()
+            .field("phases", self.split.count())
+            .field("profiles", profiles)
+            .field("evaluations", evaluations)
+            .field("solution", solution)
+            .field(
+                "deployed",
+                Json::arr(self.final_assignment().iter().map(|p| p.code())),
+            )
+            .field("default_s", self.default_time.as_secs_f64())
+            .field("best_single_pair", self.best_single.pair.code())
+            .field("best_single_s", self.best_single.total.as_secs_f64())
+            .field("final_s", self.final_time().as_secs_f64())
+            .field("gain_vs_default_pct", self.gain_vs_default_pct())
+            .field("gain_vs_best_single_pct", self.gain_vs_best_single_pct())
+    }
 }
 
 /// The adaptive disk-I/O meta-scheduler.
@@ -129,5 +183,63 @@ impl MetaScheduler {
             default_time,
             best_single: best,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PhaseProfile;
+    use crate::heuristic::{Evaluation, HeuristicResult};
+
+    fn report() -> TuneReport {
+        let p = |pair, secs| PhaseProfile {
+            pair,
+            total: SimDuration::from_secs(secs),
+            phase: [
+                SimDuration::from_secs(secs / 2),
+                SimDuration::from_secs(secs / 4),
+                SimDuration::from_secs(secs - secs / 2 - secs / 4),
+            ],
+        };
+        let default = p(SchedPair::DEFAULT, 100);
+        let best = p(SchedPair::all()[0], 80);
+        TuneReport {
+            profiles: vec![default, best],
+            split: PhaseSplit::Two,
+            heuristic: HeuristicResult {
+                solution: vec![Some(best.pair), None],
+                resolved: vec![best.pair, best.pair],
+                time: SimDuration::from_secs(75),
+                evaluations: vec![Evaluation {
+                    assignment: vec![best.pair, best.pair],
+                    time: SimDuration::from_secs(75),
+                }],
+            },
+            default_time: default.total,
+            best_single: best,
+        }
+    }
+
+    #[test]
+    fn report_serializes_deterministically() {
+        let r = report();
+        let s = r.to_json().to_string();
+        assert_eq!(s, r.to_json().to_string());
+        assert!(s.contains("\"phases\":2"), "{s}");
+        assert!(s.contains("\"final_s\":75"), "{s}");
+        assert!(s.contains("\"solution\":["), "{s}");
+        // The kept-pair entry serializes as the paper's "0".
+        assert!(s.contains("\"0\""), "{s}");
+    }
+
+    #[test]
+    fn deployed_plan_falls_back_to_best_single() {
+        let mut r = report();
+        r.heuristic.time = SimDuration::from_secs(90); // worse than 80
+        let dep = r.final_assignment();
+        assert!(dep.iter().all(|&p| p == r.best_single.pair));
+        let s = r.to_json().to_string();
+        assert!(s.contains("\"final_s\":80"), "{s}");
     }
 }

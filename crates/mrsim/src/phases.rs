@@ -26,6 +26,16 @@ pub enum JobPhase {
 impl JobPhase {
     /// All phases in order.
     pub const ALL: [JobPhase; 3] = [JobPhase::Ph1, JobPhase::Ph2, JobPhase::Ph3];
+
+    /// One-byte code for trace records (1/2/3, matching the paper's
+    /// phase numbering; the trace oracle checks monotonicity).
+    pub fn code(self) -> u8 {
+        match self {
+            JobPhase::Ph1 => 1,
+            JobPhase::Ph2 => 2,
+            JobPhase::Ph3 => 3,
+        }
+    }
 }
 
 impl std::fmt::Display for JobPhase {

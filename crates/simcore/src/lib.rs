@@ -14,7 +14,12 @@
 //! * [`par`] — deterministic scoped-thread `par_map` for experiment
 //!   sweeps (`SIM_THREADS` overrides the worker count);
 //! * [`json`] — minimal JSON writer for experiment dumps;
-//! * [`check`] — tiny property-testing harness for the test suites.
+//! * [`check`] — tiny property-testing harness for the test suites;
+//! * [`trace`] — compact typed event ring ([`Trace`]) every stack layer
+//!   records into, with the [`TraceOracle`] replay invariant checker;
+//! * [`metrics`] — insertion-ordered [`MetricsRegistry`] of counters /
+//!   gauges / histograms, exported as one deterministic JSON document
+//!   per run.
 //!
 //! Everything here is simulation-agnostic **and dependency-free** (std
 //! only — the whole workspace builds offline); the disk model,
@@ -26,14 +31,18 @@
 pub mod check;
 pub mod events;
 pub mod json;
+pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use events::{EventQueue, Timer, TimerTicket};
 pub use json::Json;
+pub use metrics::{Metric, MetricsRegistry};
 pub use par::{par_map, par_map_threads};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, SampleSet, ThroughputMeter};
 pub use time::{SimDuration, SimTime};
+pub use trace::{Layer, OracleConfig, Trace, TraceEvent, TraceOracle, TraceRecord};

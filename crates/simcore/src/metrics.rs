@@ -1,0 +1,262 @@
+//! Insertion-ordered metrics registry exported as one deterministic
+//! JSON document per run.
+//!
+//! Metrics are grouped into named sections (`disk`, `dom0_elevator`,
+//! `guest_elevator`, `ring`, `network`, `phases`, …) and come in four
+//! shapes, all built on the [`crate::stats`] primitives:
+//!
+//! * **counter** — monotonically accumulated `u64`;
+//! * **gauge** — a plain `f64` set or accumulated;
+//! * **stats** — streaming moments ([`OnlineStats`]): count, mean,
+//!   standard deviation, min, max;
+//! * **samples** — a full [`SampleSet`], exported as fixed quantiles
+//!   (p0/p25/p50/p75/p100), mean and Jain fairness.
+//!
+//! Registration order is preserved at both levels, so
+//! [`MetricsRegistry::to_json`] emits the same byte sequence for the
+//! same sequence of updates — the determinism tests compare the
+//! rendered documents of repeated runs directly.
+
+use crate::json::Json;
+use crate::stats::{OnlineStats, SampleSet};
+use std::collections::HashMap;
+
+/// One registered metric value.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Accumulated integer count.
+    Counter(u64),
+    /// Last-set / accumulated float value.
+    Gauge(f64),
+    /// Streaming moments.
+    Stats(OnlineStats),
+    /// Full sample distribution.
+    Samples(SampleSet),
+}
+
+impl Metric {
+    fn to_json(&self) -> Json {
+        match self {
+            Metric::Counter(v) => Json::from(*v),
+            Metric::Gauge(v) => Json::from(*v),
+            Metric::Stats(s) => Json::obj()
+                .field("count", s.count())
+                .field("mean", s.mean())
+                .field("std_dev", s.std_dev())
+                .field("min", s.min().unwrap_or(0.0))
+                .field("max", s.max().unwrap_or(0.0)),
+            Metric::Samples(s) => Json::obj()
+                .field("count", s.len())
+                .field("mean", s.mean().unwrap_or(0.0))
+                .field("p0", s.quantile(0.0).unwrap_or(0.0))
+                .field("p25", s.quantile(0.25).unwrap_or(0.0))
+                .field("p50", s.quantile(0.5).unwrap_or(0.0))
+                .field("p75", s.quantile(0.75).unwrap_or(0.0))
+                .field("p100", s.quantile(1.0).unwrap_or(0.0))
+                .field("jain", s.jain_fairness().unwrap_or(1.0)),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Section {
+    name: String,
+    order: Vec<String>,
+    vals: HashMap<String, Metric>,
+}
+
+/// An insertion-ordered registry of sections of metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    order: Vec<String>,
+    sections: HashMap<String, Section>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn slot(&mut self, section: &str, name: &str, mk: impl FnOnce() -> Metric) -> &mut Metric {
+        if !self.sections.contains_key(section) {
+            self.order.push(section.to_string());
+            self.sections.insert(
+                section.to_string(),
+                Section { name: section.to_string(), ..Section::default() },
+            );
+        }
+        let s = self.sections.get_mut(section).expect("just inserted");
+        if !s.vals.contains_key(name) {
+            s.order.push(name.to_string());
+            s.vals.insert(name.to_string(), mk());
+        }
+        s.vals.get_mut(name).expect("just inserted")
+    }
+
+    /// Add `by` to a counter (created at 0).
+    pub fn inc(&mut self, section: &str, name: &str, by: u64) {
+        match self.slot(section, name, || Metric::Counter(0)) {
+            Metric::Counter(v) => *v += by,
+            other => panic!("{section}.{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Set a gauge to `v`.
+    pub fn set_gauge(&mut self, section: &str, name: &str, v: f64) {
+        match self.slot(section, name, || Metric::Gauge(0.0)) {
+            Metric::Gauge(g) => *g = v,
+            other => panic!("{section}.{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Add `v` to a gauge (created at 0).
+    pub fn add_gauge(&mut self, section: &str, name: &str, v: f64) {
+        match self.slot(section, name, || Metric::Gauge(0.0)) {
+            Metric::Gauge(g) => *g += v,
+            other => panic!("{section}.{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Record one observation into a stats metric.
+    pub fn observe(&mut self, section: &str, name: &str, x: f64) {
+        match self.slot(section, name, || Metric::Stats(OnlineStats::new())) {
+            Metric::Stats(s) => s.record(x),
+            other => panic!("{section}.{name} is not a stats metric: {other:?}"),
+        }
+    }
+
+    /// Merge a whole accumulator into a stats metric (per-node fold).
+    pub fn merge_stats(&mut self, section: &str, name: &str, stats: &OnlineStats) {
+        match self.slot(section, name, || Metric::Stats(OnlineStats::new())) {
+            Metric::Stats(s) => s.merge(stats),
+            other => panic!("{section}.{name} is not a stats metric: {other:?}"),
+        }
+    }
+
+    /// Record one sample into a samples metric.
+    pub fn sample(&mut self, section: &str, name: &str, x: f64) {
+        match self.slot(section, name, || Metric::Samples(SampleSet::new())) {
+            Metric::Samples(s) => s.record(x),
+            other => panic!("{section}.{name} is not a samples metric: {other:?}"),
+        }
+    }
+
+    /// Append every sample of `set` into a samples metric, in the
+    /// set's insertion order (deterministic per-node fold).
+    pub fn extend_samples(&mut self, section: &str, name: &str, set: &SampleSet) {
+        match self.slot(section, name, || Metric::Samples(SampleSet::new())) {
+            Metric::Samples(s) => {
+                for &x in set.samples() {
+                    s.record(x);
+                }
+            }
+            other => panic!("{section}.{name} is not a samples metric: {other:?}"),
+        }
+    }
+
+    /// Look up a metric.
+    pub fn get(&self, section: &str, name: &str) -> Option<&Metric> {
+        self.sections.get(section)?.vals.get(name)
+    }
+
+    /// Number of sections.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Render every section, in registration order, into one JSON
+    /// object — deterministic byte-for-byte for a deterministic run.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        for sec_name in &self.order {
+            let s = &self.sections[sec_name];
+            let mut obj = Json::obj();
+            for name in &s.order {
+                obj = obj.field(name, s.vals[name].to_json());
+            }
+            doc = doc.field(&s.name, obj);
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_and_metrics_keep_insertion_order() {
+        let mut r = MetricsRegistry::new();
+        r.inc("zeta", "b", 1);
+        r.inc("zeta", "a", 2);
+        r.set_gauge("alpha", "x", 1.5);
+        r.inc("zeta", "b", 1);
+        let s = r.to_json().to_string();
+        let zeta = s.find("\"zeta\"").unwrap();
+        let alpha = s.find("\"alpha\"").unwrap();
+        assert!(zeta < alpha, "section order must be registration order: {s}");
+        let b = s.find("\"b\"").unwrap();
+        let a = s.find("\"a\"").unwrap();
+        assert!(b < a, "metric order must be registration order: {s}");
+        assert!(s.contains("\"b\":2"), "{s}");
+    }
+
+    #[test]
+    fn all_shapes_render() {
+        let mut r = MetricsRegistry::new();
+        r.inc("s", "count", 3);
+        r.add_gauge("s", "seconds", 1.25);
+        r.add_gauge("s", "seconds", 0.25);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("s", "depth", x);
+            r.sample("s", "lat", x);
+        }
+        let j = r.to_json().to_string();
+        assert!(j.contains("\"count\":3"), "{j}");
+        assert!(j.contains("\"seconds\":1.5"), "{j}");
+        assert!(j.contains("\"mean\":2.5"), "{j}");
+        assert!(j.contains("\"p50\":"), "{j}");
+        assert!(j.contains("\"jain\":"), "{j}");
+    }
+
+    #[test]
+    fn identical_update_sequences_render_identically() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.inc("net", "flows", 7);
+            r.observe("disk", "seek_ms", 3.25);
+            r.observe("disk", "seek_ms", 4.75);
+            r.sample("tput", "mbps", 55.0);
+            r.to_json().to_string()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn merge_and_extend_fold_per_node_data() {
+        let mut a = OnlineStats::new();
+        a.record(1.0);
+        a.record(3.0);
+        let mut set = SampleSet::new();
+        set.record(10.0);
+        set.record(20.0);
+        let mut r = MetricsRegistry::new();
+        r.merge_stats("x", "s", &a);
+        r.merge_stats("x", "s", &a);
+        r.extend_samples("x", "v", &set);
+        match r.get("x", "s").unwrap() {
+            Metric::Stats(s) => assert_eq!(s.count(), 4),
+            other => panic!("wrong shape {other:?}"),
+        }
+        match r.get("x", "v").unwrap() {
+            Metric::Samples(s) => assert_eq!(s.len(), 2),
+            other => panic!("wrong shape {other:?}"),
+        }
+    }
+}

@@ -99,12 +99,17 @@ impl OnlineStats {
 /// A finite sample set supporting quantiles and CDF extraction.
 ///
 /// Used where the full distribution is reported (paper Fig. 3). Samples
-/// are kept verbatim; call [`SampleSet::cdf_points`] to obtain the
-/// empirical CDF as `(value, fraction ≤ value)` pairs.
+/// are kept verbatim in insertion order ([`SampleSet::samples`]) *and*
+/// in a sorted index maintained incrementally on record, so every read
+/// path — quantiles, CDFs, max — takes `&self` and shared views (the
+/// metrics registry, post-run exports) never need mutable access.
 #[derive(Debug, Clone, Default)]
 pub struct SampleSet {
+    /// Insertion order (what `samples()` exposes; determinism
+    /// fingerprints hash this).
     xs: Vec<f64>,
-    sorted: bool,
+    /// The same values, kept sorted ascending.
+    sorted: Vec<f64>,
 }
 
 impl SampleSet {
@@ -113,10 +118,13 @@ impl SampleSet {
         SampleSet::default()
     }
 
-    /// Record one sample.
+    /// Record one sample. NaN is rejected here (rather than at the
+    /// first sorted read, as before).
     pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample");
         self.xs.push(x);
-        self.sorted = false;
+        let i = self.sorted.partition_point(|v| *v <= x);
+        self.sorted.insert(i, x);
     }
 
     /// Number of samples.
@@ -129,23 +137,15 @@ impl SampleSet {
         self.xs.is_empty()
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.xs
-                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-            self.sorted = true;
-        }
-    }
-
     /// The q-quantile (0 ≤ q ≤ 1) by nearest-rank; `None` when empty.
-    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+    pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        if self.xs.is_empty() {
+        if self.sorted.is_empty() {
             return None;
         }
-        self.ensure_sorted();
-        let idx = ((q * (self.xs.len() - 1) as f64).round() as usize).min(self.xs.len() - 1);
-        Some(self.xs[idx])
+        let idx = ((q * (self.sorted.len() - 1) as f64).round() as usize)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
     }
 
     /// Sample mean; `None` when empty.
@@ -157,18 +157,21 @@ impl SampleSet {
         }
     }
 
+    /// Smallest sample; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
     /// Largest sample; `None` when empty.
-    pub fn max(&mut self) -> Option<f64> {
-        self.ensure_sorted();
-        self.xs.last().copied()
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
     }
 
     /// Empirical CDF as `(value, cumulative fraction)` pairs, one per
     /// sample, suitable for plotting or table output.
-    pub fn cdf_points(&mut self) -> Vec<(f64, f64)> {
-        self.ensure_sorted();
-        let n = self.xs.len() as f64;
-        self.xs
+    pub fn cdf_points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
             .iter()
             .enumerate()
             .map(|(i, &x)| (x, (i + 1) as f64 / n))
@@ -177,9 +180,9 @@ impl SampleSet {
 
     /// CDF downsampled to `k` evenly spaced cumulative fractions —
     /// compact form for report tables.
-    pub fn cdf_summary(&mut self, k: usize) -> Vec<(f64, f64)> {
+    pub fn cdf_summary(&self, k: usize) -> Vec<(f64, f64)> {
         assert!(k >= 2, "need at least 2 summary points");
-        if self.xs.is_empty() {
+        if self.sorted.is_empty() {
             return Vec::new();
         }
         (0..k)
@@ -287,14 +290,10 @@ impl ThroughputMeter {
         }
     }
 
-    /// Per-window MB/s samples gathered so far.
+    /// Per-window MB/s samples gathered so far (quantile/CDF reads all
+    /// take `&self`).
     pub fn samples(&self) -> &SampleSet {
         &self.samples
-    }
-
-    /// Mutable access (for quantile/CDF extraction, which sorts).
-    pub fn samples_mut(&mut self) -> &mut SampleSet {
-        &mut self.samples
     }
 
     /// Total bytes recorded over the meter's lifetime.
@@ -368,6 +367,62 @@ mod tests {
         for w in cdf.windows(2) {
             assert!(w[0].0 <= w[1].0 && w[0].1 < w[1].1);
         }
+    }
+
+    #[test]
+    fn empty_set_reads_are_none_or_empty() {
+        let s = SampleSet::new();
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(1.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert!(s.cdf_points().is_empty());
+        assert!(s.cdf_summary(5).is_empty());
+        assert_eq!(s.jain_fairness(), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_collapse() {
+        let mut s = SampleSet::new();
+        s.record(7.5);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), Some(7.5));
+        }
+        assert_eq!(s.min(), Some(7.5));
+        assert_eq!(s.max(), Some(7.5));
+        assert_eq!(s.cdf_points(), vec![(7.5, 1.0)]);
+        assert_eq!(s.cdf_summary(2), vec![(7.5, 0.0), (7.5, 1.0)]);
+    }
+
+    #[test]
+    fn q0_and_q1_are_exact_extremes() {
+        let mut s = SampleSet::new();
+        for x in [9.0, -3.0, 4.0, 4.0, 12.5] {
+            s.record(x);
+        }
+        assert_eq!(s.quantile(0.0), Some(-3.0));
+        assert_eq!(s.quantile(1.0), Some(12.5));
+    }
+
+    #[test]
+    fn reads_take_shared_refs_and_insertion_order_survives() {
+        let mut s = SampleSet::new();
+        for x in [3.0, 1.0, 2.0] {
+            s.record(x);
+        }
+        let shared: &SampleSet = &s;
+        assert_eq!(shared.quantile(0.5), Some(2.0));
+        assert_eq!(shared.max(), Some(3.0));
+        // Sorted reads must not disturb the insertion-order view.
+        assert_eq!(s.samples(), &[3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn nan_rejected_at_record() {
+        SampleSet::new().record(f64::NAN);
     }
 
     #[test]

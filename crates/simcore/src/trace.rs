@@ -1,0 +1,930 @@
+//! Compact structured event trace and the replay invariant oracle.
+//!
+//! Every layer of the simulated I/O stack pushes fixed-size typed
+//! records into a [`Trace`] ring: request arrival/merge/dispatch/
+//! completion at each elevator level, idle arming, the hot-switch state
+//! machine, ring occupancy, physical service breakdowns, network flows
+//! and job phase transitions. The trace is the common substrate for
+//! per-layer metrics, for the figure benches, and for the
+//! [`TraceOracle`] — a replay checker that asserts cross-layer
+//! invariants over a finished run.
+//!
+//! This module is simulation-agnostic: schedulers appear as one-byte
+//! codes (the paper's `c`/`d`/`a`/`n` axis labels), layers as
+//! [`Layer`], and nothing here depends on the elevator or stack crates.
+//!
+//! Records are `Copy` and the ring never allocates per event after
+//! construction; a full ring drops the *oldest* record and counts the
+//! drop. The rolling FNV-1a [`Trace::digest`] covers every record ever
+//! pushed (including dropped ones), so two runs can be compared
+//! bit-for-bit without retaining their full traces.
+
+use crate::stats::OnlineStats;
+use crate::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Where in the stack an event happened: one guest elevator (DomU) or
+/// the host-level (Dom0) elevator of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// The hypervisor-level elevator.
+    Host,
+    /// The elevator of guest (VM) `0`, `1`, …
+    Guest(u32),
+}
+
+impl Layer {
+    fn tag(self) -> u64 {
+        match self {
+            Layer::Host => u64::MAX,
+            Layer::Guest(v) => v as u64,
+        }
+    }
+}
+
+/// One typed trace event. All variants are fixed-size and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An elevator was (re)installed: at stack construction and after
+    /// every completed hot switch. `sched` is the one-byte scheduler
+    /// code (`b'c'`/`b'd'`/`b'a'`/`b'n'`).
+    SchedInstall {
+        /// Which elevator.
+        layer: Layer,
+        /// Scheduler code now installed.
+        sched: u8,
+    },
+    /// A request entered an elevator as a new queue entry.
+    Arrive {
+        /// Which elevator.
+        layer: Layer,
+        /// Request id (unique per layer).
+        id: u64,
+        /// First sector of the extent.
+        sector: u64,
+        /// Extent length in sectors.
+        sectors: u64,
+        /// Write (true) or read.
+        write: bool,
+    },
+    /// A request entered an elevator by merging onto the tail of an
+    /// existing queued extent.
+    MergeBack {
+        /// Which elevator.
+        layer: Layer,
+        /// Id of the absorbed (arriving) request.
+        id: u64,
+        /// Its extent start.
+        sector: u64,
+        /// Its extent length.
+        sectors: u64,
+        /// Write (true) or read.
+        write: bool,
+    },
+    /// A request entered an elevator by merging onto the head of an
+    /// existing queued extent.
+    MergeFront {
+        /// Which elevator.
+        layer: Layer,
+        /// Id of the absorbed (arriving) request.
+        id: u64,
+        /// Its extent start.
+        sector: u64,
+        /// Its extent length.
+        sectors: u64,
+        /// Write (true) or read.
+        write: bool,
+    },
+    /// An elevator handed a (possibly merged) request downwards.
+    Dispatch {
+        /// Which elevator.
+        layer: Layer,
+        /// Leading part's id.
+        id: u64,
+        /// Merged extent start.
+        sector: u64,
+        /// Merged extent length — must equal the union of the parents'
+        /// extents, which the oracle checks.
+        sectors: u64,
+        /// Write (true) or read.
+        write: bool,
+    },
+    /// A request fully completed at this layer (one event per
+    /// originally submitted request id).
+    Complete {
+        /// Which elevator.
+        layer: Layer,
+        /// Originally submitted id.
+        id: u64,
+    },
+    /// The elevator chose to idle (anticipation / slice idling) until
+    /// the given time rather than dispatch.
+    IdleArm {
+        /// Which elevator.
+        layer: Layer,
+        /// Idle deadline.
+        until: SimTime,
+    },
+    /// A hot switch began: the elevator is quiesced and draining.
+    /// New submissions are staged, not added, until [`TraceEvent::SwitchEnd`].
+    SwitchBegin {
+        /// Which elevator.
+        layer: Layer,
+        /// Target scheduler code.
+        to: u8,
+    },
+    /// The drain finished and the new elevator is installed but frozen
+    /// (re-init stall): nothing may dispatch until `SwitchEnd`.
+    SwapDone {
+        /// Which elevator.
+        layer: Layer,
+        /// Target scheduler code.
+        to: u8,
+    },
+    /// The re-init stall elapsed: the queue thaws, staged requests
+    /// re-enter (as fresh `Arrive` events after this record).
+    SwitchEnd {
+        /// Which elevator.
+        layer: Layer,
+        /// Scheduler code now live.
+        to: u8,
+    },
+    /// Ring occupancy of one VM's blkfront ring after a change.
+    RingOcc {
+        /// The VM.
+        vm: u32,
+        /// Segments currently in flight.
+        occupied: u32,
+        /// The hard bound occupancy may never exceed (ring depth plus
+        /// the largest single split, minus one).
+        bound: u32,
+    },
+    /// Physical service of one host-level request, decomposed.
+    DiskService {
+        /// Host-level request id.
+        id: u64,
+        /// Seek time, ns.
+        seek_ns: u64,
+        /// Rotational wait, ns.
+        rotation_ns: u64,
+        /// Media transfer, ns.
+        transfer_ns: u64,
+        /// Sectors moved.
+        sectors: u64,
+        /// Serviced without repositioning.
+        sequential: bool,
+    },
+    /// A network flow started.
+    FlowStart {
+        /// Flow id.
+        id: u64,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Flow size in bytes.
+        bytes: u64,
+    },
+    /// A network flow delivered its last byte.
+    FlowEnd {
+        /// Flow id.
+        id: u64,
+    },
+    /// The job entered a phase (1 = maps, 2 = shuffle tail, 3 = reduce
+    /// tail); must be non-decreasing.
+    Phase {
+        /// Phase code.
+        phase: u8,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub t: SimTime,
+    /// What happened.
+    pub ev: TraceEvent,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(mut h: u64, words: &[u64]) -> u64 {
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+impl TraceRecord {
+    /// Fold this record into a rolling FNV-1a state: a canonical
+    /// encoding of (time, variant tag, fields), stable across runs.
+    fn fold(&self, h: u64) -> u64 {
+        use TraceEvent::*;
+        let t = self.t.as_nanos();
+        match self.ev {
+            SchedInstall { layer, sched } => fnv1a(h, &[t, 1, layer.tag(), sched as u64]),
+            Arrive { layer, id, sector, sectors, write } => {
+                fnv1a(h, &[t, 2, layer.tag(), id, sector, sectors, write as u64])
+            }
+            MergeBack { layer, id, sector, sectors, write } => {
+                fnv1a(h, &[t, 3, layer.tag(), id, sector, sectors, write as u64])
+            }
+            MergeFront { layer, id, sector, sectors, write } => {
+                fnv1a(h, &[t, 4, layer.tag(), id, sector, sectors, write as u64])
+            }
+            Dispatch { layer, id, sector, sectors, write } => {
+                fnv1a(h, &[t, 5, layer.tag(), id, sector, sectors, write as u64])
+            }
+            Complete { layer, id } => fnv1a(h, &[t, 6, layer.tag(), id]),
+            IdleArm { layer, until } => fnv1a(h, &[t, 7, layer.tag(), until.as_nanos()]),
+            SwitchBegin { layer, to } => fnv1a(h, &[t, 8, layer.tag(), to as u64]),
+            SwapDone { layer, to } => fnv1a(h, &[t, 9, layer.tag(), to as u64]),
+            SwitchEnd { layer, to } => fnv1a(h, &[t, 10, layer.tag(), to as u64]),
+            RingOcc { vm, occupied, bound } => {
+                fnv1a(h, &[t, 11, vm as u64, occupied as u64, bound as u64])
+            }
+            DiskService { id, seek_ns, rotation_ns, transfer_ns, sectors, sequential } => fnv1a(
+                h,
+                &[t, 12, id, seek_ns, rotation_ns, transfer_ns, sectors, sequential as u64],
+            ),
+            FlowStart { id, src, dst, bytes } => {
+                fnv1a(h, &[t, 13, id, src as u64, dst as u64, bytes])
+            }
+            FlowEnd { id } => fnv1a(h, &[t, 14, id]),
+            Phase { phase } => fnv1a(h, &[t, 15, phase as u64]),
+        }
+    }
+}
+
+/// A bounded, drop-oldest ring of [`TraceRecord`]s with a rolling
+/// digest. Capacity 0 disables tracing entirely (pushes are no-ops and
+/// cost one branch).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    total: u64,
+    dropped: u64,
+    hash: u64,
+}
+
+impl Trace {
+    /// A disabled trace: records nothing, digest stays at the seed.
+    pub fn disabled() -> Self {
+        Trace::bounded(0)
+    }
+
+    /// A ring holding at most `cap` records (0 = disabled).
+    pub fn bounded(cap: usize) -> Self {
+        Trace {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1 << 16)),
+            total: 0,
+            dropped: 0,
+            hash: FNV_OFFSET,
+        }
+    }
+
+    /// A ring that never drops (grows without bound) — for oracle runs.
+    pub fn unbounded() -> Self {
+        Trace::bounded(usize::MAX)
+    }
+
+    /// True when pushes are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Append one record, evicting the oldest when full.
+    pub fn push(&mut self, t: SimTime, ev: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        let rec = TraceRecord { t, ev };
+        self.hash = rec.fold(self.hash);
+        self.total += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Retained record count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records evicted by the ring bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Rolling FNV-1a digest over every record ever pushed. Equal
+    /// inputs produce equal digests; any reordering, added or missing
+    /// record changes it.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Combine several trace digests into one (order-sensitive).
+pub fn combine_digests<I: IntoIterator<Item = u64>>(digests: I) -> u64 {
+    let mut h = FNV_OFFSET;
+    for d in digests {
+        h = fnv1a(h, &[d]);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Replay oracle
+// ---------------------------------------------------------------------
+
+/// Tunables the oracle needs to judge deadline-expiry behaviour,
+/// mirroring the deadline elevator's defaults.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Read FIFO expiry.
+    pub read_expire: SimDuration,
+    /// Write FIFO expiry.
+    pub write_expire: SimDuration,
+    /// Dispatches per batch.
+    pub fifo_batch: u32,
+    /// Read batches a pending write may be starved for.
+    pub writes_starved: u32,
+    /// The scheduler code that enables the expiry check (`b'd'`).
+    pub deadline_code: u8,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            read_expire: SimDuration::from_millis(500),
+            write_expire: SimDuration::from_secs(5),
+            fifo_batch: 16,
+            writes_starved: 2,
+            deadline_code: b'd',
+        }
+    }
+}
+
+/// One queued extent awaiting dispatch at a layer.
+#[derive(Debug, Clone, Copy)]
+struct PendingExtent {
+    id: u64,
+    sectors: u64,
+    entered: SimTime,
+}
+
+/// A deadline-FIFO entry the oracle shadows: after `deadline` passes,
+/// at most `fifo_batch × (writes_starved + 2)` other dispatches may
+/// happen at the layer before this request is served.
+#[derive(Debug, Clone, Copy)]
+struct DlEntry {
+    id: u64,
+    deadline: SimTime,
+    late_dispatches: u32,
+}
+
+#[derive(Debug, Default)]
+struct LayerState {
+    sched: u8,
+    /// extent start → queued entries beginning there (FIFO per start).
+    pending: BTreeMap<u64, VecDeque<PendingExtent>>,
+    pending_count: usize,
+    /// id → dispatch time, awaiting completion.
+    dispatched: HashMap<u64, SimTime>,
+    /// Between SwitchBegin and SwitchEnd: no new elevator entries.
+    quiesced: bool,
+    /// Between SwapDone and SwitchEnd: no dispatches.
+    frozen: bool,
+    dl_fifo: Vec<DlEntry>,
+}
+
+/// Replays a [`Trace`] and checks cross-layer invariants:
+///
+/// * **Lifecycle order** — for every request id: elevator entry ≤
+///   dispatch ≤ completion, each at most once.
+/// * **Merge extent exactness** — every dispatched extent is tiled
+///   *exactly* by the arrival extents it absorbed: no byte served that
+///   never arrived, none arrived twice into one dispatch.
+/// * **Quiesce discipline** — while an elevator is switching (begin →
+///   thaw) nothing enters it (submissions are staged); while it is
+///   frozen (swap → thaw) nothing dispatches. (The drain itself
+///   dispatches *by design* — draining means serving the old queue —
+///   so dispatches are legal between begin and swap.)
+/// * **Ring bound** — blkfront ring occupancy never exceeds its bound.
+/// * **Deadline expiry** — while the deadline scheduler is installed,
+///   once a queued request's FIFO deadline passes, it is served within
+///   `fifo_batch × (writes_starved + 2)` further dispatches (the
+///   current batch, plus the starvation-bounded batches of the other
+///   direction, at batch boundaries).
+/// * **Flows and phases** — every flow ends after it starts, at most
+///   once; phase codes never decrease.
+///
+/// Violations are collected (capped), not panicked, so a test can
+/// report them all; [`TraceOracle::assert_clean`] panics with the list.
+#[derive(Debug)]
+pub struct TraceOracle {
+    cfg: OracleConfig,
+    layers: HashMap<Layer, LayerState>,
+    flows: HashMap<u64, SimTime>,
+    phase: u8,
+    checked: u64,
+    violations: Vec<String>,
+}
+
+const MAX_VIOLATIONS: usize = 32;
+
+impl Default for TraceOracle {
+    fn default() -> Self {
+        TraceOracle::new(OracleConfig::default())
+    }
+}
+
+impl TraceOracle {
+    /// Oracle with explicit deadline tunables.
+    pub fn new(cfg: OracleConfig) -> Self {
+        TraceOracle {
+            cfg,
+            layers: HashMap::new(),
+            flows: HashMap::new(),
+            phase: 0,
+            checked: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Replay every retained record of `trace`. The trace must not have
+    /// dropped records (a truncated history cannot be checked).
+    pub fn replay(&mut self, trace: &Trace) {
+        if trace.dropped() > 0 {
+            self.violate(format!(
+                "trace dropped {} records; oracle needs the full history \
+                 (use Trace::unbounded)",
+                trace.dropped()
+            ));
+            return;
+        }
+        for rec in trace.records() {
+            self.observe(rec);
+        }
+    }
+
+    fn violate(&mut self, msg: String) {
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(msg);
+        }
+    }
+
+    fn layer(&mut self, l: Layer) -> &mut LayerState {
+        self.layers.entry(l).or_default()
+    }
+
+    fn enter(&mut self, t: SimTime, layer: Layer, id: u64, sector: u64, sectors: u64, write: bool, fresh_entry: bool) {
+        let deadline_code = self.cfg.deadline_code;
+        let expire = if write { self.cfg.write_expire } else { self.cfg.read_expire };
+        let quiesced = {
+            let ls = self.layer(layer);
+            ls.pending
+                .entry(sector)
+                .or_default()
+                .push_back(PendingExtent { id, sectors, entered: t });
+            ls.pending_count += 1;
+            if fresh_entry && ls.sched == deadline_code {
+                ls.dl_fifo.push(DlEntry { id, deadline: t + expire, late_dispatches: 0 });
+            }
+            ls.quiesced
+        };
+        if quiesced {
+            self.violate(format!(
+                "{layer:?}: request {id} entered the elevator at {t} while quiesced for a switch"
+            ));
+        }
+    }
+
+    fn dispatch(&mut self, t: SimTime, layer: Layer, id: u64, sector: u64, sectors: u64) {
+        let dl_bound = self.cfg.fifo_batch * (self.cfg.writes_starved + 2);
+        let deadline_code = self.cfg.deadline_code;
+        let mut msgs: Vec<String> = Vec::new();
+        let mut served: Vec<u64> = Vec::new();
+        {
+            let ls = self.layers.entry(layer).or_default();
+            if ls.frozen {
+                msgs.push(format!(
+                    "{layer:?}: dispatch of {id} at {t} while frozen (post-swap re-init stall)"
+                ));
+            }
+            // Consume the exact tiling of [sector, sector+sectors).
+            let end = sector + sectors;
+            let mut cursor = sector;
+            while cursor < end {
+                let remaining = end - cursor;
+                let Some(q) = ls.pending.get_mut(&cursor) else {
+                    msgs.push(format!(
+                        "{layer:?}: dispatched extent [{sector}, {end}) of rq {id} at {t} \
+                         is not covered by arrivals (gap at {cursor})"
+                    ));
+                    break;
+                };
+                // Prefer an entry that fits inside the dispatched extent.
+                let pos = q.iter().position(|p| p.sectors <= remaining).unwrap_or(0);
+                let p = q.remove(pos).expect("non-empty pending queue");
+                if q.is_empty() {
+                    ls.pending.remove(&cursor);
+                }
+                ls.pending_count -= 1;
+                if p.sectors > remaining {
+                    msgs.push(format!(
+                        "{layer:?}: dispatched extent [{sector}, {end}) of rq {id} at {t} \
+                         ends inside an arrived extent ({} sectors at {cursor})",
+                        p.sectors
+                    ));
+                    break;
+                }
+                if p.entered > t {
+                    msgs.push(format!(
+                        "{layer:?}: request {} dispatched at {t} before its arrival at {}",
+                        p.id, p.entered
+                    ));
+                }
+                if ls.dispatched.insert(p.id, t).is_some() {
+                    msgs.push(format!("{layer:?}: request {} dispatched twice", p.id));
+                }
+                served.push(p.id);
+                cursor += p.sectors;
+            }
+            // Deadline expiry shadow: every expired, unserved FIFO entry
+            // ages by one dispatch.
+            if ls.sched == deadline_code {
+                ls.dl_fifo.retain(|e| !served.contains(&e.id));
+                for e in ls.dl_fifo.iter_mut() {
+                    if e.deadline < t {
+                        e.late_dispatches += 1;
+                        if e.late_dispatches == dl_bound + 1 {
+                            msgs.push(format!(
+                                "{layer:?}: request {} expired at {} but {} dispatches \
+                                 have passed without serving it (bound {dl_bound})",
+                                e.id, e.deadline, e.late_dispatches
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for m in msgs {
+            self.violate(m);
+        }
+        self.checked += 1;
+    }
+
+    /// Feed one record (they must arrive in trace order).
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        use TraceEvent::*;
+        let t = rec.t;
+        match rec.ev {
+            SchedInstall { layer, sched } => {
+                let ls = self.layer(layer);
+                ls.sched = sched;
+                ls.dl_fifo.clear();
+            }
+            Arrive { layer, id, sector, sectors, write } => {
+                self.enter(t, layer, id, sector, sectors, write, true);
+            }
+            MergeBack { layer, id, sector, sectors, write }
+            | MergeFront { layer, id, sector, sectors, write } => {
+                // Merged entries join an existing FIFO entry; no new
+                // deadline shadow entry (matching the elevator).
+                self.enter(t, layer, id, sector, sectors, write, false);
+            }
+            Dispatch { layer, id, sector, sectors, .. } => {
+                self.dispatch(t, layer, id, sector, sectors);
+            }
+            Complete { layer, id } => {
+                let msg = {
+                    let ls = self.layer(layer);
+                    match ls.dispatched.remove(&id) {
+                        Some(dt) if dt > t => Some(format!(
+                            "{layer:?}: request {id} completed at {t} before its dispatch at {dt}"
+                        )),
+                        Some(_) => None,
+                        None => Some(format!(
+                            "{layer:?}: request {id} completed at {t} without a dispatch"
+                        )),
+                    }
+                };
+                if let Some(m) = msg {
+                    self.violate(m);
+                }
+            }
+            IdleArm { layer, until } => {
+                if until < t {
+                    self.violate(format!("{layer:?}: idle armed at {t} into the past ({until})"));
+                }
+            }
+            SwitchBegin { layer, .. } => {
+                // A begin while frozen retargets the switch: the layer
+                // is draining (its new, empty elevator) again.
+                let ls = self.layer(layer);
+                ls.quiesced = true;
+                ls.frozen = false;
+            }
+            SwapDone { layer, .. } => {
+                let msg = {
+                    let ls = self.layer(layer);
+                    ls.frozen = true;
+                    (ls.pending_count > 0).then(|| {
+                        format!(
+                            "{layer:?}: elevator swapped at {t} with {} requests still queued",
+                            ls.pending_count
+                        )
+                    })
+                };
+                if let Some(m) = msg {
+                    self.violate(m);
+                }
+            }
+            SwitchEnd { layer, to } => {
+                let ls = self.layer(layer);
+                ls.quiesced = false;
+                ls.frozen = false;
+                ls.sched = to;
+                ls.dl_fifo.clear();
+            }
+            RingOcc { vm, occupied, bound } => {
+                if occupied > bound {
+                    self.violate(format!(
+                        "vm {vm}: ring occupancy {occupied} exceeds bound {bound} at {t}"
+                    ));
+                }
+            }
+            DiskService { .. } => {}
+            FlowStart { id, .. } => {
+                if self.flows.insert(id, t).is_some() {
+                    self.violate(format!("flow {id} started twice"));
+                }
+            }
+            FlowEnd { id } => {
+                let msg = match self.flows.remove(&id) {
+                    Some(st) if st > t => {
+                        Some(format!("flow {id} ended at {t} before its start at {st}"))
+                    }
+                    Some(_) => None,
+                    None => Some(format!("flow {id} ended without starting")),
+                };
+                if let Some(m) = msg {
+                    self.violate(m);
+                }
+            }
+            Phase { phase } => {
+                if phase < self.phase {
+                    self.violate(format!(
+                        "phase went backwards: {} after {}",
+                        phase, self.phase
+                    ));
+                }
+                self.phase = phase;
+            }
+        }
+    }
+
+    /// Dispatch events verified so far.
+    pub fn dispatches_checked(&self) -> u64 {
+        self.checked
+    }
+
+    /// All collected violations (empty = clean).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Panic with every violation if any was found.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "trace oracle found {} violation(s):\n{}",
+            self.violations.len(),
+            self.violations.join("\n")
+        );
+    }
+}
+
+/// Summarize per-layer anticipation idles from a trace (helper for the
+/// metrics document: count and total armed nanoseconds per layer).
+pub fn idle_summary(trace: &Trace) -> HashMap<Layer, (u64, OnlineStats)> {
+    let mut out: HashMap<Layer, (u64, OnlineStats)> = HashMap::new();
+    for rec in trace.records() {
+        if let TraceEvent::IdleArm { layer, until } = rec.ev {
+            let e = out.entry(layer).or_default();
+            e.0 += 1;
+            e.1.record(until.saturating_since(rec.t).as_secs_f64());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev_arrive(layer: Layer, id: u64, sector: u64, sectors: u64) -> TraceEvent {
+        TraceEvent::Arrive { layer, id, sector, sectors, write: false }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut tr = Trace::bounded(2);
+        for i in 0..5u64 {
+            tr.push(SimTime::from_nanos(i), ev_arrive(Layer::Host, i, i * 8, 8));
+        }
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.total(), 5);
+        assert_eq!(tr.dropped(), 3);
+        let ids: Vec<u64> = tr
+            .records()
+            .map(|r| match r.ev {
+                TraceEvent::Arrive { id, .. } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn disabled_trace_is_free_and_stable() {
+        let mut tr = Trace::disabled();
+        let d0 = tr.digest();
+        tr.push(SimTime::ZERO, ev_arrive(Layer::Host, 1, 0, 8));
+        assert_eq!(tr.len(), 0);
+        assert_eq!(tr.total(), 0);
+        assert_eq!(tr.digest(), d0);
+    }
+
+    #[test]
+    fn digest_covers_dropped_records_and_detects_changes() {
+        let mut a = Trace::bounded(2);
+        let mut b = Trace::bounded(2);
+        for i in 0..6u64 {
+            a.push(SimTime::from_nanos(i), ev_arrive(Layer::Host, i, i * 8, 8));
+            b.push(SimTime::from_nanos(i), ev_arrive(Layer::Host, i, i * 8, 8));
+        }
+        assert_eq!(a.digest(), b.digest());
+        b.push(SimTime::from_nanos(9), ev_arrive(Layer::Host, 9, 0, 8));
+        assert_ne!(a.digest(), b.digest());
+        // Same events, different order → different digest.
+        let mut c = Trace::unbounded();
+        let mut d = Trace::unbounded();
+        c.push(SimTime::ZERO, ev_arrive(Layer::Host, 1, 0, 8));
+        c.push(SimTime::ZERO, ev_arrive(Layer::Host, 2, 8, 8));
+        d.push(SimTime::ZERO, ev_arrive(Layer::Host, 2, 8, 8));
+        d.push(SimTime::ZERO, ev_arrive(Layer::Host, 1, 0, 8));
+        assert_ne!(c.digest(), d.digest());
+    }
+
+    #[test]
+    fn oracle_accepts_a_clean_merged_lifecycle() {
+        let mut tr = Trace::unbounded();
+        let l = Layer::Guest(0);
+        let t = SimTime::from_micros;
+        tr.push(t(0), TraceEvent::SchedInstall { layer: l, sched: b'n' });
+        tr.push(t(1), ev_arrive(l, 1, 100, 8));
+        tr.push(t(2), TraceEvent::MergeBack { layer: l, id: 2, sector: 108, sectors: 8, write: false });
+        tr.push(t(3), TraceEvent::Dispatch { layer: l, id: 1, sector: 100, sectors: 16, write: false });
+        tr.push(t(9), TraceEvent::Complete { layer: l, id: 1 });
+        tr.push(t(9), TraceEvent::Complete { layer: l, id: 2 });
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        o.assert_clean();
+        assert_eq!(o.dispatches_checked(), 1);
+    }
+
+    #[test]
+    fn oracle_rejects_uncovered_dispatch_and_double_completion() {
+        let mut tr = Trace::unbounded();
+        let l = Layer::Host;
+        tr.push(SimTime::from_micros(1), ev_arrive(l, 1, 100, 8));
+        // Dispatch claims 16 sectors but only 8 arrived.
+        tr.push(
+            SimTime::from_micros(2),
+            TraceEvent::Dispatch { layer: l, id: 1, sector: 100, sectors: 16, write: false },
+        );
+        tr.push(SimTime::from_micros(3), TraceEvent::Complete { layer: l, id: 1 });
+        tr.push(SimTime::from_micros(4), TraceEvent::Complete { layer: l, id: 1 });
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 2, "{:?}", o.violations());
+    }
+
+    #[test]
+    fn oracle_rejects_dispatch_while_frozen_and_arrival_while_quiesced() {
+        let mut tr = Trace::unbounded();
+        let l = Layer::Host;
+        let t = SimTime::from_micros;
+        tr.push(t(0), ev_arrive(l, 1, 0, 8));
+        tr.push(t(1), TraceEvent::SwitchBegin { layer: l, to: b'd' });
+        // Arrival while quiesced: illegal (should have been staged).
+        tr.push(t(2), ev_arrive(l, 2, 8, 8));
+        // Draining dispatch: legal.
+        tr.push(t(3), TraceEvent::Dispatch { layer: l, id: 1, sector: 0, sectors: 8, write: false });
+        tr.push(t(4), TraceEvent::Dispatch { layer: l, id: 2, sector: 8, sectors: 8, write: false });
+        tr.push(t(5), TraceEvent::SwapDone { layer: l, to: b'd' });
+        // Dispatch while frozen: illegal (also uncovered — count just the freeze one).
+        tr.push(t(6), ev_arrive(l, 3, 16, 8));
+        tr.push(t(7), TraceEvent::Dispatch { layer: l, id: 3, sector: 16, sectors: 8, write: false });
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        // Violations: arrival-while-quiesced (id 2), arrival-while-quiesced
+        // (id 3, still pre-thaw), dispatch-while-frozen (id 3).
+        assert_eq!(o.violations().len(), 3, "{:?}", o.violations());
+    }
+
+    #[test]
+    fn oracle_enforces_ring_bound_and_phase_monotonicity() {
+        let mut tr = Trace::unbounded();
+        tr.push(SimTime::ZERO, TraceEvent::RingOcc { vm: 0, occupied: 31, bound: 43 });
+        tr.push(SimTime::ZERO, TraceEvent::RingOcc { vm: 0, occupied: 44, bound: 43 });
+        tr.push(SimTime::ZERO, TraceEvent::Phase { phase: 2 });
+        tr.push(SimTime::ZERO, TraceEvent::Phase { phase: 1 });
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 2, "{:?}", o.violations());
+    }
+
+    #[test]
+    fn oracle_flags_deadline_expiry_starvation() {
+        let mut tr = Trace::unbounded();
+        let l = Layer::Host;
+        tr.push(SimTime::ZERO, TraceEvent::SchedInstall { layer: l, sched: b'd' });
+        // A read arrives and expires at 500 ms.
+        tr.push(SimTime::ZERO, ev_arrive(l, 1, 0, 8));
+        // 65 other reads arrive later and are all served first, far past
+        // the expiry — more than fifo_batch × (writes_starved + 2) = 64.
+        for i in 0..65u64 {
+            let t = SimTime::from_millis(600 + i);
+            tr.push(t, ev_arrive(l, 100 + i, 1000 + i * 8, 8));
+            tr.push(
+                t,
+                TraceEvent::Dispatch { layer: l, id: 100 + i, sector: 1000 + i * 8, sectors: 8, write: false },
+            );
+        }
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 1, "{:?}", o.violations());
+        assert!(o.violations()[0].contains("expired"), "{:?}", o.violations());
+    }
+
+    #[test]
+    fn oracle_checks_flow_pairing() {
+        let mut tr = Trace::unbounded();
+        tr.push(SimTime::ZERO, TraceEvent::FlowStart { id: 1, src: 0, dst: 1, bytes: 100 });
+        tr.push(SimTime::from_secs(1), TraceEvent::FlowEnd { id: 1 });
+        tr.push(SimTime::from_secs(2), TraceEvent::FlowEnd { id: 2 });
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn oracle_refuses_truncated_traces() {
+        let mut tr = Trace::bounded(1);
+        tr.push(SimTime::ZERO, ev_arrive(Layer::Host, 1, 0, 8));
+        tr.push(SimTime::ZERO, ev_arrive(Layer::Host, 2, 8, 8));
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 1);
+        assert!(o.violations()[0].contains("dropped"));
+    }
+
+    #[test]
+    fn idle_summary_counts_arms() {
+        let mut tr = Trace::unbounded();
+        let l = Layer::Guest(1);
+        tr.push(SimTime::ZERO, TraceEvent::IdleArm { layer: l, until: SimTime::from_millis(6) });
+        tr.push(SimTime::from_millis(10), TraceEvent::IdleArm { layer: l, until: SimTime::from_millis(16) });
+        let s = idle_summary(&tr);
+        let (n, stats) = &s[&l];
+        assert_eq!(*n, 2);
+        assert!((stats.mean() - 0.006).abs() < 1e-9);
+    }
+}

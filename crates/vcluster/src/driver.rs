@@ -12,10 +12,11 @@ use crate::files::VmFiles;
 use crate::network::{FlowId, NetParams, Network};
 use iosched::{Dir, IoRequest, RequestId, SchedPair, StreamId};
 use mrsim::{
-    map_output_file, map_plan, reduce_plan, ClusterShape, FileRef, JobEvent, JobSpec, JobTracker,
-    PhaseTimes, TaskId, TaskKind, TaskOp,
+    map_output_file, map_plan, reduce_plan, ClusterShape, FileRef, JobEvent, JobPhase, JobSpec,
+    JobTracker, PhaseTimes, TaskId, TaskKind, TaskOp,
 };
-use simcore::{EventQueue, SimDuration, SimTime, Timer, TimerTicket};
+use simcore::trace::{combine_digests, Trace, TraceEvent};
+use simcore::{EventQueue, Json, MetricsRegistry, OnlineStats, SimDuration, SimTime, Timer, TimerTicket};
 use vmstack::{NodeParams, NodeStack, StackAction, StackEvent, VmId};
 
 use std::collections::{BTreeMap, VecDeque};
@@ -170,6 +171,14 @@ pub struct JobOutcome {
     pub switch_log: Vec<(SimTime, SchedPair)>,
     /// Total bytes moved over the network.
     pub network_bytes: u64,
+    /// Deterministic per-layer metrics document (disk, Dom0 elevator,
+    /// guest elevators, ring, latency, throughput probe, network,
+    /// cache, CPU, phases) — one JSON object per run, byte-stable.
+    pub metrics: Json,
+    /// Combined rolling digest of every node's trace plus the
+    /// cluster-level trace (flows/phases). Bit-identical runs produce
+    /// identical digests even when the trace rings dropped records.
+    pub trace_digest: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -305,7 +314,8 @@ pub struct ClusterSim {
     next_req: RequestId,
     cpu_map: BTreeMap<WorkId, CpuOwner>,
     next_work: WorkId,
-    flow_map: BTreeMap<FlowId, FlowOwner>,
+    /// Flow owner plus start time (for flow-duration metrics).
+    flow_map: BTreeMap<FlowId, (FlowOwner, SimTime)>,
     fetches: BTreeMap<u64, Fetch>,
     next_fetch: u64,
     /// Bytes appended to each reducer's shuffle run so far.
@@ -317,6 +327,15 @@ pub struct ClusterSim {
     progress: Vec<(SimTime, f64)>,
     switch_log: Vec<(SimTime, SchedPair)>,
     online: Option<(Box<dyn OnlinePolicy>, SimDuration)>,
+    /// Cluster-level trace: network flows and job-phase transitions
+    /// (per-node I/O events live in each node's own trace).
+    trace: Trace,
+    flows_started: u64,
+    flow_stats: OnlineStats,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Per-VM (global index) VCPU busy nanoseconds handed out.
+    cpu_busy_ns: Vec<u64>,
 }
 
 impl ClusterSim {
@@ -370,10 +389,21 @@ impl ClusterSim {
             progress: vec![(SimTime::ZERO, 0.0)],
             switch_log: Vec::new(),
             online: None,
+            trace: Trace::bounded(params.node.trace_capacity),
+            flows_started: 0,
+            flow_stats: OnlineStats::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cpu_busy_ns: vec![0; total_vms as usize],
             params,
             job,
             plan,
         }
+    }
+
+    /// The cluster-level trace (flows and phase transitions).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Attach a reactive switching policy consulted every `period`
@@ -459,13 +489,19 @@ impl ClusterSim {
         let id = self.next_work;
         self.next_work += 1;
         self.cpu_map.insert(id, owner);
+        self.cpu_busy_ns[gvm as usize] += nanos.max(1);
         self.vcpus[gvm as usize].add(self.now, id, nanos.max(1));
         self.rearm_cpu(gvm);
     }
 
     fn start_flow(&mut self, owner: FlowOwner, src_node: u32, dst_node: u32, bytes: u64) {
         let id = self.net.start_flow(self.now, src_node, dst_node, bytes.max(1));
-        self.flow_map.insert(id, owner);
+        self.flow_map.insert(id, (owner, self.now));
+        self.flows_started += 1;
+        self.trace.push(
+            self.now,
+            TraceEvent::FlowStart { id, src: src_node, dst: dst_node, bytes: bytes.max(1) },
+        );
         self.rearm_net();
     }
 
@@ -739,7 +775,10 @@ impl ClusterSim {
     }
 
     fn on_flow_done(&mut self, flow: FlowId) {
-        let owner = self.flow_map.remove(&flow).expect("unknown flow");
+        let (owner, started) = self.flow_map.remove(&flow).expect("unknown flow");
+        self.flow_stats
+            .record(self.now.saturating_since(started).as_secs_f64());
+        self.trace.push(self.now, TraceEvent::FlowEnd { id: flow });
         match owner {
             FlowOwner::Fetch(fid) => {
                 let f = &self.fetches[&fid];
@@ -844,12 +883,14 @@ impl ClusterSim {
             let src_gvm = self.tracker.block_home(map);
             let file = map_output_file(&self.job, map);
             if self.caches[src_gvm as usize].read_hit(file, bytes) {
+                self.cache_hits += 1;
                 let src_node = src_gvm / self.params.shape.vms_per_node;
                 let dst_node =
                     self.tracker.reduce_home(r) / self.params.shape.vms_per_node;
                 self.start_flow(FlowOwner::Fetch(fid), src_node, dst_node, bytes);
                 continue;
             }
+            self.cache_misses += 1;
             let ext = self.files[src_gvm as usize]
                 .get(file)
                 .expect("map output exists after map committed");
@@ -922,10 +963,12 @@ impl ClusterSim {
                     // cache: no disk I/O, just the copy + user-function
                     // CPU time on the VCPU.
                     if self.caches[gvm as usize].read_hit(file, offset + bytes) {
+                        self.cache_hits += 1;
                         let work = bytes * cpu_ns_per_byte.max(1);
                         self.add_cpu_work(gvm, CpuOwner::Op(task), work);
                         return;
                     }
+                    self.cache_misses += 1;
                     // Reads address existing data: size the extent at
                     // the end of this access, not just this segment.
                     let ext = self.files[gvm as usize].ensure(file, offset + bytes);
@@ -1034,11 +1077,15 @@ impl ClusterSim {
         for ev in events {
             match ev {
                 JobEvent::MapsAllDone => {
+                    self.trace
+                        .push(self.now, TraceEvent::Phase { phase: JobPhase::Ph2.code() });
                     if let Some(pair) = self.plan.at_maps_done {
                         self.switch_all(pair);
                     }
                 }
                 JobEvent::ShuffleAllDone => {
+                    self.trace
+                        .push(self.now, TraceEvent::Phase { phase: JobPhase::Ph3.code() });
                     if let Some(pair) = self.plan.at_shuffle_done {
                         self.switch_all(pair);
                     }
@@ -1066,6 +1113,8 @@ impl ClusterSim {
 
     /// Execute the job to completion and report the outcome.
     pub fn run(&mut self) -> JobOutcome {
+        self.trace
+            .push(self.now, TraceEvent::Phase { phase: JobPhase::Ph1.code() });
         let initial = self.tracker.initial_assignments();
         for a in initial {
             self.start_task(a);
@@ -1143,6 +1192,13 @@ impl ClusterSim {
             self.tracker.t_shuffle_done.expect("shuffle done"),
             end,
         );
+        let metrics = self.export_metrics(&phases);
+        let trace_digest = combine_digests(
+            self.nodes
+                .iter()
+                .map(|n| n.trace().digest())
+                .chain(std::iter::once(self.trace.digest())),
+        );
         JobOutcome {
             phases,
             makespan: phases.total(),
@@ -1165,7 +1221,57 @@ impl ClusterSim {
             disk_stats: self.nodes.iter().map(|n| n.disk_stats().clone()).collect(),
             switch_log: std::mem::take(&mut self.switch_log),
             network_bytes: self.net.delivered_bytes as u64,
+            metrics,
+            trace_digest,
         }
+    }
+
+    /// Build the per-run metrics document: cluster sections first
+    /// (run, phases), then every node's per-layer sections folded in
+    /// node order, the node-0 throughput probe (the paper instruments a
+    /// single machine), and cluster-wide network / cache / CPU / trace
+    /// accounting. Registration order fixes the JSON byte layout.
+    fn export_metrics(&self, phases: &PhaseTimes) -> Json {
+        let mut reg = MetricsRegistry::new();
+        reg.set_gauge("run", "makespan_s", phases.total().as_secs_f64());
+        reg.set_gauge("run", "nodes", self.nodes.len() as f64);
+        reg.set_gauge("run", "vms", self.params.shape.total_vms() as f64);
+        reg.inc("run", "switches", self.switch_log.len() as u64);
+        for p in JobPhase::ALL {
+            reg.set_gauge(
+                "phases",
+                &format!("ph{}_s", p.code()),
+                phases.duration(p).as_secs_f64(),
+            );
+        }
+        reg.set_gauge(
+            "phases",
+            "non_concurrent_shuffle_pct",
+            phases.non_concurrent_shuffle_pct(),
+        );
+        for n in &self.nodes {
+            n.export_metrics(&mut reg);
+        }
+        self.nodes[0].export_throughput(&mut reg);
+        reg.inc("network", "flows", self.flows_started);
+        reg.set_gauge("network", "bytes", self.net.delivered_bytes);
+        reg.merge_stats("network", "flow_duration_s", &self.flow_stats);
+        reg.inc("cache", "hits", self.cache_hits);
+        reg.inc("cache", "misses", self.cache_misses);
+        for (g, ns) in self.cpu_busy_ns.iter().enumerate() {
+            reg.add_gauge("cpu", &format!("vm{g}_busy_s"), *ns as f64 / 1e9);
+        }
+        let records: u64 =
+            self.nodes.iter().map(|n| n.trace().total()).sum::<u64>() + self.trace.total();
+        let dropped: u64 =
+            self.nodes.iter().map(|n| n.trace().dropped()).sum::<u64>() + self.trace.dropped();
+        reg.inc("trace", "records", records);
+        reg.inc("trace", "dropped", dropped);
+        let mut doc = Json::obj().field("schema", "adios.metrics/1");
+        if let (Json::Obj(dst), Json::Obj(src)) = (&mut doc, reg.to_json()) {
+            dst.extend(src);
+        }
+        doc
     }
 }
 

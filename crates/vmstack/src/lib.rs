@@ -31,5 +31,5 @@ pub mod node;
 pub mod runner;
 pub mod switching;
 
-pub use node::{NodeParams, NodeStack, StackAction, StackEvent, SwitchScope, VmId};
+pub use node::{LevelCounters, NodeParams, NodeStack, StackAction, StackEvent, SwitchScope, VmId};
 pub use switching::{SwitchState, SwitchTiming};

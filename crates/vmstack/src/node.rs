@@ -33,9 +33,14 @@ pub enum SwitchScope {
 }
 use blkdev::{Disk, DiskParams};
 use iosched::{
-    build_elevator, Dispatch, Dir, Elevator, IoRequest, QueuedRq, RequestId, SchedPair, Tunables,
+    build_elevator, AddOutcome, Dispatch, Dir, Elevator, IoRequest, QueuedRq, RequestId, SchedPair,
+    Tunables,
 };
-use simcore::{SimDuration, SimTime, ThroughputMeter, Timer, TimerTicket};
+use simcore::trace::{Layer, Trace, TraceEvent};
+use simcore::{
+    MetricsRegistry, OnlineStats, SampleSet, SimDuration, SimTime, ThroughputMeter, Timer,
+    TimerTicket,
+};
 use std::collections::HashMap;
 
 /// Identifier of a VM on this node.
@@ -104,6 +109,9 @@ pub struct NodeParams {
     pub switch: SwitchTiming,
     /// Throughput meter window (paper Fig. 3 uses ~1 s samples).
     pub meter_window: SimDuration,
+    /// Trace ring capacity per node (0 disables tracing entirely;
+    /// `usize::MAX` never drops, which the replay oracle requires).
+    pub trace_capacity: usize,
 }
 
 impl Default for NodeParams {
@@ -117,7 +125,61 @@ impl Default for NodeParams {
             vm_extent_sectors: 40 * 1024 * 1024 * 2,
             switch: SwitchTiming::default(),
             meter_window: SimDuration::from_secs(1),
+            trace_capacity: 0,
         }
+    }
+}
+
+/// Cumulative per-elevator instrumentation, kept for the Dom0 level
+/// and each guest level. Everything here is derived from the same
+/// points the trace records, so metrics stay available even when the
+/// trace ring itself is disabled (`trace_capacity == 0`).
+#[derive(Debug, Clone, Default)]
+pub struct LevelCounters {
+    /// Requests that entered the elevator as fresh queue entries or
+    /// merges (one per submitted request).
+    pub arrivals: u64,
+    /// Arrivals absorbed onto the tail of a queued extent.
+    pub merges_back: u64,
+    /// Arrivals absorbed onto the head of a queued extent.
+    pub merges_front: u64,
+    /// Requests handed downwards (post-merge units).
+    pub dispatches: u64,
+    /// Sectors handed downwards.
+    pub dispatched_sectors: u64,
+    /// Originally submitted requests completed at this level.
+    pub completions: u64,
+    /// Idle decisions (anticipation / slice idling) instead of a
+    /// dispatch; repeated polls during one window each count.
+    pub idles: u64,
+    /// Completed hot switches of this elevator.
+    pub switches: u64,
+    /// Queue depth observed after each arrival.
+    pub queue_depth: OnlineStats,
+    /// Length of each armed idle window, seconds.
+    pub idle_wait: OnlineStats,
+    /// Measured drain duration of each switch (begin → swap), seconds.
+    pub drain_durations: SampleSet,
+    /// Total post-swap re-init stall, seconds.
+    pub freeze_secs: f64,
+}
+
+impl LevelCounters {
+    /// Fold this level into a metrics section (`inc`/`merge` semantics,
+    /// so multiple levels and nodes accumulate deterministically).
+    pub fn export(&self, reg: &mut MetricsRegistry, section: &str) {
+        reg.inc(section, "arrivals", self.arrivals);
+        reg.inc(section, "merges_back", self.merges_back);
+        reg.inc(section, "merges_front", self.merges_front);
+        reg.inc(section, "dispatches", self.dispatches);
+        reg.inc(section, "dispatched_sectors", self.dispatched_sectors);
+        reg.inc(section, "completions", self.completions);
+        reg.inc(section, "idles", self.idles);
+        reg.inc(section, "switches", self.switches);
+        reg.merge_stats(section, "queue_depth", &self.queue_depth);
+        reg.merge_stats(section, "idle_wait_s", &self.idle_wait);
+        reg.extend_samples(section, "drain_s", &self.drain_durations);
+        reg.add_gauge(section, "freeze_s", self.freeze_secs);
     }
 }
 
@@ -131,6 +193,9 @@ struct Guest {
     /// Physical base of this VM's extent.
     base: u64,
     meter: ThroughputMeter,
+    counters: LevelCounters,
+    /// When the in-progress switch began draining (for drain metrics).
+    drain_began: Option<SimTime>,
 }
 
 /// One ring slot: a segment of a guest request in flight to Dom0.
@@ -170,6 +235,17 @@ pub struct NodeStack {
     dom0_meter: ThroughputMeter,
     /// Completed-request latency, seconds (submit → IoDone).
     pub latency: simcore::OnlineStats,
+    trace: Trace,
+    dom0_counters: LevelCounters,
+    dom0_drain_began: Option<SimTime>,
+    /// Ring occupancy observed after every change, across all VMs.
+    ring_occ: OnlineStats,
+    ring_peak: u32,
+    /// Hard occupancy bound: `ring_depth - 1` slots may be full when
+    /// the depth check passes, plus the segments of one more dispatch
+    /// (largest merged request). Assumes single submissions never
+    /// exceed `max_merge_sectors`, which every in-repo workload honors.
+    ring_bound: u32,
 }
 
 impl NodeStack {
@@ -181,7 +257,7 @@ impl NodeStack {
             needed <= params.disk.capacity_sectors,
             "VM extents ({needed} sectors) exceed disk capacity"
         );
-        let guests = (0..vm_count)
+        let guests: Vec<Guest> = (0..vm_count)
             .map(|v| Guest {
                 elevator: build_elevator(pair.guest, &params.tunables),
                 in_ring: 0,
@@ -189,8 +265,28 @@ impl NodeStack {
                 switch: SwitchState::new(),
                 base: v as u64 * params.vm_extent_sectors,
                 meter: ThroughputMeter::new(params.meter_window),
+                counters: LevelCounters::default(),
+                drain_began: None,
             })
             .collect();
+        let seg = params.ring_seg_sectors.max(1);
+        let ring_bound = (params.ring_depth.saturating_sub(1)
+            + params.tunables.max_merge_sectors.max(seg).div_ceil(seg) as usize)
+            as u32;
+        let mut trace = Trace::bounded(params.trace_capacity);
+        trace.push(
+            SimTime::ZERO,
+            TraceEvent::SchedInstall { layer: Layer::Host, sched: pair.host.code() as u8 },
+        );
+        for v in 0..vm_count {
+            trace.push(
+                SimTime::ZERO,
+                TraceEvent::SchedInstall {
+                    layer: Layer::Guest(v),
+                    sched: pair.guest.code() as u8,
+                },
+            );
+        }
         NodeStack {
             disk: Disk::new(params.disk.clone()),
             dom0: build_elevator(pair.host, &params.tunables),
@@ -207,6 +303,12 @@ impl NodeStack {
             switching_to: None,
             dom0_meter: ThroughputMeter::new(params.meter_window),
             latency: simcore::OnlineStats::new(),
+            trace,
+            dom0_counters: LevelCounters::default(),
+            dom0_drain_began: None,
+            ring_occ: OnlineStats::new(),
+            ring_peak: 0,
+            ring_bound,
             params,
         }
     }
@@ -285,6 +387,121 @@ impl NodeStack {
         }
     }
 
+    /// The node's trace ring (empty when `trace_capacity == 0`).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Dom0-level instrumentation counters.
+    pub fn dom0_counters(&self) -> &LevelCounters {
+        &self.dom0_counters
+    }
+
+    /// One guest's instrumentation counters.
+    pub fn guest_counters(&self, vm: VmId) -> &LevelCounters {
+        &self.guests[vm as usize].counters
+    }
+
+    /// The hard ring-occupancy bound the oracle checks against.
+    pub fn ring_bound(&self) -> u32 {
+        self.ring_bound
+    }
+
+    /// Peak observed ring occupancy (segments in flight, any VM).
+    pub fn ring_peak(&self) -> u32 {
+        self.ring_peak
+    }
+
+    /// Fold every per-layer metric of this node into `reg`. Sections
+    /// accumulate across nodes: counters add, stats merge, sample sets
+    /// extend in node order, so the fold is deterministic.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        let d = self.disk.stats();
+        reg.inc("disk", "requests", d.requests);
+        reg.inc("disk", "sequential_requests", d.sequential_requests);
+        reg.inc("disk", "bytes", d.bytes);
+        reg.add_gauge("disk", "seek_s", d.seek_time.as_secs_f64());
+        reg.add_gauge("disk", "rotation_s", d.rotation_time.as_secs_f64());
+        reg.add_gauge("disk", "transfer_s", d.transfer_time.as_secs_f64());
+        reg.add_gauge("disk", "busy_s", d.busy_time.as_secs_f64());
+        self.dom0_counters.export(reg, "dom0_elevator");
+        for g in &self.guests {
+            g.counters.export(reg, "guest_elevator");
+        }
+        reg.merge_stats("ring", "occupancy", &self.ring_occ);
+        reg.observe("ring", "peak", self.ring_peak as f64);
+        reg.set_gauge("ring", "bound", self.ring_bound as f64);
+        reg.merge_stats("latency", "io_complete_s", &self.latency);
+    }
+
+    /// Export this node's throughput meters as a `throughput` section:
+    /// Dom0 window samples, per-VM window samples, and Jain fairness
+    /// across the VMs' mean throughputs (the paper's Fig. 3 probe
+    /// instruments a single node, so callers pick which node).
+    pub fn export_throughput(&self, reg: &mut MetricsRegistry) {
+        reg.extend_samples("throughput", "dom0_mbps", self.dom0_meter.samples());
+        let mut per_vm = SampleSet::new();
+        for (v, g) in self.guests.iter().enumerate() {
+            reg.extend_samples("throughput", &format!("vm{v}_mbps"), g.meter.samples());
+            let xs = g.meter.samples().samples();
+            per_vm.record(xs.iter().sum::<f64>() / xs.len().max(1) as f64);
+        }
+        reg.set_gauge(
+            "throughput",
+            "vm_fairness_jain",
+            per_vm.jain_fairness().unwrap_or(0.0),
+        );
+    }
+
+    /// Route a request into one guest's elevator, staging it while the
+    /// level is quiesced for a switch, and record the arrival.
+    fn enter_guest(&mut self, now: SimTime, vm: VmId, r: IoRequest) {
+        let g = &mut self.guests[vm as usize];
+        if !g.switch.is_settled() {
+            g.switch.stage(r);
+            return;
+        }
+        let (id, sector, sectors, write) = (r.id, r.sector, r.sectors, r.dir == Dir::Write);
+        let outcome = g.elevator.add(r, now);
+        let depth = g.elevator.queued();
+        record_add(
+            &mut self.trace,
+            &mut g.counters,
+            Layer::Guest(vm),
+            now,
+            id,
+            sector,
+            sectors,
+            write,
+            outcome,
+            depth,
+        );
+    }
+
+    /// Route a ring segment into the Dom0 elevator (same staging and
+    /// recording discipline as [`NodeStack::enter_guest`]).
+    fn enter_dom0(&mut self, now: SimTime, r: IoRequest) {
+        if !self.dom0_switch.is_settled() {
+            self.dom0_switch.stage(r);
+            return;
+        }
+        let (id, sector, sectors, write) = (r.id, r.sector, r.sectors, r.dir == Dir::Write);
+        let outcome = self.dom0.add(r, now);
+        let depth = self.dom0.queued();
+        record_add(
+            &mut self.trace,
+            &mut self.dom0_counters,
+            Layer::Host,
+            now,
+            id,
+            sector,
+            sectors,
+            write,
+            outcome,
+            depth,
+        );
+    }
+
     // ------------------------------------------------------------------
     // Submission path
     // ------------------------------------------------------------------
@@ -298,12 +515,7 @@ impl NodeStack {
         );
         self.outstanding += 1;
         let mut out = Vec::new();
-        let g = &mut self.guests[vm as usize];
-        if g.switch.is_draining() {
-            g.switch.stage(req);
-        } else {
-            g.elevator.add(req, now);
-        }
+        self.enter_guest(now, vm, req);
         self.pump_guest(now, vm, &mut out);
         self.pump_dom0(now, &mut out);
         out
@@ -361,10 +573,12 @@ impl NodeStack {
                     self.arm_guest_kick(vm, until, out);
                     return;
                 }
-                let g = &mut self.guests[vm as usize];
-                let staged = g.switch.thaw();
+                let staged = self.guests[vm as usize].switch.thaw();
+                let code = self.guests[vm as usize].elevator.kind().code() as u8;
+                self.trace
+                    .push(now, TraceEvent::SwitchEnd { layer: Layer::Guest(vm), to: code });
                 for r in staged {
-                    g.elevator.add(r, now);
+                    self.enter_guest(now, vm, r);
                 }
                 self.finish_switch_if_done(now, out);
             }
@@ -373,14 +587,32 @@ impl NodeStack {
             }
             match self.guests[vm as usize].elevator.dispatch(now) {
                 Dispatch::Request(grq) => {
+                    self.trace.push(
+                        now,
+                        TraceEvent::Dispatch {
+                            layer: Layer::Guest(vm),
+                            id: grq.id(),
+                            sector: grq.sector,
+                            sectors: grq.sectors,
+                            write: grq.dir == Dir::Write,
+                        },
+                    );
                     // Split across ring slots of at most ring_seg_sectors.
                     let seg_max = self.params.ring_seg_sectors.max(1);
                     let nsegs = grq.sectors.div_ceil(seg_max) as u32;
-                    let base = {
+                    let (base, occ) = {
                         let g = &mut self.guests[vm as usize];
                         g.in_ring += nsegs as usize;
-                        g.base
+                        g.counters.dispatches += 1;
+                        g.counters.dispatched_sectors += grq.sectors;
+                        (g.base, g.in_ring as u32)
                     };
+                    self.ring_occ.record(occ as f64);
+                    self.ring_peak = self.ring_peak.max(occ);
+                    self.trace.push(
+                        now,
+                        TraceEvent::RingOcc { vm, occupied: occ, bound: self.ring_bound },
+                    );
                     let parent = self.next_parent;
                     self.next_parent += 1;
                     let start = base + grq.sector;
@@ -409,17 +641,18 @@ impl NodeStack {
                             submitted: now,
                         };
                         self.ring.insert(id, RingSegment { vm, parent });
-                        if self.dom0_switch.is_draining() {
-                            self.dom0_switch.stage(dom0_req);
-                        } else {
-                            self.dom0.add(dom0_req, now);
-                        }
+                        self.enter_dom0(now, dom0_req);
                         off += len;
                     }
                     // Check drain progress of the guest switch.
                     self.try_finish_guest_drain(now, vm, out);
                 }
                 Dispatch::Idle { until } => {
+                    let c = &mut self.guests[vm as usize].counters;
+                    c.idles += 1;
+                    c.idle_wait.record(until.saturating_since(now).as_secs_f64());
+                    self.trace
+                        .push(now, TraceEvent::IdleArm { layer: Layer::Guest(vm), until });
                     self.arm_guest_kick(vm, until, out);
                     return;
                 }
@@ -443,20 +676,52 @@ impl NodeStack {
                 return;
             }
             let staged = self.dom0_switch.thaw();
+            let code = self.dom0.kind().code() as u8;
+            self.trace
+                .push(now, TraceEvent::SwitchEnd { layer: Layer::Host, to: code });
             for r in staged {
-                self.dom0.add(r, now);
+                self.enter_dom0(now, r);
             }
             self.finish_switch_if_done(now, out);
         }
         match self.dom0.dispatch(now) {
             Dispatch::Request(rq) => {
+                self.trace.push(
+                    now,
+                    TraceEvent::Dispatch {
+                        layer: Layer::Host,
+                        id: rq.id(),
+                        sector: rq.sector,
+                        sectors: rq.sectors,
+                        write: rq.dir == Dir::Write,
+                    },
+                );
+                self.dom0_counters.dispatches += 1;
+                self.dom0_counters.dispatched_sectors += rq.sectors;
                 let b = self
                     .disk
                     .service(now, rq.sector, rq.sectors, rq.dir == Dir::Write);
+                self.trace.push(
+                    now,
+                    TraceEvent::DiskService {
+                        id: rq.id(),
+                        seek_ns: b.seek.as_nanos(),
+                        rotation_ns: b.rotation.as_nanos(),
+                        transfer_ns: b.transfer.as_nanos(),
+                        sectors: rq.sectors,
+                        sequential: b.is_sequential(),
+                    },
+                );
                 self.in_service = Some(rq);
                 out.push(StackAction::At(now + b.total(), StackEvent::DiskDone));
             }
             Dispatch::Idle { until } => {
+                self.dom0_counters.idles += 1;
+                self.dom0_counters
+                    .idle_wait
+                    .record(until.saturating_since(now).as_secs_f64());
+                self.trace
+                    .push(now, TraceEvent::IdleArm { layer: Layer::Host, until });
                 self.arm_dom0_kick(until, out);
             }
             Dispatch::Empty => {
@@ -470,13 +735,21 @@ impl NodeStack {
         let rq = self.in_service.take().expect("DiskDone without in-service rq");
         self.dom0_meter.record(now, rq.bytes());
         self.dom0.completed(&rq, now);
+        // VMs whose ring occupancy changed, in first-touch order.
+        let mut occ_vms: Vec<VmId> = Vec::new();
         for part in &rq.parts {
+            self.trace
+                .push(now, TraceEvent::Complete { layer: Layer::Host, id: part.id });
+            self.dom0_counters.completions += 1;
             let seg = self
                 .ring
                 .remove(&part.id)
                 .expect("completed part not in ring");
             let vm = seg.vm;
             self.guests[vm as usize].in_ring -= 1;
+            if !occ_vms.contains(&vm) {
+                occ_vms.push(vm);
+            }
             let parent = self
                 .parents
                 .get_mut(&seg.parent)
@@ -486,10 +759,17 @@ impl NodeStack {
                 continue;
             }
             let parent = self.parents.remove(&seg.parent).expect("just seen");
-            let g = &mut self.guests[vm as usize];
-            g.meter.record(now, parent.grq.bytes());
-            g.elevator.completed(&parent.grq, now);
+            {
+                let g = &mut self.guests[vm as usize];
+                g.meter.record(now, parent.grq.bytes());
+                g.elevator.completed(&parent.grq, now);
+                g.counters.completions += parent.grq.parts.len() as u64;
+            }
             for gpart in &parent.grq.parts {
+                self.trace.push(
+                    now,
+                    TraceEvent::Complete { layer: Layer::Guest(vm), id: gpart.id },
+                );
                 self.latency
                     .record(now.saturating_since(gpart.submitted).as_secs_f64());
                 self.outstanding -= 1;
@@ -499,6 +779,12 @@ impl NodeStack {
                     bytes: gpart.bytes(),
                 });
             }
+        }
+        for vm in occ_vms {
+            let occ = self.guests[vm as usize].in_ring as u32;
+            self.ring_occ.record(occ as f64);
+            self.trace
+                .push(now, TraceEvent::RingOcc { vm, occupied: occ, bound: self.ring_bound });
         }
         // Freed ring slots: refill from every guest that was blocked.
         for vm in 0..self.guests.len() as u32 {
@@ -549,10 +835,28 @@ impl NodeStack {
         self.switching_to = Some(pair);
         if scope != SwitchScope::GuestOnly {
             self.dom0_switch.begin(pair.host);
+            if self.dom0_drain_began.is_none() {
+                self.dom0_drain_began = Some(now);
+            }
+            self.trace.push(
+                now,
+                TraceEvent::SwitchBegin { layer: Layer::Host, to: pair.host.code() as u8 },
+            );
         }
         if scope != SwitchScope::HostOnly {
             for vm in 0..self.guests.len() as u32 {
-                self.guests[vm as usize].switch.begin(pair.guest);
+                let g = &mut self.guests[vm as usize];
+                g.switch.begin(pair.guest);
+                if g.drain_began.is_none() {
+                    g.drain_began = Some(now);
+                }
+                self.trace.push(
+                    now,
+                    TraceEvent::SwitchBegin {
+                        layer: Layer::Guest(vm),
+                        to: pair.guest.code() as u8,
+                    },
+                );
             }
         }
         // Drains may finish immediately on empty elevators.
@@ -570,7 +874,7 @@ impl NodeStack {
 
     fn try_finish_guest_drain(&mut self, now: SimTime, vm: VmId, out: &mut Vec<StackAction>) {
         let thaw_at = now + self.params.switch.guest_reinit;
-        {
+        let code = {
             let g = &mut self.guests[vm as usize];
             if !(g.switch.is_draining() && g.elevator.queued() == 0) {
                 return;
@@ -578,7 +882,17 @@ impl NodeStack {
             let kind = g.switch.target().expect("draining has a target");
             g.elevator = build_elevator(kind, &self.params.tunables);
             g.switch.swap_done(thaw_at);
-        }
+            g.counters.switches += 1;
+            if let Some(began) = g.drain_began.take() {
+                g.counters
+                    .drain_durations
+                    .record(now.saturating_since(began).as_secs_f64());
+            }
+            g.counters.freeze_secs += self.params.switch.guest_reinit.as_secs_f64();
+            kind.code() as u8
+        };
+        self.trace
+            .push(now, TraceEvent::SwapDone { layer: Layer::Guest(vm), to: code });
         self.arm_guest_kick(vm, thaw_at, out);
     }
 
@@ -591,6 +905,15 @@ impl NodeStack {
             self.dom0 = build_elevator(kind, &self.params.tunables);
             let thaw_at = now + self.params.switch.dom0_reinit;
             self.dom0_switch.swap_done(thaw_at);
+            self.dom0_counters.switches += 1;
+            if let Some(began) = self.dom0_drain_began.take() {
+                self.dom0_counters
+                    .drain_durations
+                    .record(now.saturating_since(began).as_secs_f64());
+            }
+            self.dom0_counters.freeze_secs += self.params.switch.dom0_reinit.as_secs_f64();
+            self.trace
+                .push(now, TraceEvent::SwapDone { layer: Layer::Host, to: kind.code() as u8 });
             self.arm_dom0_kick(thaw_at, out);
         }
     }
@@ -609,4 +932,37 @@ impl NodeStack {
             out.push(StackAction::SwitchComplete { pair });
         }
     }
+}
+
+/// Record one elevator entry: counter updates plus the matching trace
+/// event (`Arrive` / `MergeBack` / `MergeFront` by `outcome`). A free
+/// function so callers can split-borrow the trace and one level's
+/// counters out of the stack.
+#[allow(clippy::too_many_arguments)]
+fn record_add(
+    trace: &mut Trace,
+    c: &mut LevelCounters,
+    layer: Layer,
+    now: SimTime,
+    id: RequestId,
+    sector: u64,
+    sectors: u64,
+    write: bool,
+    outcome: AddOutcome,
+    depth_after: usize,
+) {
+    c.arrivals += 1;
+    c.queue_depth.record(depth_after as f64);
+    let ev = match outcome {
+        AddOutcome::Queued => TraceEvent::Arrive { layer, id, sector, sectors, write },
+        AddOutcome::MergedBack(_) => {
+            c.merges_back += 1;
+            TraceEvent::MergeBack { layer, id, sector, sectors, write }
+        }
+        AddOutcome::MergedFront(_) => {
+            c.merges_front += 1;
+            TraceEvent::MergeFront { layer, id, sector, sectors, write }
+        }
+    };
+    trace.push(now, ev);
 }

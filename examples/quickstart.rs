@@ -6,9 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use adaptive_disk_sched::iosched::SchedPair;
 use adaptive_disk_sched::metasched::{Experiment, MetaScheduler};
 use adaptive_disk_sched::mrsim::{JobSpec, WorkloadSpec};
-use adaptive_disk_sched::vcluster::ClusterParams;
+use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
 
 fn main() {
     // A modest configuration so the example finishes in a few seconds:
@@ -18,6 +19,16 @@ fn main() {
         data_per_vm_bytes: 256 * 1024 * 1024,
         ..JobSpec::new(WorkloadSpec::sort())
     };
+
+    // One plain run first: every JobOutcome carries the per-layer
+    // observability document (schema `adios.metrics/1`).
+    let out = run_job(&params, &job, SwitchPlan::single(SchedPair::DEFAULT));
+    println!(
+        "default-pair sort: {} (trace digest {:#018x})",
+        out.makespan, out.trace_digest
+    );
+    println!("metrics document:\n{}\n", out.metrics.to_string());
+
     let exp = Experiment::new(params, job);
 
     println!("profiling all 16 (VMM, VM) elevator pairs and searching…");

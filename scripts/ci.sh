@@ -5,8 +5,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline --workspace
+# --all-targets compiles every bench and test harness too: a bench
+# that no longer builds is a CI failure, not a surprise at bench time.
+cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
+
+# Smoke-run the micro-benchmark harness (shrunken iteration counts):
+# proves the in-tree timer harness and its workloads stay runnable.
+REPRO_QUICK=1 cargo bench --offline -p repro-bench --bench criterion_micro
 
 # Dependency guard: every node reachable over normal, build, and dev
 # edges must be a path crate inside this repo. A registry dependency
@@ -20,4 +26,4 @@ if [[ -n "${external}" ]]; then
   exit 1
 fi
 
-echo "ci: offline build + tests green; dependency graph is workspace-only"
+echo "ci: offline build (all targets) + tests + bench smoke green; dependency graph is workspace-only"

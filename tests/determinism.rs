@@ -73,6 +73,35 @@ fn sweep_is_invariant_to_thread_count() {
     assert_eq!(one, eight, "worker count changed sweep results");
 }
 
+/// The observability surface is deterministic too: the metrics JSON
+/// document and the cluster-wide trace digest are bit-identical across
+/// repeated runs and across `par_map` worker counts. The digest folds
+/// in evicted records as well, so a bounded ring pins the full event
+/// stream, not just the tail it retains.
+#[test]
+fn metrics_and_trace_digest_deterministic() {
+    let mut params = small_cluster();
+    params.node.trace_capacity = 4096;
+    let job = sort_job(96);
+    let run = |p: &SchedPair| {
+        let out = run_job(&params, &job, SwitchPlan::single(*p));
+        (out.metrics.to_string(), out.trace_digest)
+    };
+    let pairs = [SchedPair::DEFAULT, SchedPair::all()[7]];
+    let one = par_map_threads(1, &pairs, run);
+    let eight = par_map_threads(8, &pairs, run);
+    assert_eq!(one, eight, "worker count changed metrics or trace digest");
+    let again = par_map_threads(8, &pairs, run);
+    assert_eq!(one, again, "repeated run changed metrics or trace digest");
+    for (json, digest) in &one {
+        assert!(
+            json.starts_with("{\"schema\":\"adios.metrics/1\""),
+            "unexpected document head: {json}"
+        );
+        assert_ne!(*digest, 0, "trace digest never folds to zero");
+    }
+}
+
 /// The `SIM_THREADS` environment override feeds `par_map` and must not
 /// change results either. (This is the only test in this binary that
 /// touches the variable, so the process-global state is safe.)

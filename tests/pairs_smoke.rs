@@ -8,8 +8,9 @@
 
 use adaptive_disk_sched::iosched::{SchedKind, SchedPair};
 use adaptive_disk_sched::mrsim::{JobSpec, WorkloadSpec};
-use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
+use adaptive_disk_sched::vcluster::{run_job, ClusterParams, ClusterSim, SwitchPlan};
 use simcore::par::par_map;
+use simcore::{OracleConfig, TraceOracle};
 
 #[test]
 fn all_sixteen_pairs_match_the_papers_shape() {
@@ -100,4 +101,44 @@ fn all_sixteen_pairs_match_the_papers_shape() {
         best.1,
         default_t
     );
+}
+
+/// Replay the structured event trace of a full (small-scale) sort job
+/// through the [`TraceOracle`] for every one of the 16 (VMM, VM)
+/// pairs: request lifecycle order, exact merge tiling, quiesce
+/// discipline around hot switches, the blkfront ring bound, deadline
+/// expiry service bounds, flow pairing and phase monotonicity must all
+/// hold with zero violations, whatever elevators are installed.
+#[test]
+fn trace_oracle_is_clean_for_all_sixteen_pairs() {
+    let mut params = ClusterParams::default();
+    params.shape.nodes = 2;
+    params.shape.vms_per_node = 2;
+    // The oracle refuses truncated histories: record every event.
+    params.node.trace_capacity = usize::MAX;
+    let job = JobSpec {
+        data_per_vm_bytes: 64 * 1024 * 1024,
+        ..JobSpec::new(WorkloadSpec::sort())
+    };
+
+    let pairs = SchedPair::all();
+    par_map(&pairs, |&p| {
+        let mut sim = ClusterSim::new(params.clone(), job.clone(), SwitchPlan::single(p));
+        let out = sim.run();
+        assert!(out.makespan.as_secs_f64() > 1.0, "{p}: degenerate run");
+        // Per-node traces carry the block-stack events (the oracle's
+        // deadline shadow uses the elevator's stock tunables).
+        for n in 0..params.shape.nodes as usize {
+            let trace = sim.node(n).trace();
+            assert!(trace.len() > 0, "{p}: node {n} recorded nothing");
+            assert_eq!(trace.dropped(), 0, "{p}: node {n} dropped records");
+            let mut oracle = TraceOracle::new(OracleConfig::default());
+            oracle.replay(trace);
+            oracle.assert_clean();
+        }
+        // The cluster-level trace carries flow and phase events.
+        let mut oracle = TraceOracle::default();
+        oracle.replay(sim.trace());
+        oracle.assert_clean();
+    });
 }
