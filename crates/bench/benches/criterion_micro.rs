@@ -12,9 +12,9 @@
 
 use iosched::{build_elevator, Dispatch, Dir, IoRequest, SchedKind, Tunables};
 use mrsim::{JobSpec, WorkloadSpec};
-use repro_bench::micro::bench;
+use repro_bench::micro::{bench, Timing};
 use repro_bench::quick;
-use simcore::SimTime;
+use simcore::{Json, SimTime};
 use std::hint::black_box;
 use vcluster::{run_job, ClusterParams, SwitchPlan};
 
@@ -50,19 +50,37 @@ fn elevator_round(kind: SchedKind) -> u64 {
     served
 }
 
+/// Serialize one benchmark's timing for `BENCH_micro.json`.
+fn timing_json(name: &str, t: Timing) -> Json {
+    Json::obj()
+        .field("name", name)
+        .field("mean_ns", t.mean_ns)
+        .field("stddev_ns", t.stddev_ns)
+        .field("min_ns", t.min_ns)
+        .field("iters", t.iters)
+}
+
+/// Where the machine-readable results land: `$BENCH_MICRO_OUT`, or
+/// `BENCH_micro.json` at the repository root.
+fn out_path() -> std::path::PathBuf {
+    std::env::var_os("BENCH_MICRO_OUT")
+        .map(Into::into)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_micro.json")
+        })
+}
+
 fn main() {
     let (warmup, iters) = if quick() { (2, 5) } else { (10, 60) };
+    let mut results: Vec<Json> = Vec::new();
     println!("\n## Micro-benchmarks (in-tree harness)\n");
     for kind in SchedKind::ALL {
-        bench(
-            &format!("elevator_add_dispatch/{kind}"),
-            warmup,
-            iters,
-            || black_box(elevator_round(kind)),
-        );
+        let name = format!("elevator_add_dispatch/{kind}");
+        let t = bench(&name, warmup, iters, || black_box(elevator_round(kind)));
+        results.push(timing_json(&name, t));
     }
 
-    bench("disk_service_1k_requests", warmup, iters, || {
+    let t = bench("disk_service_1k_requests", warmup, iters, || {
         let mut d = blkdev::Disk::new(blkdev::DiskParams::default());
         let mut now = SimTime::ZERO;
         for i in 0..1000u64 {
@@ -71,6 +89,7 @@ fn main() {
         }
         black_box(now)
     });
+    results.push(timing_json("disk_service_1k_requests", t));
 
     let mut params = ClusterParams::default();
     params.shape.nodes = 2;
@@ -78,11 +97,25 @@ fn main() {
     let mut job = JobSpec::new(WorkloadSpec::sort());
     job.data_per_vm_bytes = if quick() { 64 } else { 128 } * 1024 * 1024;
     let job_iters = if quick() { 2 } else { 10 };
-    bench("small_sort_job_end_to_end", 2, job_iters, || {
+    let t = bench("small_sort_job_end_to_end", 2, job_iters, || {
         black_box(run_job(
             &params,
             &job,
             SwitchPlan::single(iosched::SchedPair::DEFAULT),
         ))
     });
+    results.push(timing_json("small_sort_job_end_to_end", t));
+
+    let doc = Json::obj()
+        .field("schema", "adios.bench/1")
+        .field("quick", quick())
+        .field("results", Json::Arr(results));
+    let path = out_path();
+    match std::fs::write(&path, doc.to_string() + "\n") {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }

@@ -112,6 +112,7 @@ impl TuneReport {
             Some(p) => p.code(),
         }));
         Json::obj()
+            .field("schema", "adios.tune/1")
             .field("phases", self.split.count())
             .field("profiles", profiles)
             .field("evaluations", evaluations)

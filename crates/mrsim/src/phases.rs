@@ -101,6 +101,17 @@ impl PhaseTimes {
         100.0 * self.duration(JobPhase::Ph2).as_secs_f64() / self.total().as_secs_f64()
     }
 
+    /// Named absolute milestone instants, in order — the cut points a
+    /// metrics consumer needs to slice sim-time series per phase.
+    pub fn boundaries(&self) -> [(&'static str, SimTime); 4] {
+        [
+            ("start_s", self.start),
+            ("maps_done_s", self.maps_done),
+            ("shuffle_done_s", self.shuffle_done),
+            ("job_done_s", self.job_done),
+        ]
+    }
+
     /// The paper's practical phase split: when Ph2 is shorter than
     /// `merge_threshold_pct` percent of the job, it is merged into Ph3
     /// (switching for it would not pay for the switch cost), leaving a

@@ -1,0 +1,427 @@
+//! # adios-report — render and diff `adios.metrics` documents
+//!
+//! The simulator dumps one deterministic JSON document per run
+//! (schema `adios.metrics/2`). This crate turns such a document into a
+//! terminal dashboard — per-phase table, histogram quantiles with
+//! bucket sparklines, sim-time series sparklines — and diffs two
+//! documents section by section so two scheduler configurations can be
+//! compared without leaving the shell.
+//!
+//! The library half is pure (`&Json` in, `String` out) so the render
+//! and diff logic is unit-testable; `src/main.rs` only does argv and
+//! file I/O.
+
+#![warn(missing_docs)]
+
+use simcore::Json;
+use std::fmt::Write as _;
+
+/// Sparkline alphabet, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Maximum sparkline width; longer series are max-downsampled.
+const SPARK_WIDTH: usize = 60;
+
+/// Render a sequence of non-negative samples as a sparkline, scaled to
+/// the sequence's own maximum. Empty input renders as `(empty)`.
+pub fn sparkline(xs: &[f64]) -> String {
+    if xs.is_empty() {
+        return "(empty)".to_string();
+    }
+    // Max-downsample so wide series still fit a terminal row.
+    let chunk = xs.len().div_ceil(SPARK_WIDTH);
+    let folded: Vec<f64> = xs
+        .chunks(chunk)
+        .map(|c| c.iter().cloned().fold(0.0_f64, f64::max))
+        .collect();
+    let top = folded.iter().cloned().fold(0.0_f64, f64::max);
+    folded
+        .iter()
+        .map(|&x| {
+            if top <= 0.0 || x <= 0.0 {
+                SPARKS[0]
+            } else {
+                let i = ((x / top) * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[i.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Format a value whose unit is implied by the metric name: `*_ns`
+/// render as human durations, `*_s` as seconds, everything else with
+/// shortest-float formatting.
+pub fn fmt_value(name: &str, x: f64) -> String {
+    if name.ends_with("_ns") {
+        fmt_duration_ns(x)
+    } else if name.ends_with("_s") {
+        format!("{:.3}s", x)
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{:.4}", x)
+    }
+}
+
+/// Human duration from nanoseconds.
+pub fn fmt_duration_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{}ns", ns as i64)
+    }
+}
+
+fn f(v: &Json) -> f64 {
+    v.as_f64().unwrap_or(0.0)
+}
+
+/// Is this object a serialized `simcore::Histogram`?
+fn is_hist(v: &Json) -> bool {
+    v.get("p999").is_some() && v.get("buckets").map(|b| b.as_arr().is_some()) == Some(true)
+}
+
+/// Is this object a serialized `simcore::TimeSeries`?
+fn is_series(v: &Json) -> bool {
+    v.get("bucket_ns").is_some() && v.get("kind").is_some()
+}
+
+/// Reconstruct per-bucket display values of a serialized time series:
+/// mean series divide sum by count, rate series divide by the bucket
+/// width in seconds (values per second).
+fn series_values(v: &Json) -> Vec<f64> {
+    let sums = v.get("sum").and_then(Json::as_arr).unwrap_or(&[]);
+    let counts = v.get("count").and_then(Json::as_arr).unwrap_or(&[]);
+    let bucket_s = v.get("bucket_ns").map(f).unwrap_or(1.0) / 1e9;
+    let rate = v.get("kind").and_then(Json::as_str) == Some("rate");
+    sums.iter()
+        .zip(counts.iter())
+        .map(|(s, c)| {
+            let (s, c) = (f(s), f(c));
+            if rate {
+                s / bucket_s.max(1e-12)
+            } else if c > 0.0 {
+                s / c
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn render_hist(out: &mut String, name: &str, h: &Json) {
+    let count = h.get("count").map(f).unwrap_or(0.0);
+    if count == 0.0 {
+        let _ = writeln!(out, "  {name:<24} (empty)");
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "  {name:<24} n={:<8} mean={:<10} p50={:<10} p90={:<10} p99={:<10} p999={}",
+        count as u64,
+        fmt_value(name, h.get("mean").map(f).unwrap_or(0.0)),
+        fmt_value(name, h.get("p50").map(f).unwrap_or(0.0)),
+        fmt_value(name, h.get("p90").map(f).unwrap_or(0.0)),
+        fmt_value(name, h.get("p99").map(f).unwrap_or(0.0)),
+        fmt_value(name, h.get("p999").map(f).unwrap_or(0.0)),
+    );
+    let buckets = h.get("buckets").and_then(Json::as_arr).unwrap_or(&[]);
+    let counts: Vec<f64> = buckets
+        .iter()
+        .map(|pair| pair.as_arr().and_then(|p| p.get(1)).map(f).unwrap_or(0.0))
+        .collect();
+    let lo = fmt_value(name, h.get("min").map(f).unwrap_or(0.0));
+    let hi = fmt_value(name, h.get("max").map(f).unwrap_or(0.0));
+    let _ = writeln!(out, "  {:<24} {} [{lo} … {hi}]", "", sparkline(&counts));
+}
+
+fn render_series(out: &mut String, name: &str, s: &Json) {
+    let values = series_values(s);
+    let peak = values.iter().cloned().fold(0.0_f64, f64::max);
+    let bucket_s = s.get("bucket_ns").map(f).unwrap_or(0.0) / 1e9;
+    let kind = s.get("kind").and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(
+        out,
+        "  {name:<24} {} peak={:.3} ({kind}/{}s buckets)",
+        sparkline(&values),
+        peak,
+        bucket_s,
+    );
+}
+
+/// Render any plain (gauge/summary) section as `key: value` rows,
+/// flattening one level of nested objects with dotted keys.
+fn render_plain(out: &mut String, fields: &[(String, Json)]) {
+    for (k, v) in fields {
+        match v {
+            Json::Obj(inner) => {
+                let row: Vec<String> = inner
+                    .iter()
+                    .filter_map(|(ik, iv)| iv.as_f64().map(|x| format!("{ik}={}", fmt_value(ik, x))))
+                    .collect();
+                if row.is_empty() {
+                    let _ = writeln!(out, "  {k:<24} {}", v.to_string());
+                } else {
+                    let _ = writeln!(out, "  {k:<24} {}", row.join(" "));
+                }
+            }
+            Json::Arr(_) => {
+                let _ = writeln!(out, "  {k:<24} {}", v.to_string());
+            }
+            other => {
+                let shown = other
+                    .as_f64()
+                    .map(|x| fmt_value(k, x))
+                    .unwrap_or_else(|| other.to_string());
+                let _ = writeln!(out, "  {k:<24} {shown}");
+            }
+        }
+    }
+}
+
+/// Render a metrics document as a terminal dashboard. Errors if the
+/// document does not carry a recognised `adios.metrics` schema.
+pub fn render(doc: &Json) -> Result<String, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "document has no \"schema\" field".to_string())?;
+    if !schema.starts_with("adios.metrics/") {
+        return Err(format!("unsupported schema {schema:?}"));
+    }
+    let mut out = String::new();
+    let telemetry = doc.get("telemetry").and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(out, "== {schema} (telemetry: {telemetry}) ==");
+    for (section, value) in doc.entries().unwrap_or(&[]) {
+        let fields = match value.entries() {
+            Some(fields) => fields,
+            None => continue, // schema / telemetry scalars, already shown
+        };
+        let _ = writeln!(out, "\n[{section}]");
+        for (name, v) in fields {
+            if is_hist(v) {
+                render_hist(&mut out, name, v);
+            } else if is_series(v) {
+                render_series(&mut out, name, v);
+            } else {
+                render_plain(&mut out, std::slice::from_ref(&(name.clone(), v.clone())));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One numeric difference surfaced by [`diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Dotted path (`section.metric.field`).
+    pub path: String,
+    /// Value in the first document.
+    pub a: f64,
+    /// Value in the second document.
+    pub b: f64,
+}
+
+impl Delta {
+    /// Relative change, percent (0 when the base is 0).
+    pub fn pct(&self) -> f64 {
+        if self.a == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.b - self.a) / self.a
+        }
+    }
+}
+
+/// Collect numeric leaf differences between two JSON trees. Arrays are
+/// compared as aggregates (element sum) so bucket vectors produce one
+/// row instead of hundreds; string/bool leaves count as a difference
+/// when unequal (reported with a/b = 0/1).
+fn walk_diff(path: &str, a: &Json, b: &Json, out: &mut Vec<Delta>) {
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            for (k, va) in fa {
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                match fb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => walk_diff(&sub, va, vb, out),
+                    None => walk_diff(&sub, va, &Json::Null, out),
+                }
+            }
+            for (k, vb) in fb {
+                if !fa.iter().any(|(ka, _)| ka == k) {
+                    let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                    walk_diff(&sub, &Json::Null, vb, out);
+                }
+            }
+        }
+        (Json::Arr(xa), Json::Arr(xb)) => {
+            let sum = |xs: &[Json]| -> f64 {
+                xs.iter()
+                    .map(|x| match x {
+                        Json::Arr(inner) => inner.iter().filter_map(Json::as_f64).sum(),
+                        other => other.as_f64().unwrap_or(0.0),
+                    })
+                    .sum()
+            };
+            let (sa, sb) = (sum(xa), sum(xb));
+            if sa != sb || xa.len() != xb.len() {
+                out.push(Delta { path: format!("{path}[Σ]"), a: sa, b: sb });
+            }
+        }
+        _ => {
+            let (na, nb) = (a.as_f64(), b.as_f64());
+            match (na, nb) {
+                (Some(x), Some(y)) if x != y => out.push(Delta { path: path.into(), a: x, b: y }),
+                (Some(_), Some(_)) => {}
+                _ => {
+                    // Non-numeric leaves (strings, bools, null vs value).
+                    if a != b {
+                        out.push(Delta { path: path.into(), a: 0.0, b: 1.0 });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Diff two metrics documents. Returns the rendered per-section report
+/// and the list of differing leaves (empty for identical documents —
+/// the CI self-diff gate).
+pub fn diff(a: &Json, b: &Json) -> (String, Vec<Delta>) {
+    let mut deltas = Vec::new();
+    walk_diff("", a, b, &mut deltas);
+    let mut out = String::new();
+    if deltas.is_empty() {
+        out.push_str("documents are identical\n");
+        return (out, deltas);
+    }
+    // Headline: per-phase p99 guest latency, the paper's comparison axis.
+    let p99: Vec<&Delta> = deltas
+        .iter()
+        .filter(|d| d.path.starts_with("hist.guest_lat_ph") && d.path.ends_with(".p99"))
+        .collect();
+    if !p99.is_empty() {
+        out.push_str("guest latency p99 by phase:\n");
+        for d in p99 {
+            let _ = writeln!(
+                out,
+                "  {:<28} {} -> {}  ({:+.1}%)",
+                d.path,
+                fmt_duration_ns(d.a),
+                fmt_duration_ns(d.b),
+                d.pct(),
+            );
+        }
+        out.push('\n');
+    }
+    let mut section = String::new();
+    for d in &deltas {
+        let top = d.path.split('.').next().unwrap_or("").to_string();
+        if top != section {
+            let _ = writeln!(out, "[{top}]");
+            section = top;
+        }
+        let leaf = d.path.rsplit('.').next().unwrap_or(&d.path);
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>14} -> {:<14} ({:+.1}%)",
+            d.path.splitn(2, '.').nth(1).unwrap_or(&d.path),
+            fmt_value(leaf, d.a),
+            fmt_value(leaf, d.b),
+            d.pct(),
+        );
+    }
+    let _ = writeln!(out, "\n{} differing values", deltas.len());
+    (out, deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> Json {
+        let mut h = simcore::Histogram::new();
+        for v in [1_000u64, 2_000, 4_000, 1_000_000] {
+            h.record(v);
+        }
+        let mut s = simcore::TimeSeries::standard(simcore::SeriesKind::Mean);
+        s.record(simcore::SimTime::from_millis(100), 3.0);
+        s.record(simcore::SimTime::from_millis(600), 5.0);
+        Json::obj()
+            .field("schema", "adios.metrics/2")
+            .field("telemetry", "full")
+            .field("run", Json::obj().field("makespan_s", 10.5).field("nodes", 2u32))
+            .field("hist", Json::obj().field("guest_lat_ph1_ns", h.to_json()))
+            .field("series", Json::obj().field("dom0_qdepth", s.to_json()))
+    }
+
+    #[test]
+    fn render_shows_sections_quantiles_and_sparklines() {
+        let text = render(&sample_doc()).unwrap();
+        assert!(text.contains("adios.metrics/2"), "{text}");
+        assert!(text.contains("[run]"), "{text}");
+        assert!(text.contains("guest_lat_ph1_ns"), "{text}");
+        assert!(text.contains("p99="), "{text}");
+        assert!(text.contains("dom0_qdepth"), "{text}");
+        assert!(text.chars().any(|c| SPARKS.contains(&c)), "{text}");
+    }
+
+    #[test]
+    fn render_rejects_foreign_documents() {
+        assert!(render(&Json::obj().field("schema", "other/1")).is_err());
+        assert!(render(&Json::obj().field("x", 1u32)).is_err());
+    }
+
+    #[test]
+    fn self_diff_is_empty() {
+        let doc = sample_doc();
+        let (text, deltas) = diff(&doc, &doc);
+        assert!(deltas.is_empty(), "{text}");
+        assert!(text.contains("identical"));
+    }
+
+    #[test]
+    fn diff_reports_p99_headline_and_counts() {
+        let a = sample_doc();
+        let mut h = simcore::Histogram::new();
+        for v in [2_000u64, 4_000, 8_000, 2_000_000] {
+            h.record(v);
+        }
+        let b = Json::obj()
+            .field("schema", "adios.metrics/2")
+            .field("telemetry", "full")
+            .field("run", Json::obj().field("makespan_s", 9.0).field("nodes", 2u32))
+            .field("hist", Json::obj().field("guest_lat_ph1_ns", h.to_json()))
+            .field(
+                "series",
+                a.get("series").cloned().unwrap_or_else(Json::obj),
+            );
+        let (text, deltas) = diff(&a, &b);
+        assert!(!deltas.is_empty());
+        assert!(text.contains("guest latency p99 by phase"), "{text}");
+        assert!(text.contains("makespan_s"), "{text}");
+        assert!(text.contains("differing values"), "{text}");
+    }
+
+    #[test]
+    fn sparkline_scales_and_downsamples() {
+        assert_eq!(sparkline(&[]), "(empty)");
+        let s = sparkline(&[0.0, 1.0, 8.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'));
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert!(sparkline(&long).chars().count() <= SPARK_WIDTH);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_ns(500.0), "500ns");
+        assert_eq!(fmt_duration_ns(1_500.0), "1.50µs");
+        assert_eq!(fmt_duration_ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_duration_ns(3_000_000_000.0), "3.000s");
+    }
+}

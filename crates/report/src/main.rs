@@ -1,0 +1,75 @@
+//! `adios-report` — inspect and compare adios metrics documents.
+//!
+//! ```text
+//! adios-report render <doc.json>
+//! adios-report diff <a.json> <b.json> [--fail-on-delta]
+//! ```
+//!
+//! A path of `-` reads from stdin. `render` exits non-zero on parse or
+//! schema errors; `diff --fail-on-delta` additionally exits 2 when the
+//! documents differ (so CI can assert a self-diff is empty).
+
+use simcore::Json;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: adios-report render <doc.json>");
+    eprintln!("       adios-report diff <a.json> <b.json> [--fail-on-delta]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("render") => {
+            let [_, path] = args.as_slice() else { return usage() };
+            match load(path).and_then(|doc| report::render(&doc)) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("adios-report: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("diff") => {
+            let (paths, fail_on_delta): (Vec<&String>, bool) = {
+                let flag = args.iter().any(|a| a == "--fail-on-delta");
+                (args[1..].iter().filter(|a| !a.starts_with("--")).collect(), flag)
+            };
+            let [a, b] = paths.as_slice() else { return usage() };
+            match (load(a), load(b)) {
+                (Ok(da), Ok(db)) => {
+                    let (text, deltas) = report::diff(&da, &db);
+                    print!("{text}");
+                    if fail_on_delta && !deltas.is_empty() {
+                        ExitCode::from(2)
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("adios-report: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

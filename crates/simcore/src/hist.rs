@@ -1,0 +1,315 @@
+//! Deterministic log-bucketed histograms (HDR-style).
+//!
+//! A [`Histogram`] records non-negative integer values (latency
+//! nanoseconds, sector counts, seek distances, …) into buckets whose
+//! width grows geometrically: values below `2^sub_bits` get exact
+//! unit buckets, and every octave above that is split into
+//! `2^sub_bits` linear sub-buckets. The relative width of any bucket
+//! is therefore at most `1 / 2^sub_bits`, which bounds the error of
+//! every quantile query by the width of the bucket it lands in — the
+//! invariant the property suite checks.
+//!
+//! Everything is integer bookkeeping in fixed iteration order, so two
+//! runs that record the same value sequence produce byte-identical
+//! JSON exports. Recording is O(1) with no allocation once the bucket
+//! vector has grown to cover the largest value seen.
+
+use crate::json::Json;
+
+/// Default sub-bucket resolution: 2^5 = 32 sub-buckets per octave,
+/// i.e. every quantile is within ~3.1% of the true value.
+pub const DEFAULT_SUB_BITS: u32 = 5;
+
+/// A log-bucketed histogram of `u64` values.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Histogram with the default resolution ([`DEFAULT_SUB_BITS`]).
+    pub fn new() -> Self {
+        Histogram::with_sub_bits(DEFAULT_SUB_BITS)
+    }
+
+    /// Histogram with `2^sub_bits` sub-buckets per octave
+    /// (`1 <= sub_bits <= 16`).
+    pub fn with_sub_bits(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits out of range");
+        Histogram {
+            sub_bits,
+            counts: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Empty histogram with the same resolution.
+    pub fn empty_like(&self) -> Self {
+        Histogram::with_sub_bits(self.sub_bits)
+    }
+
+    /// Bucket index of `v`.
+    fn index(&self, v: u64) -> usize {
+        let sub = 1u64 << self.sub_bits;
+        if v < sub {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let octave = msb - self.sub_bits;
+        let offset = (v >> octave) - sub;
+        (sub as usize) + (octave as usize) * (sub as usize) + offset as usize
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn lower_bound(&self, i: usize) -> u64 {
+        let sub = 1usize << self.sub_bits;
+        if i < sub {
+            return i as u64;
+        }
+        let octave = (i - sub) / sub;
+        let offset = (i - sub) % sub;
+        ((sub + offset) as u64) << octave
+    }
+
+    /// Width of bucket `i` (its lower bound and every value up to
+    /// `lower + width - 1` share the bucket).
+    pub fn bucket_width(&self, i: usize) -> u64 {
+        let sub = 1usize << self.sub_bits;
+        if i < sub {
+            1
+        } else {
+            1u64 << ((i - sub) / sub)
+        }
+    }
+
+    /// Width of the bucket `v` falls into — the quantile error bound
+    /// at that magnitude.
+    pub fn width_at(&self, v: u64) -> u64 {
+        self.bucket_width(self.index(v))
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let i = self.index(v);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded values (exact; the sum is kept in full).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1) by nearest rank, reported as the
+    /// lower bound of the bucket holding that rank: the true value is
+    /// in `[result, result + width)` where `width` is that bucket's
+    /// width. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return None;
+        }
+        // Nearest-rank index into the sorted multiset, 0-based.
+        let rank = ((q * (self.count - 1) as f64).round() as u64).min(self.count - 1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if c > 0 && seen > rank {
+                // Clamp to the observed extremes so p0/p100 are exact.
+                return Some(self.lower_bound(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one (same resolution).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.sub_bits, other.sub_bits, "histogram resolution mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, width, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.lower_bound(i), self.bucket_width(i), c))
+            .collect()
+    }
+
+    /// Export as a deterministic JSON object: count, min/max/mean, the
+    /// p50/p90/p99/p999 quantiles, and the non-empty buckets as
+    /// `[lower_bound, count]` pairs (for rendering bars).
+    pub fn to_json(&self) -> Json {
+        let q = |p: f64| self.quantile(p).unwrap_or(0);
+        let buckets = Json::Arr(
+            self.nonzero_buckets()
+                .into_iter()
+                .map(|(lo, _, c)| Json::arr([lo, c]))
+                .collect(),
+        );
+        Json::obj()
+            .field("count", self.count)
+            .field("min", self.min().unwrap_or(0))
+            .field("max", self.max().unwrap_or(0))
+            .field("mean", self.mean())
+            .field("p50", q(0.50))
+            .field("p90", q(0.90))
+            .field("p99", q(0.99))
+            .field("p999", q(0.999))
+            .field("buckets", buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact_below_sub_count() {
+        let mut h = Histogram::with_sub_bits(4);
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            assert_eq!(h.width_at(v), 1);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(15));
+    }
+
+    #[test]
+    fn bucket_index_is_contiguous_and_bounds_round_trip() {
+        let h = Histogram::with_sub_bits(3);
+        let mut last = None;
+        for v in 0..100_000u64 {
+            let i = h.index(v);
+            if let Some(l) = last {
+                assert!(i == l || i == l + 1, "index jumped at {v}");
+            }
+            last = Some(i);
+            let lo = h.lower_bound(i);
+            let w = h.bucket_width(i);
+            assert!(lo <= v && v < lo + w, "v={v} not in [{lo}, {})", lo + w);
+        }
+    }
+
+    #[test]
+    fn quantiles_bounded_by_bucket_width() {
+        let mut h = Histogram::new();
+        let mut xs: Vec<u64> = (0..1000u64).map(|i| i * i % 700_001).collect();
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * (xs.len() - 1) as f64).round() as usize).min(xs.len() - 1);
+            let truth = xs[rank];
+            let est = h.quantile(q).unwrap();
+            let w = h.width_at(truth);
+            assert!(
+                est <= truth && truth < est + w,
+                "q={q}: est {est}, truth {truth}, width {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * 7919 % 100_000;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.to_json().to_string(), whole.to_json().to_string());
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeroes() {
+        let h = Histogram::new();
+        let j = h.to_json().to_string();
+        assert!(j.contains("\"count\":0"), "{j}");
+        assert!(j.contains("\"buckets\":[]"), "{j}");
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+        let p = h.quantile(1.0).unwrap();
+        let w = h.width_at(u64::MAX);
+        assert!(u64::MAX - p < w);
+    }
+}

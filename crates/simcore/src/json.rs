@@ -1,10 +1,11 @@
-//! Minimal JSON writer for experiment dumps.
+//! Minimal JSON reader/writer for experiment dumps.
 //!
-//! Replaces the former serde/serde_json dependency. Only writing is
-//! supported (the repository never parses JSON): objects, arrays,
-//! strings with full RFC 8259 escaping, integers, floats, booleans and
-//! null. Floats use Rust's shortest round-trip formatting; non-finite
-//! floats serialize as `null` (JSON has no NaN/Infinity).
+//! Replaces the former serde/serde_json dependency. Supports writing
+//! (objects, arrays, strings with full RFC 8259 escaping, integers,
+//! floats, booleans, null) and a recursive-descent [`Json::parse`]
+//! used by `adios-report` to read metrics documents back. Floats use
+//! Rust's shortest round-trip formatting; non-finite floats serialize
+//! as `null` (JSON has no NaN/Infinity).
 
 use std::fmt::Write as _;
 
@@ -124,6 +125,254 @@ impl Json {
         self.write(&mut s);
         s
     }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The object's fields in document order, if it is an object.
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document (RFC 8259 subset matching what [`write`]
+    /// emits, plus arbitrary whitespace). Returns a message with the
+    /// byte offset on malformed input. Numbers without `.`/`e` parse
+    /// as [`Json::Int`] when they fit, otherwise [`Json::Num`].
+    ///
+    /// [`write`]: Json::write
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser { b: input.as_bytes(), i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.i));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.i)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0c}'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pair: a high surrogate must be
+                            // followed by \uXXXX with a low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&cp) {
+                                if self.peek() == Some(b'\\') {
+                                    self.i += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    let full = 0x10000
+                                        + ((cp - 0xd800) << 10)
+                                        + (lo.wrapping_sub(0xdc00) & 0x3ff);
+                                    char::from_u32(full)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or(format!("bad \\u escape before byte {}", self.i))?);
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape '\\{}' at byte {}",
+                                other as char, self.i
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so the
+                    // bytes are valid UTF-8; find the char boundary).
+                    let rest = &self.b[self.i..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
+                    let c = s.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.i + 4;
+        if end > self.b.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let s = std::str::from_utf8(&self.b[self.i..end]).map_err(|_| "bad \\u escape")?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape at byte {}", self.i))?;
+        self.i = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "bad number")?;
+        if !float {
+            if let Ok(i) = s.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{s}' at byte {start}"))
+    }
 }
 
 /// Write `s` as a quoted, escaped JSON string.
@@ -232,5 +481,45 @@ mod tests {
     fn object_preserves_insertion_order() {
         let j = Json::obj().field("z", 1i64).field("a", 2i64);
         assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let j = Json::obj()
+            .field("schema", "adios.metrics/2")
+            .field("xs", vec![1.5, 2.0, -3.25])
+            .field("n", -42i64)
+            .field("big", u64::MAX)
+            .field("flag", true)
+            .field("none", Json::Null)
+            .field("s", "a\"b\\c\nd\u{01}é☃")
+            .field("nested", Json::obj().field("deep", Json::arr([1u64, 2, 3])));
+        let text = j.to_string();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_ints() {
+        let j = Json::parse(" { \"a\" : [ 1 , 2.5 ,\n\t-3 ] } ").unwrap();
+        assert_eq!(j.get("a").unwrap().as_arr().unwrap()[0], Json::Int(1));
+        assert_eq!(j.get("a").unwrap().as_arr().unwrap()[1], Json::Num(2.5));
+        assert_eq!(j.get("a").unwrap().as_arr().unwrap()[2], Json::Int(-3));
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        // é = é; 😀 = 😀 (surrogate pair); raw UTF-8 too.
+        assert_eq!(
+            Json::parse("\"A\\u00e9\\ud83d\\ude00 é☃\"").unwrap(),
+            Json::Str("Aé😀 é☃".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in ["{", "[1,", "\"abc", "{\"a\":}", "1 2", "tru", "{'a':1}"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
     }
 }

@@ -30,17 +30,21 @@
 
 pub mod check;
 pub mod events;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 
 pub use events::{EventQueue, Timer, TimerTicket};
+pub use hist::Histogram;
 pub use json::Json;
-pub use metrics::{Metric, MetricsRegistry};
+pub use metrics::{Metric, MetricsRegistry, Telemetry};
+pub use timeseries::{SeriesKind, TimeSeries};
 pub use par::{par_map, par_map_threads};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, SampleSet, ThroughputMeter};

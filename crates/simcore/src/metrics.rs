@@ -17,9 +17,50 @@
 //! same sequence of updates — the determinism tests compare the
 //! rendered documents of repeated runs directly.
 
+use crate::hist::Histogram;
 use crate::json::Json;
 use crate::stats::{OnlineStats, SampleSet};
+use crate::timeseries::TimeSeries;
 use std::collections::HashMap;
+
+/// How much instrumentation the simulation layers record.
+///
+/// The level is checked once per recording site, so with
+/// [`Telemetry::Off`] the hot path pays a branch and nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Telemetry {
+    /// No per-level counters, histograms, or series.
+    Off,
+    /// Per-level counters and end-of-run aggregates only (the
+    /// pre-telemetry behaviour). The default.
+    #[default]
+    Counters,
+    /// Counters plus latency/seek/run-length histograms and sim-time
+    /// series — everything `adios-report` renders.
+    Full,
+}
+
+impl Telemetry {
+    /// True when per-level counters should be recorded.
+    pub fn counters(self) -> bool {
+        self >= Telemetry::Counters
+    }
+
+    /// True when histograms and time series should be recorded.
+    pub fn full(self) -> bool {
+        self >= Telemetry::Full
+    }
+
+    /// Parse a CLI-style label (`off` / `counters` / `full`).
+    pub fn parse(s: &str) -> Option<Telemetry> {
+        match s {
+            "off" => Some(Telemetry::Off),
+            "counters" => Some(Telemetry::Counters),
+            "full" => Some(Telemetry::Full),
+            _ => None,
+        }
+    }
+}
 
 /// One registered metric value.
 #[derive(Debug, Clone)]
@@ -32,6 +73,10 @@ pub enum Metric {
     Stats(OnlineStats),
     /// Full sample distribution.
     Samples(SampleSet),
+    /// Log-bucketed histogram (exported with p50/p90/p99/p999).
+    Hist(Histogram),
+    /// Windowed sim-time series.
+    Series(TimeSeries),
 }
 
 impl Metric {
@@ -54,6 +99,8 @@ impl Metric {
                 .field("p75", s.quantile(0.75).unwrap_or(0.0))
                 .field("p100", s.quantile(1.0).unwrap_or(0.0))
                 .field("jain", s.jain_fairness().unwrap_or(1.0)),
+            Metric::Hist(h) => h.to_json(),
+            Metric::Series(s) => s.to_json(),
         }
     }
 }
@@ -152,6 +199,23 @@ impl MetricsRegistry {
                 }
             }
             other => panic!("{section}.{name} is not a samples metric: {other:?}"),
+        }
+    }
+
+    /// Merge a histogram into a hist metric (per-node fold; the
+    /// histogram's resolution fixes the metric's on first merge).
+    pub fn merge_hist(&mut self, section: &str, name: &str, h: &Histogram) {
+        match self.slot(section, name, || Metric::Hist(h.empty_like())) {
+            Metric::Hist(dst) => dst.merge(h),
+            other => panic!("{section}.{name} is not a hist metric: {other:?}"),
+        }
+    }
+
+    /// Merge a time series into a series metric (per-node fold).
+    pub fn merge_series(&mut self, section: &str, name: &str, s: &TimeSeries) {
+        match self.slot(section, name, || Metric::Series(s.empty_like())) {
+            Metric::Series(dst) => dst.merge(s),
+            other => panic!("{section}.{name} is not a series metric: {other:?}"),
         }
     }
 

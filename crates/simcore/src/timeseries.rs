@@ -1,0 +1,315 @@
+//! Fixed-capacity time series over simulated time, with
+//! bucket-halving downsampling.
+//!
+//! A [`TimeSeries`] divides sim time (from `t = 0`) into fixed-width
+//! buckets and accumulates `(sum, count, max)` per bucket. The number
+//! of buckets is bounded: when a sample lands beyond the covered
+//! range, adjacent bucket pairs are merged (sums and counts add,
+//! maxima take the max) and the bucket width doubles, so memory stays
+//! `O(capacity)` for arbitrarily long runs while per-bucket integrals
+//! (the sum and count of everything that ever landed in the merged
+//! span) are preserved exactly — the invariant the property suite
+//! checks.
+//!
+//! Two interpretations share the representation, tagged by
+//! [`SeriesKind`] so consumers (the `adios-report` renderer) know how
+//! to read a bucket:
+//!
+//! * [`SeriesKind::Mean`] — sampled level (queue depth, ring
+//!   occupancy): a bucket reads as `sum / count`.
+//! * [`SeriesKind::Rate`] — accumulated quantity (bytes completed,
+//!   busy nanoseconds): a bucket reads as `sum / bucket_width`.
+
+use crate::json::Json;
+use crate::time::{SimDuration, SimTime};
+
+/// How a bucket of a [`TimeSeries`] should be read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Level samples: bucket value = `sum / count`.
+    Mean,
+    /// Accumulated quantity: bucket value = `sum / bucket_seconds`.
+    Rate,
+}
+
+impl SeriesKind {
+    /// Stable label used in the JSON export.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesKind::Mean => "mean",
+            SeriesKind::Rate => "rate",
+        }
+    }
+}
+
+/// One bucket's accumulated state.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Bucket {
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Largest recorded value (meaningless when `count == 0`).
+    pub max: f64,
+}
+
+impl Bucket {
+    fn absorb(&mut self, other: &Bucket) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A bounded, bucket-halving time series.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    kind: SeriesKind,
+    capacity: usize,
+    width: SimDuration,
+    buckets: Vec<Bucket>,
+}
+
+impl TimeSeries {
+    /// Series of at most `capacity` buckets, starting at `initial_width`
+    /// per bucket (doubles on overflow). `capacity >= 2`.
+    pub fn new(kind: SeriesKind, capacity: usize, initial_width: SimDuration) -> Self {
+        assert!(capacity >= 2, "need at least 2 buckets");
+        assert!(!initial_width.is_zero(), "bucket width must be positive");
+        TimeSeries {
+            kind,
+            capacity,
+            width: initial_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Series with the defaults used by the node instrumentation:
+    /// 256 buckets of 250 ms (covers 64 s before the first halving).
+    pub fn standard(kind: SeriesKind) -> Self {
+        TimeSeries::new(kind, 256, SimDuration::from_millis(250))
+    }
+
+    /// Empty series with the same kind, capacity and current width.
+    pub fn empty_like(&self) -> Self {
+        TimeSeries::new(self.kind, self.capacity, self.width)
+    }
+
+    /// How a bucket should be read.
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// Current bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// Buckets materialized so far (trailing all-empty buckets are not
+    /// stored).
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Total count across all buckets.
+    pub fn total_count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// Total sum across all buckets.
+    pub fn total_sum(&self) -> f64 {
+        self.buckets.iter().map(|b| b.sum).sum()
+    }
+
+    /// Merge adjacent bucket pairs, doubling the width.
+    fn halve(&mut self) {
+        let n = self.buckets.len();
+        let mut merged = Vec::with_capacity(n.div_ceil(2));
+        for pair in self.buckets.chunks(2) {
+            let mut b = pair[0];
+            if let Some(second) = pair.get(1) {
+                b.absorb(second);
+            }
+            merged.push(b);
+        }
+        self.buckets = merged;
+        self.width = self.width.mul(2);
+    }
+
+    /// Record value `x` at sim time `t`.
+    pub fn record(&mut self, t: SimTime, x: f64) {
+        let mut idx = (t.as_nanos() / self.width.as_nanos()) as usize;
+        while idx >= self.capacity {
+            self.halve();
+            idx = (t.as_nanos() / self.width.as_nanos()) as usize;
+        }
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Bucket::default());
+        }
+        let b = &mut self.buckets[idx];
+        if b.count == 0 {
+            b.max = x;
+        } else {
+            b.max = b.max.max(x);
+        }
+        b.sum += x;
+        b.count += 1;
+    }
+
+    /// Merge another series into this one (same kind). The result is
+    /// coarsened to the wider of the two bucket widths; integrals are
+    /// preserved.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(self.kind, other.kind, "series kind mismatch");
+        let mut other = other.clone();
+        while self.width < other.width {
+            self.halve();
+        }
+        while other.width < self.width {
+            other.halve();
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), Bucket::default());
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            dst.absorb(src);
+        }
+        self.capacity = self.capacity.max(other.capacity);
+        while self.buckets.len() > self.capacity {
+            self.halve();
+        }
+    }
+
+    /// Per-bucket rendered values: `sum/count` for [`SeriesKind::Mean`]
+    /// (0 for empty buckets), `sum / bucket_seconds` for
+    /// [`SeriesKind::Rate`].
+    pub fn values(&self) -> Vec<f64> {
+        let w = self.width.as_secs_f64();
+        self.buckets
+            .iter()
+            .map(|b| match self.kind {
+                SeriesKind::Mean => {
+                    if b.count == 0 {
+                        0.0
+                    } else {
+                        b.sum / b.count as f64
+                    }
+                }
+                SeriesKind::Rate => b.sum / w,
+            })
+            .collect()
+    }
+
+    /// Export as a deterministic JSON object: the kind label, bucket
+    /// width in ns, and parallel `sum` / `count` / `max` arrays (max is
+    /// 0 for empty buckets so the export has no nulls).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("kind", self.kind.label())
+            .field("bucket_ns", self.width.as_nanos())
+            .field("buckets", self.buckets.len())
+            .field(
+                "sum",
+                Json::Arr(self.buckets.iter().map(|b| Json::from(b.sum)).collect()),
+            )
+            .field(
+                "count",
+                Json::Arr(self.buckets.iter().map(|b| Json::from(b.count)).collect()),
+            )
+            .field(
+                "max",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|b| Json::from(if b.count == 0 { 0.0 } else { b.max }))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_bucket() {
+        let mut s = TimeSeries::new(SeriesKind::Mean, 8, SimDuration::from_secs(1));
+        s.record(SimTime::from_millis(100), 2.0);
+        s.record(SimTime::from_millis(900), 4.0);
+        s.record(SimTime::from_millis(1500), 10.0);
+        assert_eq!(s.buckets().len(), 2);
+        assert_eq!(s.buckets()[0].count, 2);
+        assert_eq!(s.buckets()[0].sum, 6.0);
+        assert_eq!(s.buckets()[0].max, 4.0);
+        assert_eq!(s.values(), vec![3.0, 10.0]);
+    }
+
+    #[test]
+    fn halving_preserves_integrals() {
+        let mut s = TimeSeries::new(SeriesKind::Rate, 4, SimDuration::from_secs(1));
+        for t in 0..4u64 {
+            s.record(SimTime::from_secs(t), (t + 1) as f64);
+        }
+        let (sum0, cnt0) = (s.total_sum(), s.total_count());
+        // Beyond 4 buckets: forces a halving to 2 s buckets.
+        s.record(SimTime::from_secs(5), 100.0);
+        assert_eq!(s.bucket_width(), SimDuration::from_secs(2));
+        assert_eq!(s.total_sum(), sum0 + 100.0);
+        assert_eq!(s.total_count(), cnt0 + 1);
+        // Merged buckets: [1+2, 3+4, 100].
+        assert_eq!(s.buckets()[0].sum, 3.0);
+        assert_eq!(s.buckets()[1].sum, 7.0);
+        assert_eq!(s.buckets()[2].sum, 100.0);
+        assert_eq!(s.buckets()[1].max, 4.0);
+    }
+
+    #[test]
+    fn far_future_record_halves_repeatedly() {
+        let mut s = TimeSeries::new(SeriesKind::Mean, 4, SimDuration::from_millis(1));
+        s.record(SimTime::ZERO, 1.0);
+        s.record(SimTime::from_secs(10), 2.0);
+        assert!(s.buckets().len() <= 4);
+        assert_eq!(s.total_count(), 2);
+        assert_eq!(s.total_sum(), 3.0);
+    }
+
+    #[test]
+    fn merge_aligns_widths_and_preserves_totals() {
+        let mut a = TimeSeries::new(SeriesKind::Mean, 8, SimDuration::from_secs(1));
+        let mut b = TimeSeries::new(SeriesKind::Mean, 8, SimDuration::from_secs(1));
+        for t in 0..8u64 {
+            a.record(SimTime::from_secs(t), 1.0);
+        }
+        // b overflows and halves to 2 s buckets.
+        for t in 0..16u64 {
+            b.record(SimTime::from_secs(t), 2.0);
+        }
+        assert!(b.bucket_width() > a.bucket_width());
+        let total = a.total_sum() + b.total_sum();
+        a.merge(&b);
+        assert_eq!(a.bucket_width(), b.bucket_width());
+        assert_eq!(a.total_sum(), total);
+        assert_eq!(a.total_count(), 8 + 16);
+    }
+
+    #[test]
+    fn json_export_is_deterministic() {
+        let build = || {
+            let mut s = TimeSeries::standard(SeriesKind::Rate);
+            for t in 0..100u64 {
+                s.record(SimTime::from_millis(t * 37), (t % 7) as f64);
+            }
+            s.to_json().to_string()
+        };
+        assert_eq!(build(), build());
+        assert!(build().starts_with("{\"kind\":\"rate\",\"bucket_ns\":250000000"));
+    }
+}

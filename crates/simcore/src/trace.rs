@@ -19,6 +19,7 @@
 //! pushed (including dropped ones), so two runs can be compared
 //! bit-for-bit without retaining their full traces.
 
+use crate::json::Json;
 use crate::stats::OnlineStats;
 use crate::time::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -730,6 +731,285 @@ impl TraceOracle {
     }
 }
 
+// ---------------------------------------------------------------------
+// Chrome Trace Event Format export
+// ---------------------------------------------------------------------
+
+/// Chrome tid of a layer inside its node's process: Dom0 is thread 0,
+/// guest `v` is thread `v + 1`.
+fn layer_tid(l: Layer) -> u64 {
+    match l {
+        Layer::Host => 0,
+        Layer::Guest(v) => v as u64 + 1,
+    }
+}
+
+/// Microsecond timestamp for Chrome (`ts`/`dur` are µs; fractional µs
+/// keep full ns resolution, and Rust's shortest round-trip float
+/// formatting keeps the output deterministic).
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1000.0)
+}
+
+fn chrome_ev(ph: &str, pid: usize, tid: u64, t: SimTime, name: &str) -> Json {
+    Json::obj()
+        .field("ph", ph)
+        .field("pid", pid)
+        .field("tid", tid)
+        .field("ts", us(t.as_nanos()))
+        .field("name", name)
+}
+
+fn chrome_meta(pid: usize, tid: Option<u64>, what: &str, name: &str) -> Json {
+    let mut e = Json::obj().field("ph", "M").field("pid", pid);
+    if let Some(tid) = tid {
+        e = e.field("tid", tid);
+    }
+    e.field("name", what)
+        .field("args", Json::obj().field("name", name))
+}
+
+/// Per-layer switch bookkeeping for span reconstruction.
+#[derive(Default)]
+struct SwitchSpan {
+    begin: Option<(SimTime, u8)>,
+    swap: Option<SimTime>,
+}
+
+/// Export one run as a Chrome Trace Event Format document (the JSON
+/// loaded by Perfetto / `chrome://tracing`).
+///
+/// `cluster` is the driver-level trace (job phases, network flows);
+/// `nodes[i]` is node `i`'s stack trace. Mapping:
+///
+/// * process 0 = the cluster: phases as duration spans on thread 0,
+///   network flows as async `b`/`e` pairs;
+/// * process `i + 1` = node `i`: thread 0 is Dom0, thread `v + 1` is
+///   guest `v`;
+/// * per-request lifecycles (elevator entry → completion) as async
+///   `b`/`e` pairs named `read`/`write`, with a `dispatch` instant;
+/// * elevator switches as nested duration spans: the whole `switch`,
+///   with `drain` and `reinit` sub-spans;
+/// * disk service as `disk` spans on Dom0 (seek/rotation/transfer in
+///   args), ring occupancy as counter tracks, anticipation idles as
+///   instants.
+///
+/// The export walks records in trace order, so it is byte-identical
+/// for byte-identical traces. Rings that dropped records export what
+/// they retained (async ends without a begin are skipped).
+pub fn to_chrome_json(cluster: &Trace, nodes: &[&Trace]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(chrome_meta(0, None, "process_name", "cluster"));
+    events.push(chrome_meta(0, Some(0), "thread_name", "job phases"));
+
+    // Cluster track: phases become back-to-back spans, flows async pairs.
+    let mut phase_open: Option<(SimTime, u8)> = None;
+    let mut last_t = SimTime::ZERO;
+    for rec in cluster.records() {
+        last_t = last_t.max(rec.t);
+        match rec.ev {
+            TraceEvent::Phase { phase } => {
+                if let Some((t0, p)) = phase_open.take() {
+                    events.push(
+                        chrome_ev("X", 0, 0, t0, &format!("phase{p}"))
+                            .field("dur", us(rec.t.saturating_since(t0).as_nanos())),
+                    );
+                }
+                phase_open = Some((rec.t, phase));
+            }
+            TraceEvent::FlowStart { id, src, dst, bytes } => {
+                events.push(
+                    chrome_ev("b", 0, 0, rec.t, "flow")
+                        .field("cat", "net")
+                        .field("id", format!("f{id}"))
+                        .field(
+                            "args",
+                            Json::obj().field("src", src).field("dst", dst).field("bytes", bytes),
+                        ),
+                );
+            }
+            TraceEvent::FlowEnd { id } => {
+                events.push(
+                    chrome_ev("e", 0, 0, rec.t, "flow")
+                        .field("cat", "net")
+                        .field("id", format!("f{id}")),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    for tr in nodes.iter() {
+        for rec in tr.records() {
+            last_t = last_t.max(rec.t);
+        }
+    }
+    // Close the last phase at the end of the run.
+    if let Some((t0, p)) = phase_open {
+        events.push(
+            chrome_ev("X", 0, 0, t0, &format!("phase{p}"))
+                .field("dur", us(last_t.saturating_since(t0).as_nanos())),
+        );
+    }
+
+    for (i, tr) in nodes.iter().enumerate() {
+        let pid = i + 1;
+        events.push(chrome_meta(pid, None, "process_name", &format!("node{i}")));
+        // Name every layer track that appears.
+        let mut named: Vec<u64> = Vec::new();
+        for rec in tr.records() {
+            let layer = match rec.ev {
+                TraceEvent::SchedInstall { layer, .. }
+                | TraceEvent::Arrive { layer, .. }
+                | TraceEvent::MergeBack { layer, .. }
+                | TraceEvent::MergeFront { layer, .. }
+                | TraceEvent::Dispatch { layer, .. }
+                | TraceEvent::Complete { layer, .. }
+                | TraceEvent::IdleArm { layer, .. }
+                | TraceEvent::SwitchBegin { layer, .. }
+                | TraceEvent::SwapDone { layer, .. }
+                | TraceEvent::SwitchEnd { layer, .. } => Some(layer),
+                _ => None,
+            };
+            if let Some(l) = layer {
+                let tid = layer_tid(l);
+                if !named.contains(&tid) {
+                    named.push(tid);
+                    let label = match l {
+                        Layer::Host => "dom0".to_string(),
+                        Layer::Guest(v) => format!("vm{v}"),
+                    };
+                    events.push(chrome_meta(pid, Some(tid), "thread_name", &label));
+                }
+            }
+        }
+
+        let mut begun: HashMap<(u64, u64), ()> = HashMap::new();
+        let mut switches: HashMap<u64, SwitchSpan> = HashMap::new();
+        for rec in tr.records() {
+            let t = rec.t;
+            match rec.ev {
+                TraceEvent::SchedInstall { layer, sched } => {
+                    events.push(
+                        chrome_ev("i", pid, layer_tid(layer), t, &format!("install {}", sched as char))
+                            .field("s", "t"),
+                    );
+                }
+                TraceEvent::Arrive { layer, id, sector, sectors, write }
+                | TraceEvent::MergeBack { layer, id, sector, sectors, write }
+                | TraceEvent::MergeFront { layer, id, sector, sectors, write } => {
+                    let tid = layer_tid(layer);
+                    begun.insert((tid, id), ());
+                    events.push(
+                        chrome_ev("b", pid, tid, t, if write { "write" } else { "read" })
+                            .field("cat", "rq")
+                            .field("id", format!("n{i}t{tid}r{id}"))
+                            .field(
+                                "args",
+                                Json::obj().field("sector", sector).field("sectors", sectors),
+                            ),
+                    );
+                }
+                TraceEvent::Dispatch { layer, id, sector, sectors, write } => {
+                    let tid = layer_tid(layer);
+                    events.push(
+                        chrome_ev("i", pid, tid, t, "dispatch")
+                            .field("s", "t")
+                            .field(
+                                "args",
+                                Json::obj()
+                                    .field("id", id)
+                                    .field("sector", sector)
+                                    .field("sectors", sectors)
+                                    .field("write", write),
+                            ),
+                    );
+                }
+                TraceEvent::Complete { layer, id } => {
+                    let tid = layer_tid(layer);
+                    if begun.remove(&(tid, id)).is_some() {
+                        events.push(
+                            chrome_ev("e", pid, tid, t, "rq")
+                                .field("cat", "rq")
+                                .field("id", format!("n{i}t{tid}r{id}")),
+                        );
+                    }
+                }
+                TraceEvent::IdleArm { layer, until } => {
+                    events.push(
+                        chrome_ev("i", pid, layer_tid(layer), t, "idle_arm")
+                            .field("s", "t")
+                            .field(
+                                "args",
+                                Json::obj()
+                                    .field("armed_us", us(until.saturating_since(t).as_nanos())),
+                            ),
+                    );
+                }
+                TraceEvent::SwitchBegin { layer, to } => {
+                    let s = switches.entry(layer_tid(layer)).or_default();
+                    s.begin = Some((t, to));
+                    s.swap = None;
+                }
+                TraceEvent::SwapDone { layer, .. } => {
+                    if let Some(s) = switches.get_mut(&layer_tid(layer)) {
+                        s.swap = Some(t);
+                    }
+                }
+                TraceEvent::SwitchEnd { layer, to } => {
+                    let tid = layer_tid(layer);
+                    if let Some(s) = switches.remove(&tid) {
+                        if let Some((t0, _)) = s.begin {
+                            let name = format!("switch→{}", to as char);
+                            events.push(
+                                chrome_ev("X", pid, tid, t0, &name)
+                                    .field("dur", us(t.saturating_since(t0).as_nanos())),
+                            );
+                            let swap = s.swap.unwrap_or(t);
+                            events.push(
+                                chrome_ev("X", pid, tid, t0, "drain")
+                                    .field("dur", us(swap.saturating_since(t0).as_nanos())),
+                            );
+                            events.push(
+                                chrome_ev("X", pid, tid, swap, "reinit")
+                                    .field("dur", us(t.saturating_since(swap).as_nanos())),
+                            );
+                        }
+                    }
+                }
+                TraceEvent::RingOcc { vm, occupied, .. } => {
+                    events.push(
+                        chrome_ev("C", pid, layer_tid(Layer::Guest(vm)), t, &format!("ring_vm{vm}"))
+                            .field("args", Json::obj().field("occupied", occupied)),
+                    );
+                }
+                TraceEvent::DiskService { id, seek_ns, rotation_ns, transfer_ns, sectors, sequential } => {
+                    let dur = seek_ns + rotation_ns + transfer_ns;
+                    events.push(
+                        chrome_ev("X", pid, 0, t, "disk")
+                            .field("dur", us(dur))
+                            .field(
+                                "args",
+                                Json::obj()
+                                    .field("id", id)
+                                    .field("seek_us", us(seek_ns))
+                                    .field("rotation_us", us(rotation_ns))
+                                    .field("transfer_us", us(transfer_ns))
+                                    .field("sectors", sectors)
+                                    .field("sequential", sequential),
+                            ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Json::obj()
+        .field("traceEvents", Json::Arr(events))
+        .field("displayTimeUnit", "ms")
+}
+
 /// Summarize per-layer anticipation idles from a trace (helper for the
 /// metrics document: count and total armed nanoseconds per layer).
 pub fn idle_summary(trace: &Trace) -> HashMap<Layer, (u64, OnlineStats)> {
@@ -914,6 +1194,74 @@ mod tests {
         o.replay(&tr);
         assert_eq!(o.violations().len(), 1);
         assert!(o.violations()[0].contains("dropped"));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_parseable_json_with_paired_async_events() {
+        let mut cluster = Trace::unbounded();
+        cluster.push(SimTime::ZERO, TraceEvent::Phase { phase: 1 });
+        cluster.push(SimTime::from_secs(2), TraceEvent::Phase { phase: 2 });
+        cluster.push(SimTime::from_millis(100), TraceEvent::FlowStart { id: 7, src: 0, dst: 1, bytes: 4096 });
+        cluster.push(SimTime::from_millis(400), TraceEvent::FlowEnd { id: 7 });
+
+        let mut node = Trace::unbounded();
+        let l = Layer::Guest(0);
+        let t = SimTime::from_micros;
+        node.push(t(0), TraceEvent::SchedInstall { layer: l, sched: b'c' });
+        node.push(t(1), ev_arrive(l, 1, 100, 8));
+        node.push(t(2), TraceEvent::MergeBack { layer: l, id: 2, sector: 108, sectors: 8, write: false });
+        node.push(t(3), TraceEvent::Dispatch { layer: l, id: 1, sector: 100, sectors: 16, write: false });
+        node.push(t(9), TraceEvent::Complete { layer: l, id: 1 });
+        node.push(t(9), TraceEvent::Complete { layer: l, id: 2 });
+        node.push(t(10), TraceEvent::SwitchBegin { layer: l, to: b'd' });
+        node.push(t(20), TraceEvent::SwapDone { layer: l, to: b'd' });
+        node.push(t(30), TraceEvent::SwitchEnd { layer: l, to: b'd' });
+        node.push(t(31), TraceEvent::RingOcc { vm: 0, occupied: 3, bound: 43 });
+        node.push(
+            t(32),
+            TraceEvent::DiskService { id: 5, seek_ns: 1000, rotation_ns: 2000, transfer_ns: 3000, sectors: 8, sequential: false },
+        );
+        node.push(t(33), TraceEvent::IdleArm { layer: l, until: t(40) });
+
+        let doc = to_chrome_json(&cluster, &[&node]);
+        let text = doc.to_string();
+        let back = crate::json::Json::parse(&text).expect("chrome export must parse");
+        let evs = back.get("traceEvents").unwrap().as_arr().unwrap();
+        let count_ph = |ph: &str| {
+            evs.iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some(ph))
+                .count()
+        };
+        // Async begins (2 requests + 1 flow) match ends exactly.
+        assert_eq!(count_ph("b"), 3, "{text}");
+        assert_eq!(count_ph("e"), 3, "{text}");
+        // Both phases became spans; switch adds switch+drain+reinit; disk 1.
+        assert_eq!(count_ph("X"), 2 + 3 + 1, "{text}");
+        assert_eq!(count_ph("C"), 1, "{text}");
+        // Determinism: same input, same bytes.
+        assert_eq!(text, to_chrome_json(&cluster, &[&node]).to_string());
+        // Timestamps are µs: the 2 s phase span has ts 0, dur 2e6.
+        let phase1 = evs
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("phase1"))
+            .unwrap();
+        assert_eq!(phase1.get("dur").unwrap().as_f64(), Some(2_000_000.0));
+    }
+
+    #[test]
+    fn chrome_export_skips_unmatched_completions_from_truncated_rings() {
+        let mut node = Trace::bounded(1);
+        node.push(SimTime::ZERO, ev_arrive(Layer::Host, 1, 0, 8));
+        // The arrival is evicted; only the completion is retained.
+        node.push(SimTime::from_micros(5), TraceEvent::Complete { layer: Layer::Host, id: 1 });
+        let doc = to_chrome_json(&Trace::disabled(), &[&node]);
+        let text = doc.to_string();
+        let back = crate::json::Json::parse(&text).unwrap();
+        let evs = back.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(
+            !evs.iter().any(|e| e.get("ph").and_then(|p| p.as_str()) == Some("e")),
+            "{text}"
+        );
     }
 
     #[test]

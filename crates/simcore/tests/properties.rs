@@ -116,3 +116,102 @@ fn jain_bounds() {
         assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain {j}");
     });
 }
+
+/// Histogram nearest-rank quantiles are bucket-accurate: the estimate
+/// never exceeds the true order statistic and undershoots by less than
+/// one bucket width (≲3.1% relative at the default resolution).
+#[test]
+fn histogram_quantile_error_bounded_by_bucket_width() {
+    use simcore::Histogram;
+    check(128, |g| {
+        let sub_bits = g.u32_in(1, 8);
+        let mut h = Histogram::with_sub_bits(sub_bits);
+        let span_bits = g.u32_in(1, 40);
+        let mut xs = g.vec(1, 400, |g| g.u64_in(0, 1u64 << span_bits));
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_unstable();
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let est = h.quantile(q).unwrap();
+            let rank = (q * (xs.len() - 1) as f64).round() as usize;
+            let truth = xs[rank];
+            assert!(est <= truth, "q={q}: estimate {est} above truth {truth}");
+            assert!(
+                truth - est < h.width_at(truth).max(1),
+                "q={q}: estimate {est} more than one bucket below truth {truth} \
+                 (width {})",
+                h.width_at(truth)
+            );
+        }
+    });
+}
+
+/// Merging two histograms is the same as recording both sample sets
+/// into one.
+#[test]
+fn histogram_merge_equals_combined_recording() {
+    use simcore::Histogram;
+    check(64, |g| {
+        let xs = g.vec(0, 200, |g| g.u64_in(0, 1_000_000));
+        let ys = g.vec(0, 200, |g| g.u64_in(0, 1_000_000));
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &x in &xs {
+            a.record(x);
+            both.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            both.record(y);
+        }
+        a.merge(&b);
+        assert_eq!(a.to_json().to_string(), both.to_json().to_string());
+    });
+}
+
+/// Bucket-halving downsampling preserves integrals: whatever width the
+/// series coarsened to, every bucket holds exactly the sum, count, and
+/// max of the raw samples that fall in its interval. Samples are
+/// integer-valued so float sums are exact regardless of merge order.
+#[test]
+fn timeseries_halving_preserves_bucket_integrals() {
+    use simcore::{SeriesKind, TimeSeries};
+    check(128, |g| {
+        let capacity = g.usize_in(2, 32);
+        let width_ns = g.u64_in(1, 1_000_000);
+        let kind = *g.pick(&[SeriesKind::Mean, SeriesKind::Rate]);
+        let mut s = TimeSeries::new(kind, capacity, SimDuration::from_nanos(width_ns));
+        // Spread far enough past capacity*width to force several halvings.
+        let horizon = width_ns.saturating_mul(capacity as u64 * 16);
+        let samples: Vec<(u64, f64)> = g.vec(1, 300, |g| {
+            (g.u64_in(0, horizon), g.u64_in(0, 1000) as f64)
+        });
+        for &(t, x) in &samples {
+            s.record(SimTime::from_nanos(t), x);
+        }
+        let final_w = s.bucket_width().as_nanos();
+        assert!(s.buckets().len() <= capacity, "capacity exceeded");
+        assert_eq!(final_w % width_ns, 0, "width must be a doubling of the initial");
+        for (i, b) in s.buckets().iter().enumerate() {
+            let lo = i as u64 * final_w;
+            let in_bucket: Vec<f64> = samples
+                .iter()
+                .filter(|&&(t, _)| t >= lo && t - lo < final_w)
+                .map(|&(_, x)| x)
+                .collect();
+            assert_eq!(b.count, in_bucket.len() as u64, "bucket {i} count");
+            assert_eq!(b.sum, in_bucket.iter().sum::<f64>(), "bucket {i} sum");
+            if b.count > 0 {
+                assert_eq!(
+                    b.max,
+                    in_bucket.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                    "bucket {i} max"
+                );
+            }
+        }
+        assert_eq!(s.total_count(), samples.len() as u64);
+    });
+}

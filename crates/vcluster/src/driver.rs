@@ -1079,6 +1079,7 @@ impl ClusterSim {
                 JobEvent::MapsAllDone => {
                     self.trace
                         .push(self.now, TraceEvent::Phase { phase: JobPhase::Ph2.code() });
+                    self.set_phase_all(JobPhase::Ph2.code());
                     if let Some(pair) = self.plan.at_maps_done {
                         self.switch_all(pair);
                     }
@@ -1086,12 +1087,21 @@ impl ClusterSim {
                 JobEvent::ShuffleAllDone => {
                     self.trace
                         .push(self.now, TraceEvent::Phase { phase: JobPhase::Ph3.code() });
+                    self.set_phase_all(JobPhase::Ph3.code());
                     if let Some(pair) = self.plan.at_shuffle_done {
                         self.switch_all(pair);
                     }
                 }
                 JobEvent::ReduceShuffleDone(_) | JobEvent::JobDone => {}
             }
+        }
+    }
+
+    /// Tell every node's telemetry which job phase is running (so guest
+    /// latency histograms split per phase).
+    fn set_phase_all(&mut self, phase: u8) {
+        for node in &mut self.nodes {
+            node.set_phase(phase);
         }
     }
 
@@ -1115,6 +1125,7 @@ impl ClusterSim {
     pub fn run(&mut self) -> JobOutcome {
         self.trace
             .push(self.now, TraceEvent::Phase { phase: JobPhase::Ph1.code() });
+        self.set_phase_all(JobPhase::Ph1.code());
         let initial = self.tracker.initial_assignments();
         for a in initial {
             self.start_task(a);
@@ -1244,6 +1255,10 @@ impl ClusterSim {
                 phases.duration(p).as_secs_f64(),
             );
         }
+        // Absolute phase boundaries so time series can be cut per phase.
+        for (name, t) in phases.boundaries() {
+            reg.set_gauge("phases", name, t.as_secs_f64());
+        }
         reg.set_gauge(
             "phases",
             "non_concurrent_shuffle_pct",
@@ -1251,6 +1266,11 @@ impl ClusterSim {
         );
         for n in &self.nodes {
             n.export_metrics(&mut reg);
+        }
+        // Telemetry sections (Telemetry::Full only): per-VM series get
+        // cluster-global names via each node's VM-0 index.
+        for (i, n) in self.nodes.iter().enumerate() {
+            n.export_telemetry(&mut reg, i * self.params.shape.vms_per_node as usize);
         }
         self.nodes[0].export_throughput(&mut reg);
         reg.inc("network", "flows", self.flows_started);
@@ -1267,11 +1287,27 @@ impl ClusterSim {
             self.nodes.iter().map(|n| n.trace().dropped()).sum::<u64>() + self.trace.dropped();
         reg.inc("trace", "records", records);
         reg.inc("trace", "dropped", dropped);
-        let mut doc = Json::obj().field("schema", "adios.metrics/1");
+        let telemetry = match self.params.node.telemetry {
+            simcore::Telemetry::Off => "off",
+            simcore::Telemetry::Counters => "counters",
+            simcore::Telemetry::Full => "full",
+        };
+        let mut doc = Json::obj()
+            .field("schema", "adios.metrics/2")
+            .field("telemetry", telemetry);
         if let (Json::Obj(dst), Json::Obj(src)) = (&mut doc, reg.to_json()) {
             dst.extend(src);
         }
         doc
+    }
+
+    /// Export the run as a Chrome Trace Event Format document (opens in
+    /// Perfetto / `chrome://tracing`). Meaningful only when
+    /// `node.trace_capacity` retained the records of interest; rings
+    /// that dropped records export what they kept.
+    pub fn chrome_trace(&self) -> Json {
+        let nodes: Vec<&Trace> = self.nodes.iter().map(|n| n.trace()).collect();
+        simcore::trace::to_chrome_json(&self.trace, &nodes)
     }
 }
 

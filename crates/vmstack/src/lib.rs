@@ -30,6 +30,8 @@
 pub mod node;
 pub mod runner;
 pub mod switching;
+pub mod telemetry;
 
 pub use node::{LevelCounters, NodeParams, NodeStack, StackAction, StackEvent, SwitchScope, VmId};
 pub use switching::{SwitchState, SwitchTiming};
+pub use telemetry::NodeTelemetry;

@@ -36,10 +36,11 @@ use iosched::{
     build_elevator, AddOutcome, Dispatch, Dir, Elevator, IoRequest, QueuedRq, RequestId, SchedPair,
     Tunables,
 };
+use crate::telemetry::NodeTelemetry;
 use simcore::trace::{Layer, Trace, TraceEvent};
 use simcore::{
-    MetricsRegistry, OnlineStats, SampleSet, SimDuration, SimTime, ThroughputMeter, Timer,
-    TimerTicket,
+    MetricsRegistry, OnlineStats, SampleSet, SimDuration, SimTime, Telemetry, ThroughputMeter,
+    Timer, TimerTicket,
 };
 use std::collections::HashMap;
 
@@ -112,6 +113,10 @@ pub struct NodeParams {
     /// Trace ring capacity per node (0 disables tracing entirely;
     /// `usize::MAX` never drops, which the replay oracle requires).
     pub trace_capacity: usize,
+    /// Instrumentation level: `Off` skips even the per-level counters,
+    /// `Counters` (the default) keeps the flat counters, `Full` adds
+    /// the latency/seek/run histograms and sim-time series.
+    pub telemetry: Telemetry,
 }
 
 impl Default for NodeParams {
@@ -126,6 +131,7 @@ impl Default for NodeParams {
             switch: SwitchTiming::default(),
             meter_window: SimDuration::from_secs(1),
             trace_capacity: 0,
+            telemetry: Telemetry::Counters,
         }
     }
 }
@@ -235,6 +241,8 @@ pub struct NodeStack {
     dom0_meter: ThroughputMeter,
     /// Completed-request latency, seconds (submit → IoDone).
     pub latency: simcore::OnlineStats,
+    /// Level-gated histograms and time series.
+    tel: NodeTelemetry,
     trace: Trace,
     dom0_counters: LevelCounters,
     dom0_drain_began: Option<SimTime>,
@@ -303,6 +311,7 @@ impl NodeStack {
             switching_to: None,
             dom0_meter: ThroughputMeter::new(params.meter_window),
             latency: simcore::OnlineStats::new(),
+            tel: NodeTelemetry::new(params.telemetry, vm_count),
             trace,
             dom0_counters: LevelCounters::default(),
             dom0_drain_began: None,
@@ -392,6 +401,24 @@ impl NodeStack {
         &self.trace
     }
 
+    /// The node's level-gated telemetry state.
+    pub fn telemetry(&self) -> &NodeTelemetry {
+        &self.tel
+    }
+
+    /// Announce the job phase (1–3) so guest latency histograms are
+    /// recorded per phase. Cheap; callers may set it redundantly.
+    pub fn set_phase(&mut self, phase: u8) {
+        self.tel.set_phase(phase);
+    }
+
+    /// Fold this node's histograms and series into `reg` (`hist` and
+    /// `series` sections); no-op below [`Telemetry::Full`]. `vm_base`
+    /// is the cluster-global index of this node's VM 0.
+    pub fn export_telemetry(&self, reg: &mut MetricsRegistry, vm_base: usize) {
+        self.tel.export(reg, vm_base);
+    }
+
     /// Dom0-level instrumentation counters.
     pub fn dom0_counters(&self) -> &LevelCounters {
         &self.dom0_counters
@@ -467,6 +494,7 @@ impl NodeStack {
         record_add(
             &mut self.trace,
             &mut g.counters,
+            &mut self.tel,
             Layer::Guest(vm),
             now,
             id,
@@ -491,6 +519,7 @@ impl NodeStack {
         record_add(
             &mut self.trace,
             &mut self.dom0_counters,
+            &mut self.tel,
             Layer::Host,
             now,
             id,
@@ -600,13 +629,18 @@ impl NodeStack {
                     // Split across ring slots of at most ring_seg_sectors.
                     let seg_max = self.params.ring_seg_sectors.max(1);
                     let nsegs = grq.sectors.div_ceil(seg_max) as u32;
+                    let counters = self.tel.level.counters();
                     let (base, occ) = {
                         let g = &mut self.guests[vm as usize];
                         g.in_ring += nsegs as usize;
-                        g.counters.dispatches += 1;
-                        g.counters.dispatched_sectors += grq.sectors;
+                        if counters {
+                            g.counters.dispatches += 1;
+                            g.counters.dispatched_sectors += grq.sectors;
+                        }
                         (g.base, g.in_ring as u32)
                     };
+                    self.tel.on_guest_dispatch(grq.sectors);
+                    self.tel.on_ring_occ(now, occ);
                     self.ring_occ.record(occ as f64);
                     self.ring_peak = self.ring_peak.max(occ);
                     self.trace.push(
@@ -648,9 +682,11 @@ impl NodeStack {
                     self.try_finish_guest_drain(now, vm, out);
                 }
                 Dispatch::Idle { until } => {
-                    let c = &mut self.guests[vm as usize].counters;
-                    c.idles += 1;
-                    c.idle_wait.record(until.saturating_since(now).as_secs_f64());
+                    if self.tel.level.counters() {
+                        let c = &mut self.guests[vm as usize].counters;
+                        c.idles += 1;
+                        c.idle_wait.record(until.saturating_since(now).as_secs_f64());
+                    }
                     self.trace
                         .push(now, TraceEvent::IdleArm { layer: Layer::Guest(vm), until });
                     self.arm_guest_kick(vm, until, out);
@@ -696,11 +732,15 @@ impl NodeStack {
                         write: rq.dir == Dir::Write,
                     },
                 );
-                self.dom0_counters.dispatches += 1;
-                self.dom0_counters.dispatched_sectors += rq.sectors;
+                if self.tel.level.counters() {
+                    self.dom0_counters.dispatches += 1;
+                    self.dom0_counters.dispatched_sectors += rq.sectors;
+                }
                 let b = self
                     .disk
                     .service(now, rq.sector, rq.sectors, rq.dir == Dir::Write);
+                self.tel
+                    .on_dom0_dispatch(now, rq.sector, rq.sectors, b.total().as_nanos());
                 self.trace.push(
                     now,
                     TraceEvent::DiskService {
@@ -716,10 +756,12 @@ impl NodeStack {
                 out.push(StackAction::At(now + b.total(), StackEvent::DiskDone));
             }
             Dispatch::Idle { until } => {
-                self.dom0_counters.idles += 1;
-                self.dom0_counters
-                    .idle_wait
-                    .record(until.saturating_since(now).as_secs_f64());
+                if self.tel.level.counters() {
+                    self.dom0_counters.idles += 1;
+                    self.dom0_counters
+                        .idle_wait
+                        .record(until.saturating_since(now).as_secs_f64());
+                }
                 self.trace
                     .push(now, TraceEvent::IdleArm { layer: Layer::Host, until });
                 self.arm_dom0_kick(until, out);
@@ -737,10 +779,15 @@ impl NodeStack {
         self.dom0.completed(&rq, now);
         // VMs whose ring occupancy changed, in first-touch order.
         let mut occ_vms: Vec<VmId> = Vec::new();
+        let counters = self.tel.level.counters();
         for part in &rq.parts {
             self.trace
                 .push(now, TraceEvent::Complete { layer: Layer::Host, id: part.id });
-            self.dom0_counters.completions += 1;
+            if counters {
+                self.dom0_counters.completions += 1;
+            }
+            self.tel
+                .on_dom0_complete(now.saturating_since(part.submitted).as_nanos());
             let seg = self
                 .ring
                 .remove(&part.id)
@@ -763,15 +810,21 @@ impl NodeStack {
                 let g = &mut self.guests[vm as usize];
                 g.meter.record(now, parent.grq.bytes());
                 g.elevator.completed(&parent.grq, now);
-                g.counters.completions += parent.grq.parts.len() as u64;
+                if counters {
+                    g.counters.completions += parent.grq.parts.len() as u64;
+                }
             }
+            self.tel.on_vm_bytes(now, vm, parent.grq.bytes());
             for gpart in &parent.grq.parts {
                 self.trace.push(
                     now,
                     TraceEvent::Complete { layer: Layer::Guest(vm), id: gpart.id },
                 );
-                self.latency
-                    .record(now.saturating_since(gpart.submitted).as_secs_f64());
+                let waited = now.saturating_since(gpart.submitted);
+                if counters {
+                    self.latency.record(waited.as_secs_f64());
+                }
+                self.tel.on_guest_complete(waited.as_nanos());
                 self.outstanding -= 1;
                 out.push(StackAction::IoDone {
                     vm,
@@ -783,6 +836,7 @@ impl NodeStack {
         for vm in occ_vms {
             let occ = self.guests[vm as usize].in_ring as u32;
             self.ring_occ.record(occ as f64);
+            self.tel.on_ring_occ(now, occ);
             self.trace
                 .push(now, TraceEvent::RingOcc { vm, occupied: occ, bound: self.ring_bound });
         }
@@ -874,7 +928,8 @@ impl NodeStack {
 
     fn try_finish_guest_drain(&mut self, now: SimTime, vm: VmId, out: &mut Vec<StackAction>) {
         let thaw_at = now + self.params.switch.guest_reinit;
-        let code = {
+        let counters = self.tel.level.counters();
+        let (code, drained) = {
             let g = &mut self.guests[vm as usize];
             if !(g.switch.is_draining() && g.elevator.queued() == 0) {
                 return;
@@ -882,15 +937,20 @@ impl NodeStack {
             let kind = g.switch.target().expect("draining has a target");
             g.elevator = build_elevator(kind, &self.params.tunables);
             g.switch.swap_done(thaw_at);
-            g.counters.switches += 1;
-            if let Some(began) = g.drain_began.take() {
-                g.counters
-                    .drain_durations
-                    .record(now.saturating_since(began).as_secs_f64());
+            let drained = g.drain_began.take().map(|began| now.saturating_since(began));
+            if counters {
+                g.counters.switches += 1;
+                if let Some(d) = drained {
+                    g.counters.drain_durations.record(d.as_secs_f64());
+                }
+                g.counters.freeze_secs += self.params.switch.guest_reinit.as_secs_f64();
             }
-            g.counters.freeze_secs += self.params.switch.guest_reinit.as_secs_f64();
-            kind.code() as u8
+            (kind.code() as u8, drained)
         };
+        if let Some(d) = drained {
+            self.tel.on_drain(d.as_nanos());
+        }
+        self.tel.on_reinit(self.params.switch.guest_reinit.as_nanos());
         self.trace
             .push(now, TraceEvent::SwapDone { layer: Layer::Guest(vm), to: code });
         self.arm_guest_kick(vm, thaw_at, out);
@@ -905,13 +965,19 @@ impl NodeStack {
             self.dom0 = build_elevator(kind, &self.params.tunables);
             let thaw_at = now + self.params.switch.dom0_reinit;
             self.dom0_switch.swap_done(thaw_at);
-            self.dom0_counters.switches += 1;
-            if let Some(began) = self.dom0_drain_began.take() {
-                self.dom0_counters
-                    .drain_durations
-                    .record(now.saturating_since(began).as_secs_f64());
+            let counters = self.tel.level.counters();
+            let drained = self.dom0_drain_began.take().map(|began| now.saturating_since(began));
+            if counters {
+                self.dom0_counters.switches += 1;
+                if let Some(d) = drained {
+                    self.dom0_counters.drain_durations.record(d.as_secs_f64());
+                }
+                self.dom0_counters.freeze_secs += self.params.switch.dom0_reinit.as_secs_f64();
             }
-            self.dom0_counters.freeze_secs += self.params.switch.dom0_reinit.as_secs_f64();
+            if let Some(d) = drained {
+                self.tel.on_drain(d.as_nanos());
+            }
+            self.tel.on_reinit(self.params.switch.dom0_reinit.as_nanos());
             self.trace
                 .push(now, TraceEvent::SwapDone { layer: Layer::Host, to: kind.code() as u8 });
             self.arm_dom0_kick(thaw_at, out);
@@ -942,6 +1008,7 @@ impl NodeStack {
 fn record_add(
     trace: &mut Trace,
     c: &mut LevelCounters,
+    tel: &mut NodeTelemetry,
     layer: Layer,
     now: SimTime,
     id: RequestId,
@@ -951,16 +1018,24 @@ fn record_add(
     outcome: AddOutcome,
     depth_after: usize,
 ) {
-    c.arrivals += 1;
-    c.queue_depth.record(depth_after as f64);
+    let counters = tel.level.counters();
+    if counters {
+        c.arrivals += 1;
+        c.queue_depth.record(depth_after as f64);
+    }
+    tel.on_arrival(now, layer == Layer::Host, depth_after);
     let ev = match outcome {
         AddOutcome::Queued => TraceEvent::Arrive { layer, id, sector, sectors, write },
         AddOutcome::MergedBack(_) => {
-            c.merges_back += 1;
+            if counters {
+                c.merges_back += 1;
+            }
             TraceEvent::MergeBack { layer, id, sector, sectors, write }
         }
         AddOutcome::MergedFront(_) => {
-            c.merges_front += 1;
+            if counters {
+                c.merges_front += 1;
+            }
             TraceEvent::MergeFront { layer, id, sector, sectors, write }
         }
     };

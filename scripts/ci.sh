@@ -11,8 +11,24 @@ cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 
 # Smoke-run the micro-benchmark harness (shrunken iteration counts):
-# proves the in-tree timer harness and its workloads stay runnable.
-REPRO_QUICK=1 cargo bench --offline -p repro-bench --bench criterion_micro
+# proves the in-tree timer harness and its workloads stay runnable,
+# and that it emits a parseable BENCH_micro.json.
+bench_json="$(mktemp)"
+BENCH_MICRO_OUT="${bench_json}" REPRO_QUICK=1 \
+  cargo bench --offline -p repro-bench --bench criterion_micro
+grep -q '"schema":"adios.bench/1"' "${bench_json}" \
+  || { echo "error: BENCH_micro.json missing or unstamped" >&2; exit 1; }
+
+# Observability smoke: a full-telemetry sort run must produce a metrics
+# document that adios-report renders, and whose self-diff is empty
+# (--fail-on-delta exits 2 on any differing value).
+metrics_json="$(mktemp)"
+cargo run -q --release --offline --bin repro-cli -- run \
+  --nodes 2 --vms 2 --data-mb 96 --telemetry full --metrics-out "${metrics_json}"
+cargo run -q --release --offline -p adios-report -- render "${metrics_json}" > /dev/null
+cargo run -q --release --offline -p adios-report -- diff \
+  "${metrics_json}" "${metrics_json}" --fail-on-delta > /dev/null
+rm -f "${bench_json}" "${metrics_json}"
 
 # Dependency guard: every node reachable over normal, build, and dev
 # edges must be a path crate inside this repo. A registry dependency
@@ -26,4 +42,4 @@ if [[ -n "${external}" ]]; then
   exit 1
 fi
 
-echo "ci: offline build (all targets) + tests + bench smoke green; dependency graph is workspace-only"
+echo "ci: offline build (all targets) + tests + bench smoke + report smoke green; dependency graph is workspace-only"

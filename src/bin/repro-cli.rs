@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro-cli run   [--workload sort] [--pair cc] [--nodes 4] [--vms 4] [--data-mb 512]
+//!                 [--telemetry off|counters|full] [--metrics-out FILE] [--trace-out FILE]
 //! repro-cli sweep [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512]
 //! repro-cli tune  [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512] [--json]
 //! repro-cli switch-cost [--from cc] [--to ad] [--vms 4] [--mb 600]
@@ -16,8 +17,8 @@ use adaptive_disk_sched::metasched::{
     measure_switch_cost, DdConfig, Experiment, MetaScheduler,
 };
 use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
-use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
-use simcore::Json;
+use adaptive_disk_sched::vcluster::{run_job, ClusterParams, ClusterSim, SwitchPlan};
+use simcore::{Json, Telemetry};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -66,7 +67,20 @@ fn cluster(flags: &HashMap<String, String>) -> ClusterParams {
     if let Some(v) = flags.get("vms") {
         p.shape.vms_per_node = v.parse().expect("--vms");
     }
+    if let Some(t) = flags.get("telemetry") {
+        p.node.telemetry = Telemetry::parse(t).unwrap_or_else(|| {
+            eprintln!("--telemetry must be off|counters|full, got {t:?}");
+            exit(2);
+        });
+    }
     p
+}
+
+fn write_out(path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("writing {path}: {e}");
+        exit(1);
+    }
 }
 
 fn job(flags: &HashMap<String, String>) -> JobSpec {
@@ -93,7 +107,20 @@ fn cmd_run(flags: HashMap<String, String>) {
     let params = cluster(&flags);
     let j = job(&flags);
     let p = pair(&flags, "pair", "cc");
-    let out = run_job(&params, &j, SwitchPlan::single(p));
+    let mut params = params;
+    if flags.contains_key("trace-out") && params.node.trace_capacity == 0 {
+        // A timeline export needs retained records; keep the most
+        // recent 64k events per ring unless the user sized it.
+        params.node.trace_capacity = 1 << 16;
+    }
+    let mut sim = ClusterSim::new(params.clone(), j.clone(), SwitchPlan::single(p));
+    let out = sim.run();
+    if let Some(path) = flags.get("metrics-out") {
+        write_out(path, &out.metrics.to_string());
+    }
+    if let Some(path) = flags.get("trace-out") {
+        write_out(path, &sim.chrome_trace().to_string());
+    }
     println!(
         "{} under {} on {}x{} VMs, {} MB/VM:",
         j.workload.name,

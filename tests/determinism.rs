@@ -95,11 +95,59 @@ fn metrics_and_trace_digest_deterministic() {
     assert_eq!(one, again, "repeated run changed metrics or trace digest");
     for (json, digest) in &one {
         assert!(
-            json.starts_with("{\"schema\":\"adios.metrics/1\""),
+            json.starts_with("{\"schema\":\"adios.metrics/2\""),
             "unexpected document head: {json}"
         );
         assert_ne!(*digest, 0, "trace digest never folds to zero");
     }
+}
+
+/// The time-resolved telemetry surface added in metrics/2 is golden
+/// too: at `Telemetry::Full` the `hist` and `series` sections and the
+/// exported Chrome trace JSON are byte-identical across repeated runs
+/// and worker counts.
+#[test]
+fn full_telemetry_and_chrome_trace_deterministic() {
+    use adaptive_disk_sched::simcore::Telemetry;
+    use adaptive_disk_sched::vcluster::ClusterSim;
+    let mut params = small_cluster();
+    params.node.telemetry = Telemetry::Full;
+    params.node.trace_capacity = 4096;
+    let job = sort_job(96);
+    let run = |p: &SchedPair| {
+        let mut sim = ClusterSim::new(params.clone(), job.clone(), SwitchPlan::single(*p));
+        let out = sim.run();
+        (out.metrics.to_string(), sim.chrome_trace().to_string())
+    };
+    let pairs = [SchedPair::DEFAULT, SchedPair::all()[7]];
+    let one = par_map_threads(1, &pairs, run);
+    let eight = par_map_threads(8, &pairs, run);
+    assert_eq!(one, eight, "worker count changed telemetry or chrome trace");
+    let again = par_map_threads(8, &pairs, run);
+    assert_eq!(one, again, "repeated run changed telemetry or chrome trace");
+    for (metrics, chrome) in &one {
+        assert!(metrics.contains("\"telemetry\":\"full\""), "{metrics}");
+        assert!(metrics.contains("\"hist\":{"), "hist section missing");
+        assert!(metrics.contains("\"guest_lat_ph1_ns\""), "per-phase latency missing");
+        assert!(metrics.contains("\"series\":{"), "series section missing");
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"X\""), "no complete spans in trace");
+    }
+}
+
+/// `Telemetry::Off` still yields a valid, schema-stamped document —
+/// just without the counter-derived and time-resolved sections.
+#[test]
+fn telemetry_off_document_still_validates() {
+    use adaptive_disk_sched::simcore::{Json, Telemetry};
+    let mut params = small_cluster();
+    params.node.telemetry = Telemetry::Off;
+    let out = run_job(&params, &sort_job(96), SwitchPlan::single(SchedPair::DEFAULT));
+    let text = out.metrics.to_string();
+    let doc = Json::parse(&text).expect("metrics doc must stay parseable");
+    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("adios.metrics/2"));
+    assert_eq!(doc.get("telemetry").and_then(|s| s.as_str()), Some("off"));
+    assert!(!text.contains("\"hist\":{"), "hist section must be absent when off");
 }
 
 /// The `SIM_THREADS` environment override feeds `par_map` and must not
