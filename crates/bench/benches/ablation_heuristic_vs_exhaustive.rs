@@ -6,7 +6,10 @@
 //! cheap enough to compare outright.
 
 use iosched::SchedPair;
-use metasched::{algorithm1, assignment_plan, profile_pairs, Experiment, PhaseSplit};
+use metasched::{
+    algorithm1, profile_pairs_cached, CachedEvaluator, EvalCache, Experiment, PhaseSplit,
+    PlanEvaluator,
+};
 use mrsim::WorkloadSpec;
 use repro_bench::{paper_cluster, paper_job};
 use simcore::par::par_map;
@@ -14,9 +17,15 @@ use simcore::par::par_map;
 fn main() {
     let exp = Experiment::new(paper_cluster(), paper_job(WorkloadSpec::sort()));
     let pairs = SchedPair::all();
-    let profiles = profile_pairs(&exp, &pairs);
+    // One memo cache shared by all three components: profiling seeds the
+    // single-pair scores, the heuristic and the exhaustive enumeration
+    // re-use them (the 16 diagonal plans of the 16x16 grid, plus every
+    // plan the greedy walk already measured, cost nothing).
+    let cache = EvalCache::new();
+    let profiles = profile_pairs_cached(&exp, &pairs, &cache);
+    let eval = CachedEvaluator::new(&exp, &cache);
 
-    let heuristic = algorithm1(&exp, PhaseSplit::Two, &profiles, None);
+    let heuristic = algorithm1(&eval, PhaseSplit::Two, &profiles, None);
 
     let mut plans = Vec::new();
     for &a in &pairs {
@@ -25,7 +34,7 @@ fn main() {
         }
     }
     let exhaustive: Vec<([SchedPair; 2], f64)> =
-        par_map(&plans, |&pl| (pl, exp.run(assignment_plan(&pl)).makespan.as_secs_f64()));
+        par_map(&plans, |&pl| (pl, eval.evaluate(&pl).as_secs_f64()));
     let (best_plan, best_t) = exhaustive
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
@@ -47,6 +56,15 @@ fn main() {
     );
     let regret = 100.0 * (heuristic.time.as_secs_f64() / best_t - 1.0);
     println!("heuristic regret vs optimum: {regret:.2}%");
+    let stats = cache.stats();
+    println!(
+        "memo cache: {} hits / {} misses ({} simulations avoided)",
+        stats.hits, stats.misses, stats.hits
+    );
+    assert!(
+        stats.hits >= pairs.len() as u64,
+        "at least the 16 diagonal plans must be served from the cache"
+    );
     assert!(
         regret < 10.0,
         "the greedy answer should be within 10% of the optimum"

@@ -1,0 +1,133 @@
+//! Kernel-throughput sweep bench: run the `vcluster::sweep` sharded
+//! driver over a cluster-scale grid and record events/sec and
+//! wall-clock per cell into `BENCH_sweep.json` (adios.bench/1).
+//!
+//! The headline number is the 64-node sort cell (64 nodes × 4 VMs,
+//! 64 MB/VM, default pair), compared against the pre-calendar-queue
+//! kernel measured on the same cell: the flat-`BinaryHeap`,
+//! alloc-per-event kernel took **136.377 s** of host wall-clock for the
+//! identical simulation (same event count — the rework is bit-exact, so
+//! both kernels process exactly the same events). The acceptance bar is
+//! ≥5× events/sec over that baseline.
+//!
+//! `REPRO_QUICK=1` shrinks the grid to a liveness smoke pass and skips
+//! the speedup assertion (the headline cell never runs).
+
+use iosched::{SchedKind, SchedPair};
+use mrsim::{ClusterShape, JobSpec, WorkloadSpec};
+use repro_bench::quick;
+use vcluster::{run_sweep, ClusterParams, SweepGrid, SwitchPlan};
+
+/// Host wall-clock of the headline cell (64×4 VMs, 64 MB/VM sort,
+/// default pair) under the pre-change kernel — measured before the
+/// calendar-queue/batching rework on the same simulation (which, being
+/// bit-exact, processes the same event count).
+const BASELINE_WALL_S: f64 = 136.377;
+
+fn shape(nodes: u32) -> ClusterShape {
+    ClusterShape {
+        nodes,
+        ..ClusterShape::default()
+    }
+}
+
+fn out_path() -> std::path::PathBuf {
+    std::env::var_os("BENCH_SWEEP_OUT")
+        .map(Into::into)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json")
+        })
+}
+
+fn main() {
+    let base = ClusterParams::default();
+    let mut job = JobSpec::new(WorkloadSpec::sort());
+    let dd = SchedPair::new(SchedKind::Deadline, SchedKind::Deadline);
+    let grid = if quick() {
+        job.data_per_vm_bytes = 32 << 20;
+        SweepGrid {
+            shapes: vec![shape(4), shape(8)],
+            data_mb_per_vm: vec![32],
+            plans: vec![
+                ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),
+                ("dd".into(), SwitchPlan::single(dd)),
+            ],
+        }
+    } else {
+        job.data_per_vm_bytes = 64 << 20;
+        SweepGrid {
+            shapes: vec![shape(8), shape(16), shape(32), shape(64)],
+            data_mb_per_vm: vec![64],
+            plans: vec![
+                ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),
+                ("dd".into(), SwitchPlan::single(dd)),
+            ],
+        }
+    };
+
+    println!("\n## Sharded sweep bench ({} cells)\n", grid.cells().len());
+    let report = run_sweep(&base, &job, &grid);
+    for r in &report.results {
+        println!(
+            "{:>3} nodes x {} VMs, {:>3} MB/VM, {}: makespan {:>7.1}s, {:>9} events, wall {:>7.2}s, {:>10.0} events/s",
+            r.cell.shape.nodes,
+            r.cell.shape.vms_per_node,
+            r.cell.data_mb_per_vm,
+            r.cell.plan_label,
+            r.makespan.as_secs_f64(),
+            r.events_processed,
+            r.wall_s,
+            r.events_per_sec()
+        );
+    }
+    let merged = report.merged();
+    println!(
+        "\ntotal: {} events in {:.1}s wall ({:.0} events/s aggregate, sharded)",
+        merged.events,
+        report.total_wall_s,
+        report.events_per_sec()
+    );
+
+    let mut doc = report
+        .to_json()
+        .field("baseline_kernel", "flat BinaryHeap, pop-per-event, alloc-per-dispatch");
+
+    if !quick() {
+        let headline = report
+            .results
+            .iter()
+            .find(|r| r.cell.shape.nodes == 64 && r.cell.plan_label == "cc")
+            .expect("64-node cc cell in the full grid");
+        let baseline_eps = headline.events_processed as f64 / BASELINE_WALL_S;
+        let speedup = headline.events_per_sec() / baseline_eps;
+        println!(
+            "\nheadline (64x4 sort, 64 MB/VM, cc): {:.0} events/s vs pre-change {:.0} events/s ({:.1}x, wall {:.2}s vs {:.2}s)",
+            headline.events_per_sec(),
+            baseline_eps,
+            speedup,
+            headline.wall_s,
+            BASELINE_WALL_S
+        );
+        doc = doc
+            .field("headline_cell", "64x4 sort 64MB/VM cc")
+            .field("headline_events", headline.events_processed)
+            .field("headline_wall_s", headline.wall_s)
+            .field("headline_events_per_sec", headline.events_per_sec())
+            .field("baseline_wall_s", BASELINE_WALL_S)
+            .field("baseline_events_per_sec", baseline_eps)
+            .field("speedup", speedup);
+        assert!(
+            speedup >= 5.0,
+            "acceptance: >=5x events/sec on the 64-node sort cell, got {speedup:.2}x"
+        );
+    }
+
+    let path = out_path();
+    match std::fs::write(&path, doc.to_string() + "\n") {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

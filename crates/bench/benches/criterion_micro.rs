@@ -1,7 +1,8 @@
 //! Micro-benchmarks of the simulator itself: elevator add/dispatch
-//! throughput, mechanical disk service computation, and a complete
-//! small MapReduce job — the costs that bound every reproduction
-//! experiment above.
+//! throughput, calendar event-queue push/pop and same-instant batch
+//! drain, the memo-cache hit path, mechanical disk service computation,
+//! and a complete small MapReduce job — the costs that bound every
+//! reproduction experiment above.
 //!
 //! Runs on the in-tree `repro_bench::micro` timer harness (warmup +
 //! fixed iteration count, mean/stddev from `simcore::stats`) so the
@@ -10,11 +11,12 @@
 //! `REPRO_QUICK=1` shrinks warmup and iteration counts to a smoke pass
 //! (CI runs it that way: the numbers are then only a liveness check).
 
-use iosched::{build_elevator, Dispatch, Dir, IoRequest, SchedKind, Tunables};
+use iosched::{build_elevator, Dispatch, Dir, IoRequest, SchedKind, SchedPair, Tunables};
+use metasched::EvalCache;
 use mrsim::{JobSpec, WorkloadSpec};
 use repro_bench::micro::{bench, Timing};
 use repro_bench::quick;
-use simcore::{Json, SimTime};
+use simcore::{EventQueue, Json, SimDuration, SimTime};
 use std::hint::black_box;
 use vcluster::{run_job, ClusterParams, SwitchPlan};
 
@@ -50,6 +52,59 @@ fn elevator_round(kind: SchedKind) -> u64 {
     served
 }
 
+/// Calendar-queue push/pop round: interleave pushes at scattered times
+/// with orderly pops, the access pattern of the cluster event loop.
+fn event_queue_push_pop() -> u64 {
+    let mut q = EventQueue::with_capacity(4096);
+    let mut x = 0x9e37_79b9_u64; // fixed LCG keeps the workload identical per iter
+    for i in 0..4096u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        q.push(SimTime::from_nanos(x % 1_000_000_000), i);
+    }
+    let mut popped = 0;
+    while let Some((_, v)) = q.pop() {
+        popped += black_box(v) & 1;
+    }
+    popped
+}
+
+/// Same-instant batching: push bursts of events sharing a timestamp
+/// (the common cluster pattern — many I/O completions per tick) and
+/// drain them with `pop_batch` + `drain_instant` instead of pop-per-event.
+fn event_queue_batch_drain() -> u64 {
+    let mut q = EventQueue::with_capacity(4096);
+    for burst in 0..64u64 {
+        let t = SimTime::from_micros(burst * 10);
+        for i in 0..64u64 {
+            q.push(t, burst * 64 + i);
+        }
+    }
+    let mut buf = Vec::with_capacity(64);
+    let mut drained = 0;
+    while let Some(now) = q.pop_batch(&mut buf) {
+        drained += buf.len() as u64;
+        drained += q.drain_instant(now, &mut buf) as u64;
+        buf.clear();
+    }
+    drained
+}
+
+/// Memo-cache hit path: the cost Algorithm 1 and the exhaustive
+/// baseline pay per already-measured plan (lock + canonicalize + map
+/// lookup) instead of a full cluster simulation.
+fn memo_cache_hits(cache: &EvalCache, pairs: &[SchedPair]) -> u64 {
+    let mut hits = 0;
+    for round in 0..64u64 {
+        for (i, &p) in pairs.iter().enumerate() {
+            let q = pairs[(i + round as usize) % pairs.len()];
+            if cache.score(1, &[p, q]).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    hits
+}
+
 /// Serialize one benchmark's timing for `BENCH_micro.json`.
 fn timing_json(name: &str, t: Timing) -> Json {
     Json::obj()
@@ -79,6 +134,31 @@ fn main() {
         let t = bench(&name, warmup, iters, || black_box(elevator_round(kind)));
         results.push(timing_json(&name, t));
     }
+
+    let t = bench("event_queue_push_pop_4k", warmup, iters, || {
+        black_box(event_queue_push_pop())
+    });
+    results.push(timing_json("event_queue_push_pop_4k", t));
+
+    let t = bench("event_queue_batch_drain_4k", warmup, iters, || {
+        black_box(event_queue_batch_drain())
+    });
+    results.push(timing_json("event_queue_batch_drain_4k", t));
+
+    let cache = EvalCache::new();
+    let all_pairs: Vec<SchedPair> = SchedKind::ALL
+        .iter()
+        .flat_map(|&a| SchedKind::ALL.iter().map(move |&b| SchedPair::new(a, b)))
+        .collect();
+    for (i, &p) in all_pairs.iter().enumerate() {
+        for &q in &all_pairs {
+            cache.insert_score(1, &[p, q], SimDuration::from_secs(i as u64 + 1));
+        }
+    }
+    let t = bench("memo_cache_hit_1k", warmup, iters, || {
+        black_box(memo_cache_hits(&cache, &all_pairs))
+    });
+    results.push(timing_json("memo_cache_hit_1k", t));
 
     let t = bench("disk_service_1k_requests", warmup, iters, || {
         let mut d = blkdev::Disk::new(blkdev::DiskParams::default());

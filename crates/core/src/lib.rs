@@ -14,6 +14,11 @@
 //!    simulated runs including the hot-switch drain and stalls.
 //! 4. **Algorithm 1** ([`heuristic`]): the greedy per-phase assignment
 //!    search over the `S^P` solution space, bounded by `P × S` runs.
+//! 5. **Evaluation memoization** ([`cache`]): a shared
+//!    [`EvalCache`](cache::EvalCache) keyed on (workload fingerprint,
+//!    canonical assignment) so the profiler, Algorithm 1 and the
+//!    exhaustive baseline never re-simulate a plan they have already
+//!    measured.
 //!
 //! ```no_run
 //! use metasched::{Experiment, MetaScheduler};
@@ -30,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod experiment;
 pub mod heuristic;
 pub mod meta;
@@ -37,9 +43,12 @@ pub mod online;
 pub mod profiler;
 pub mod switch_cost;
 
+pub use cache::{canonical_assignment, CacheStats, CachedEvaluator, EvalCache};
 pub use experiment::{Experiment, PhaseProfile};
-pub use heuristic::{algorithm1, assignment_plan, HeuristicResult, PhaseSplit};
+pub use heuristic::{algorithm1, assignment_plan, HeuristicResult, PhaseSplit, PlanEvaluator};
 pub use meta::{MetaConfig, MetaScheduler, TuneReport};
 pub use online::{PhaseReactivePolicy, QueueDepthPolicy};
-pub use profiler::{best_for_tail, best_single, profile_pairs, rank_for_phase};
+pub use profiler::{
+    best_for_tail, best_single, profile_pairs, profile_pairs_cached, rank_for_phase,
+};
 pub use switch_cost::{measure_switch_cost, switch_cost_matrix, DdConfig, SwitchCost};

@@ -8,6 +8,7 @@
 //! (`simcore::par`, honouring `SIM_THREADS`) when profiling all 16
 //! pairs.
 
+use crate::cache::EvalCache;
 use crate::experiment::{Experiment, PhaseProfile};
 use iosched::SchedPair;
 use simcore::par::par_map;
@@ -18,6 +19,28 @@ pub fn profile_pairs(exp: &Experiment, pairs: &[SchedPair]) -> Vec<PhaseProfile>
     par_map(pairs, |&pair| {
         let out = exp.run_single(pair);
         PhaseProfile::from_outcome(pair, &out.phases)
+    })
+}
+
+/// Like [`profile_pairs`], but memoized through `cache`: pairs already
+/// profiled under this experiment's fingerprint are served without a
+/// run, and every fresh profile is recorded (which also seeds the
+/// whole-job score of the single-pair plan `[pair]`, so Algorithm 1 and
+/// the exhaustive baseline get those evaluations for free).
+pub fn profile_pairs_cached(
+    exp: &Experiment,
+    pairs: &[SchedPair],
+    cache: &EvalCache,
+) -> Vec<PhaseProfile> {
+    let fp = exp.fingerprint();
+    par_map(pairs, |&pair| {
+        if let Some(p) = cache.profile(fp, pair) {
+            return p;
+        }
+        let out = exp.run_single(pair);
+        let p = PhaseProfile::from_outcome(pair, &out.phases);
+        cache.insert_profile(fp, p);
+        p
     })
 }
 

@@ -183,23 +183,65 @@ fn render_plain(out: &mut String, fields: &[(String, Json)]) {
     }
 }
 
-/// Render a metrics document as a terminal dashboard. Errors if the
-/// document does not carry a recognised `adios.metrics` schema.
+/// One row per record of a benchmark `results` array: every field on
+/// one line, numbers through [`fmt_value`], strings verbatim.
+fn render_rows(out: &mut String, rows: &[Json]) {
+    for r in rows {
+        let Some(fields) = r.entries() else { continue };
+        let line: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| match v.as_f64() {
+                Some(x) => format!("{k}={}", fmt_value(k, x)),
+                None => format!(
+                    "{k}={}",
+                    v.as_str().map(str::to_string).unwrap_or_else(|| v.to_string())
+                ),
+            })
+            .collect();
+        let _ = writeln!(out, "  {}", line.join(" "));
+    }
+}
+
+/// Render a metrics or benchmark document as a terminal dashboard.
+/// Errors unless the document carries a recognised `adios.metrics` or
+/// `adios.bench` schema. Benchmark documents (`criterion_micro`,
+/// `bench_sweep`) render their `results` array as one row per record
+/// and trailing scalars (headline numbers) as a summary section.
 pub fn render(doc: &Json) -> Result<String, String> {
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
         .ok_or_else(|| "document has no \"schema\" field".to_string())?;
-    if !schema.starts_with("adios.metrics/") {
+    if !schema.starts_with("adios.metrics/") && !schema.starts_with("adios.bench/") {
         return Err(format!("unsupported schema {schema:?}"));
     }
     let mut out = String::new();
-    let telemetry = doc.get("telemetry").and_then(Json::as_str).unwrap_or("?");
-    let _ = writeln!(out, "== {schema} (telemetry: {telemetry}) ==");
+    match doc.get("telemetry").and_then(Json::as_str) {
+        Some(t) => {
+            let _ = writeln!(out, "== {schema} (telemetry: {t}) ==");
+        }
+        None => {
+            let _ = writeln!(out, "== {schema} ==");
+        }
+    }
+    let mut scalars: Vec<(String, Json)> = Vec::new();
     for (section, value) in doc.entries().unwrap_or(&[]) {
+        if section == "schema" || section == "telemetry" {
+            continue; // already in the banner
+        }
+        if let Some(rows) = value.as_arr() {
+            let _ = writeln!(out, "\n[{section}]");
+            render_rows(&mut out, rows);
+            continue;
+        }
         let fields = match value.entries() {
             Some(fields) => fields,
-            None => continue, // schema / telemetry scalars, already shown
+            None => {
+                // Top-level scalars (bench headline numbers): collect
+                // into one summary section at the end.
+                scalars.push((section.clone(), value.clone()));
+                continue;
+            }
         };
         let _ = writeln!(out, "\n[{section}]");
         for (name, v) in fields {
@@ -211,6 +253,10 @@ pub fn render(doc: &Json) -> Result<String, String> {
                 render_plain(&mut out, std::slice::from_ref(&(name.clone(), v.clone())));
             }
         }
+    }
+    if !scalars.is_empty() {
+        let _ = writeln!(out, "\n[summary]");
+        render_plain(&mut out, &scalars);
     }
     Ok(out)
 }
@@ -339,6 +385,93 @@ pub fn diff(a: &Json, b: &Json) -> (String, Vec<Delta>) {
     (out, deltas)
 }
 
+/// Structural walk for [`diff_shape`]: record keys present on only one
+/// side and container/scalar type flips; never compare leaf values.
+fn walk_shape(path: &str, a: &Json, b: &Json, out: &mut Vec<Delta>) {
+    let sub = |k: &str| {
+        if path.is_empty() {
+            k.to_string()
+        } else {
+            format!("{path}.{k}")
+        }
+    };
+    match (a, b) {
+        (Json::Obj(fa), Json::Obj(fb)) => {
+            for (k, va) in fa {
+                match fb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => walk_shape(&sub(k), va, vb, out),
+                    None => out.push(Delta { path: sub(k), a: 1.0, b: 0.0 }),
+                }
+            }
+            for (k, _) in fb {
+                if !fa.iter().any(|(ka, _)| ka == k) {
+                    out.push(Delta { path: sub(k), a: 0.0, b: 1.0 });
+                }
+            }
+        }
+        (Json::Arr(xa), Json::Arr(xb)) => {
+            fn name(x: &Json) -> Option<&str> {
+                x.get("name").and_then(Json::as_str)
+            }
+            if xa.iter().all(|x| name(x).is_some()) && xb.iter().all(|x| name(x).is_some()) {
+                // Arrays of named records (benchmark results): match by
+                // name so reorderings don't count and renames do.
+                for x in xa {
+                    let n = name(x).expect("checked");
+                    match xb.iter().find(|y| name(y) == Some(n)) {
+                        Some(y) => walk_shape(&sub(&format!("[{n}]")), x, y, out),
+                        None => out.push(Delta { path: sub(&format!("[{n}]")), a: 1.0, b: 0.0 }),
+                    }
+                }
+                for y in xb {
+                    let n = name(y).expect("checked");
+                    if !xa.iter().any(|x| name(x) == Some(n)) {
+                        out.push(Delta { path: sub(&format!("[{n}]")), a: 0.0, b: 1.0 });
+                    }
+                }
+            } else if xa.len() != xb.len() {
+                out.push(Delta {
+                    path: format!("{path}[len]"),
+                    a: xa.len() as f64,
+                    b: xb.len() as f64,
+                });
+            }
+        }
+        // A container on one side only is a shape change even though
+        // the leaf values inside it are not compared.
+        (Json::Obj(_) | Json::Arr(_), _) | (_, Json::Obj(_) | Json::Arr(_)) => {
+            out.push(Delta { path: path.to_string(), a: 1.0, b: 1.0 });
+        }
+        _ => {} // scalar leaves: values are allowed to drift
+    }
+}
+
+/// Structurally diff two documents: which keys / named benchmark
+/// entries exist, not what their values are. This is the CI gate for
+/// committed benchmark baselines — timings drift from machine to
+/// machine, but the set of benchmarks and recorded fields must not, so
+/// `adios-report diff --shape --fail-on-delta` catches a bench being
+/// dropped or renamed without failing on every timing wobble.
+pub fn diff_shape(a: &Json, b: &Json) -> (String, Vec<Delta>) {
+    let mut deltas = Vec::new();
+    walk_shape("", a, b, &mut deltas);
+    let mut out = String::new();
+    if deltas.is_empty() {
+        out.push_str("documents have identical shape\n");
+        return (out, deltas);
+    }
+    for d in &deltas {
+        let what = match (d.a > 0.0, d.b > 0.0) {
+            (true, false) => "only in first",
+            (false, true) => "only in second",
+            _ => "type or length mismatch",
+        };
+        let _ = writeln!(out, "  {:<48} {what}", d.path);
+    }
+    let _ = writeln!(out, "\n{} shape differences", deltas.len());
+    (out, deltas)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +538,64 @@ mod tests {
         assert!(text.contains("guest latency p99 by phase"), "{text}");
         assert!(text.contains("makespan_s"), "{text}");
         assert!(text.contains("differing values"), "{text}");
+    }
+
+    fn bench_doc(names: &[&str], mean: f64) -> Json {
+        let results: Vec<Json> = names
+            .iter()
+            .map(|n| Json::obj().field("name", *n).field("mean_ns", mean).field("iters", 60u32))
+            .collect();
+        Json::obj()
+            .field("schema", "adios.bench/1")
+            .field("results", Json::Arr(results))
+    }
+
+    #[test]
+    fn render_bench_documents_as_rows_and_summary() {
+        let doc = bench_doc(&["push_pop", "cache_hit"], 1500.0)
+            .field("kind", "sweep")
+            .field("speedup", 13.2);
+        let text = render(&doc).unwrap();
+        assert!(text.contains("adios.bench/1"), "{text}");
+        assert!(text.contains("[results]"), "{text}");
+        assert!(text.contains("name=push_pop"), "{text}");
+        assert!(text.contains("mean_ns=1.50µs"), "{text}");
+        assert!(text.contains("[summary]"), "{text}");
+        assert!(text.contains("speedup"), "{text}");
+    }
+
+    #[test]
+    fn shape_diff_ignores_value_drift() {
+        let a = bench_doc(&["push_pop", "cache_hit"], 100.0);
+        let b = bench_doc(&["cache_hit", "push_pop"], 250.0); // reordered + retimed
+        let (text, deltas) = diff_shape(&a, &b);
+        assert!(deltas.is_empty(), "{text}");
+        assert!(text.contains("identical shape"));
+    }
+
+    #[test]
+    fn shape_diff_catches_dropped_and_renamed_benches() {
+        let a = bench_doc(&["push_pop", "cache_hit"], 100.0);
+        let b = bench_doc(&["push_pop"], 100.0);
+        let (text, deltas) = diff_shape(&a, &b);
+        assert_eq!(deltas.len(), 1, "{text}");
+        assert!(deltas[0].path.contains("cache_hit"));
+        assert!(text.contains("only in first"), "{text}");
+
+        let c = bench_doc(&["push_pop", "cache_hit_1k"], 100.0);
+        let (_, deltas) = diff_shape(&a, &c);
+        assert_eq!(deltas.len(), 2); // old name gone + new name appeared
+    }
+
+    #[test]
+    fn shape_diff_catches_missing_fields_and_type_flips() {
+        let a = Json::obj().field("run", Json::obj().field("makespan_s", 1.0));
+        let b = Json::obj().field("run", Json::obj());
+        assert_eq!(diff_shape(&a, &b).1.len(), 1);
+        let c = Json::obj().field("run", 3u32);
+        let (text, deltas) = diff_shape(&a, &c);
+        assert_eq!(deltas.len(), 1);
+        assert!(text.contains("type or length mismatch"), "{text}");
     }
 
     #[test]

@@ -2,12 +2,15 @@
 //!
 //! ```text
 //! adios-report render <doc.json>
-//! adios-report diff <a.json> <b.json> [--fail-on-delta]
+//! adios-report diff <a.json> <b.json> [--shape] [--fail-on-delta]
 //! ```
 //!
 //! A path of `-` reads from stdin. `render` exits non-zero on parse or
 //! schema errors; `diff --fail-on-delta` additionally exits 2 when the
-//! documents differ (so CI can assert a self-diff is empty).
+//! documents differ (so CI can assert a self-diff is empty). `--shape`
+//! compares structure only — which keys and named benchmark entries
+//! exist, not their values — the right gate for committed benchmark
+//! baselines whose timings drift from machine to machine.
 
 use simcore::Json;
 use std::io::Read as _;
@@ -28,7 +31,7 @@ fn load(path: &str) -> Result<Json, String> {
 
 fn usage() -> ExitCode {
     eprintln!("usage: adios-report render <doc.json>");
-    eprintln!("       adios-report diff <a.json> <b.json> [--fail-on-delta]");
+    eprintln!("       adios-report diff <a.json> <b.json> [--shape] [--fail-on-delta]");
     ExitCode::FAILURE
 }
 
@@ -49,14 +52,24 @@ fn main() -> ExitCode {
             }
         }
         Some("diff") => {
-            let (paths, fail_on_delta): (Vec<&String>, bool) = {
-                let flag = args.iter().any(|a| a == "--fail-on-delta");
-                (args[1..].iter().filter(|a| !a.starts_with("--")).collect(), flag)
-            };
+            let fail_on_delta = args.iter().any(|a| a == "--fail-on-delta");
+            let shape = args.iter().any(|a| a == "--shape");
+            if let Some(unknown) = args[1..]
+                .iter()
+                .find(|a| a.starts_with("--") && *a != "--fail-on-delta" && *a != "--shape")
+            {
+                eprintln!("adios-report: unknown flag {unknown}");
+                return usage();
+            }
+            let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
             let [a, b] = paths.as_slice() else { return usage() };
             match (load(a), load(b)) {
                 (Ok(da), Ok(db)) => {
-                    let (text, deltas) = report::diff(&da, &db);
+                    let (text, deltas) = if shape {
+                        report::diff_shape(&da, &db)
+                    } else {
+                        report::diff(&da, &db)
+                    };
                     print!("{text}");
                     if fail_on_delta && !deltas.is_empty() {
                         ExitCode::from(2)

@@ -1,0 +1,122 @@
+//! Fast non-cryptographic hashing for hot-path id maps.
+//!
+//! The simulator's inner loops key maps by small sequential integer ids
+//! (request ids, stream ids, work ids). `std`'s default SipHash is
+//! DoS-resistant but costs ~10× more than needed for trusted integer
+//! keys, and `BTreeMap` costs pointer chases per lookup. [`FxHashMap`]
+//! is a drop-in `HashMap` alias using the Firefox `FxHasher`
+//! multiply-rotate mix — the same idea rustc uses internally — written
+//! in-tree because the workspace builds offline with no external
+//! crates.
+//!
+//! **Determinism note:** iteration order of a hash map is arbitrary.
+//! Only use these for maps that are never iterated (pure id lookup);
+//! anything whose iteration order feeds simulation state or output must
+//! stay on `BTreeMap`/slab structures.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher (the Firefox / rustc "Fx" hash): one rotate,
+/// one xor, one multiply per word. Not collision-resistant against
+/// adversarial keys — fine for trusted simulator ids.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, "x");
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert!(m.contains_key(&i));
+        }
+        assert!(!m.contains_key(&1000));
+    }
+
+    #[test]
+    fn sequential_ids_spread() {
+        // Sequential keys must not collapse onto a few buckets: check
+        // the low bits (what HashMap actually indexes with) vary.
+        let mut low = FxHashSet::default();
+        for i in 0..256u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            low.insert(h.finish() & 0xff);
+        }
+        assert!(low.len() > 128, "only {} distinct low bytes", low.len());
+    }
+
+    #[test]
+    fn streaming_write_matches_words() {
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

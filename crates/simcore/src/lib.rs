@@ -14,6 +14,8 @@
 //! * [`par`] — deterministic scoped-thread `par_map` for experiment
 //!   sweeps (`SIM_THREADS` overrides the worker count);
 //! * [`json`] — minimal JSON writer for experiment dumps;
+//! * [`fxmap`] — fast non-cryptographic [`FxHashMap`] for hot-path id
+//!   maps that are never iterated;
 //! * [`check`] — tiny property-testing harness for the test suites;
 //! * [`trace`] — compact typed event ring ([`Trace`]) every stack layer
 //!   records into, with the [`TraceOracle`] replay invariant checker;
@@ -30,6 +32,7 @@
 
 pub mod check;
 pub mod events;
+pub mod fxmap;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -41,6 +44,7 @@ pub mod timeseries;
 pub mod trace;
 
 pub use events::{EventQueue, Timer, TimerTicket};
+pub use fxmap::{FxHashMap, FxHashSet};
 pub use hist::Histogram;
 pub use json::Json;
 pub use metrics::{Metric, MetricsRegistry, Telemetry};

@@ -10,15 +10,19 @@
 //! work, ask for the earliest completion, collect finished items.
 
 use simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Work item identifier.
 pub type WorkId = u64;
 
 /// One VCPU running processor sharing over its work items.
+///
+/// Work ids are handed out by a monotone counter, so the item list
+/// stays sorted ascending by construction — the same iteration order a
+/// `BTreeMap` would give, which keeps the f64 accounting bit-exact
+/// while making add/advance/complete allocation- and tree-free.
 pub struct Vcpu {
-    /// Remaining nanoseconds of work (at full speed) per item.
-    items: BTreeMap<WorkId, f64>,
+    /// `(id, remaining full-speed nanoseconds)`, ascending by id.
+    items: Vec<(WorkId, f64)>,
     last_advance: SimTime,
     /// Total CPU-nanoseconds consumed (accounting).
     pub consumed_ns: f64,
@@ -34,7 +38,7 @@ impl Vcpu {
     /// Idle VCPU.
     pub fn new() -> Self {
         Vcpu {
-            items: BTreeMap::new(),
+            items: Vec::new(),
             last_advance: SimTime::ZERO,
             consumed_ns: 0.0,
         }
@@ -53,7 +57,7 @@ impl Vcpu {
             return;
         }
         let share = dt / self.items.len() as f64;
-        for left in self.items.values_mut() {
+        for (_, left) in self.items.iter_mut() {
             let used = share.min(*left);
             *left -= used;
             self.consumed_ns += used;
@@ -61,38 +65,48 @@ impl Vcpu {
     }
 
     /// Add `nanos` of work under `id` (caller must have advanced to
-    /// `now` — `add` does it for safety).
+    /// `now` — `add` does it for safety). Ids must be fresh and, as
+    /// handed out by the driver's counter, monotonically increasing.
     pub fn add(&mut self, now: SimTime, id: WorkId, nanos: u64) {
         self.advance(now);
         assert!(nanos > 0, "zero CPU work");
-        let prev = self.items.insert(id, nanos as f64);
-        assert!(prev.is_none(), "duplicate work id {id}");
+        assert!(
+            self.items.last().is_none_or(|&(last, _)| last < id),
+            "duplicate work id {id}"
+        );
+        self.items.push((id, nanos as f64));
     }
 
     /// Earliest projected completion across items.
     pub fn next_completion(&self) -> Option<SimTime> {
         let n = self.items.len() as f64;
         self.items
-            .values()
-            .map(|&left| {
+            .iter()
+            .map(|&(_, left)| {
                 self.last_advance + SimDuration::from_nanos((left * n).ceil() as u64)
             })
             .min()
     }
 
-    /// Pop items that have (effectively) finished by `now`.
-    pub fn take_completed(&mut self, now: SimTime) -> Vec<WorkId> {
+    /// Pop items that have (effectively) finished by `now`, appending
+    /// their ids (ascending) to `done`.
+    pub fn take_completed_into(&mut self, now: SimTime, done: &mut Vec<WorkId>) {
         self.advance(now);
         const EPS: f64 = 0.75; // under a nanosecond of residual work
-        let done: Vec<WorkId> = self
-            .items
-            .iter()
-            .filter(|(_, &left)| left <= EPS)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in &done {
-            self.items.remove(id);
-        }
+        self.items.retain(|&(id, left)| {
+            if left <= EPS {
+                done.push(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// Pop items that have (effectively) finished by `now`.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<WorkId> {
+        let mut done = Vec::new();
+        self.take_completed_into(now, &mut done);
         done
     }
 }

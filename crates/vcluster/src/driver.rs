@@ -16,10 +16,13 @@ use mrsim::{
     JobTracker, PhaseTimes, TaskId, TaskKind, TaskOp,
 };
 use simcore::trace::{combine_digests, Trace, TraceEvent};
-use simcore::{EventQueue, Json, MetricsRegistry, OnlineStats, SimDuration, SimTime, Timer, TimerTicket};
+use simcore::{
+    EventQueue, FxHashMap, Json, MetricsRegistry, OnlineStats, SimDuration, SimTime, Timer,
+    TimerTicket,
+};
 use vmstack::{NodeParams, NodeStack, StackAction, StackEvent, VmId};
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Reserved guest stream ids: the shuffle HTTP server and the DataNode
 /// replica writer are single daemons per VM, as in Hadoop.
@@ -179,6 +182,10 @@ pub struct JobOutcome {
     /// cluster-level trace (flows/phases). Bit-identical runs produce
     /// identical digests even when the trace rings dropped records.
     pub trace_digest: u64,
+    /// Kernel events processed by the main loop (throughput accounting
+    /// for the sweep benches; deliberately not part of the metrics
+    /// document, whose byte layout is pinned by goldens).
+    pub events_processed: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -307,16 +314,19 @@ pub struct ClusterSim {
     cpu_timers: Vec<Timer>,
     files: Vec<VmFiles>,
     tracker: JobTracker,
-    tasks: BTreeMap<TaskId, TaskRt>,
-    streams: BTreeMap<u64, IoStream>,
+    // Sequential-id lookup maps on the hot path. None of these are ever
+    // iterated (iteration order would be nondeterministic), so the fast
+    // hash map is safe.
+    tasks: FxHashMap<TaskId, TaskRt>,
+    streams: FxHashMap<u64, IoStream>,
     next_stream: u64,
-    io_map: BTreeMap<RequestId, IoTarget>,
+    io_map: FxHashMap<RequestId, IoTarget>,
     next_req: RequestId,
-    cpu_map: BTreeMap<WorkId, CpuOwner>,
+    cpu_map: FxHashMap<WorkId, CpuOwner>,
     next_work: WorkId,
     /// Flow owner plus start time (for flow-duration metrics).
-    flow_map: BTreeMap<FlowId, (FlowOwner, SimTime)>,
-    fetches: BTreeMap<u64, Fetch>,
+    flow_map: FxHashMap<FlowId, (FlowOwner, SimTime)>,
+    fetches: FxHashMap<u64, Fetch>,
     next_fetch: u64,
     /// Bytes appended to each reducer's shuffle run so far.
     shuffle_off: Vec<u64>,
@@ -336,6 +346,19 @@ pub struct ClusterSim {
     cache_misses: u64,
     /// Per-VM (global index) VCPU busy nanoseconds handed out.
     cpu_busy_ns: Vec<u64>,
+    /// Recycled `StackAction` buffers: `submit`/`handle` cascades nest
+    /// (an `IoDone` can trigger further submissions), so this is a pool
+    /// rather than a single scratch vec.
+    action_bufs: Vec<Vec<StackAction>>,
+    /// Recycled completion buffers for the network and CPU timers.
+    flow_buf: Vec<FlowId>,
+    cpu_buf: Vec<WorkId>,
+    events_processed: u64,
+    /// Online-policy accounting (S2): consultations and the decisions
+    /// taken, exported as an `online` metrics section when a policy is
+    /// attached.
+    policy_ticks: u64,
+    policy_decisions: Vec<(SimTime, SchedPair)>,
 }
 
 impl ClusterSim {
@@ -357,6 +380,13 @@ impl ClusterSim {
             files[home as usize].ensure(FileRef::HdfsBlock { block: b, replica: 0 }, job.block_bytes);
         }
         let num_reduces = job.num_reduces(&shape) as usize;
+        // Size the event queue from the job plan: each task contributes
+        // a handful of in-flight chunk events, each VM its kick/CPU
+        // timers, plus network/heartbeat slack. Pending events, not
+        // total events — the queue holds the frontier, not the history.
+        let plan_events = (tracker.num_maps() as usize + tracker.num_reduces() as usize) * 8
+            + total_vms as usize * (params.read_window + params.write_window + 8)
+            + 1024;
         ClusterSim {
             nodes,
             net: Network::new(params.net.clone(), shape.nodes),
@@ -365,15 +395,15 @@ impl ClusterSim {
             cpu_timers: (0..total_vms).map(|_| Timer::new()).collect(),
             files,
             tracker,
-            tasks: BTreeMap::new(),
-            streams: BTreeMap::new(),
+            tasks: FxHashMap::default(),
+            streams: FxHashMap::default(),
             next_stream: 1,
-            io_map: BTreeMap::new(),
+            io_map: FxHashMap::default(),
             next_req: 1,
-            cpu_map: BTreeMap::new(),
+            cpu_map: FxHashMap::default(),
             next_work: 1,
-            flow_map: BTreeMap::new(),
-            fetches: BTreeMap::new(),
+            flow_map: FxHashMap::default(),
+            fetches: FxHashMap::default(),
             next_fetch: 1,
             shuffle_off: vec![0; num_reduces],
             caches: (0..total_vms)
@@ -384,7 +414,7 @@ impl ClusterSim {
                     Writeback::new(params.dirty_limit_bytes, params.write_window as u32)
                 })
                 .collect(),
-            queue: EventQueue::with_capacity(1 << 16),
+            queue: EventQueue::with_capacity(plan_events),
             now: SimTime::ZERO,
             progress: vec![(SimTime::ZERO, 0.0)],
             switch_log: Vec::new(),
@@ -395,6 +425,12 @@ impl ClusterSim {
             cache_hits: 0,
             cache_misses: 0,
             cpu_busy_ns: vec![0; total_vms as usize],
+            action_bufs: Vec::new(),
+            flow_buf: Vec::new(),
+            cpu_buf: Vec::new(),
+            events_processed: 0,
+            policy_ticks: 0,
+            policy_decisions: Vec::new(),
             params,
             job,
             plan,
@@ -452,12 +488,25 @@ impl ClusterSim {
     // Event plumbing
     // ------------------------------------------------------------------
 
-    fn push_stack_actions(&mut self, node: u32, actions: Vec<StackAction>) {
-        for a in actions {
+    /// Borrow a recycled action buffer (cascades nest, hence a pool).
+    fn take_buf(&mut self) -> Vec<StackAction> {
+        self.action_bufs.pop().unwrap_or_default()
+    }
+
+    fn put_buf(&mut self, mut buf: Vec<StackAction>) {
+        buf.clear();
+        self.action_bufs.push(buf);
+    }
+
+    fn apply_stack_actions(&mut self, node: u32, actions: &mut Vec<StackAction>) {
+        for a in actions.drain(..) {
             match a {
                 StackAction::At(t, ev) => self.queue.push(t, Ev::Stack { node, ev }),
                 StackAction::IoDone { req, bytes, .. } => {
                     // Completions can cascade synchronously; handle now.
+                    // Nested submissions use their own pooled buffer, so
+                    // the cascade order matches the old one-Vec-per-call
+                    // recursion exactly.
                     self.on_io_done(req, bytes);
                 }
                 StackAction::SwitchComplete { pair } => {
@@ -465,6 +514,10 @@ impl ClusterSim {
                 }
             }
         }
+    }
+
+    fn push_stack_actions(&mut self, node: u32, mut actions: Vec<StackAction>) {
+        self.apply_stack_actions(node, &mut actions);
     }
 
     fn rearm_net(&mut self) {
@@ -626,8 +679,10 @@ impl ClusterSim {
                 s.issued_sectors += chunk;
                 s.inflight += 1;
             }
-            let actions = self.nodes[node as usize].submit(self.now, vm, req);
-            self.push_stack_actions(node, actions);
+            let mut buf = self.take_buf();
+            self.nodes[node as usize].submit_into(self.now, vm, req, &mut buf);
+            self.apply_stack_actions(node, &mut buf);
+            self.put_buf(buf);
         }
     }
 
@@ -653,8 +708,10 @@ impl ClusterSim {
             };
             self.io_map.insert(self.next_req, IoTarget::Writeback(gvm));
             self.next_req += 1;
-            let actions = self.nodes[node as usize].submit(self.now, vm, req);
-            self.push_stack_actions(node, actions);
+            let mut buf = self.take_buf();
+            self.nodes[node as usize].submit_into(self.now, vm, req, &mut buf);
+            self.apply_stack_actions(node, &mut buf);
+            self.put_buf(buf);
         }
     }
 
@@ -1121,6 +1178,68 @@ impl ClusterSim {
         &self.nodes[i]
     }
 
+    fn dispatch(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::Stack { node, ev } => {
+                let mut buf = self.take_buf();
+                self.nodes[node as usize].handle_into(t, ev, &mut buf);
+                self.apply_stack_actions(node, &mut buf);
+                self.put_buf(buf);
+            }
+            Ev::Net { ticket } => {
+                if self.net_timer.fire(ticket) {
+                    // Flow completion never re-enters take_completed
+                    // synchronously, so one recycled buffer suffices.
+                    let mut flows = std::mem::take(&mut self.flow_buf);
+                    self.net.take_completed_into(t, &mut flows);
+                    for flow in flows.drain(..) {
+                        self.on_flow_done(flow);
+                    }
+                    self.flow_buf = flows;
+                    self.rearm_net();
+                }
+            }
+            Ev::Cpu { gvm, ticket } => {
+                if self.cpu_timers[gvm as usize].fire(ticket) {
+                    let mut works = std::mem::take(&mut self.cpu_buf);
+                    self.vcpus[gvm as usize].take_completed_into(t, &mut works);
+                    for work in works.drain(..) {
+                        self.on_cpu_done(work);
+                    }
+                    self.cpu_buf = works;
+                    self.rearm_cpu(gvm);
+                }
+            }
+            Ev::MapFetchable { map } => {
+                for r in 0..self.tracker.num_reduces() {
+                    let rt_id = self.tracker.reduce_task_id(r);
+                    if let Some(rt) = self.tasks.get_mut(&rt_id) {
+                        rt.fetch_queue.push_back(map);
+                    }
+                }
+                for r in 0..self.tracker.num_reduces() {
+                    self.try_start_fetches(r);
+                }
+            }
+            Ev::PolicyTick => {
+                if self.online.is_some() {
+                    self.policy_ticks += 1;
+                    let snap = self.snapshot();
+                    let (policy, period) = self.online.as_mut().expect("checked");
+                    let period = *period;
+                    let decision = if snap.switching { None } else { policy.decide(&snap) };
+                    if let Some(pair) = decision {
+                        if pair != snap.current_pair {
+                            self.policy_decisions.push((self.now, pair));
+                            self.switch_all(pair);
+                        }
+                    }
+                    self.queue.push(self.now + period, Ev::PolicyTick);
+                }
+            }
+        }
+    }
+
     /// Execute the job to completion and report the outcome.
     pub fn run(&mut self) -> JobOutcome {
         self.trace
@@ -1134,8 +1253,29 @@ impl ClusterSim {
             let p = *period;
             self.queue.push(SimTime::ZERO + p, Ev::PolicyTick);
         }
+        // `ADIOS_PROGRESS=1` prints a heartbeat to stderr every 2^20
+        // events — the tool for telling "slow" from "stuck" on big
+        // configurations (stderr only; no effect on any artifact).
+        let progress = std::env::var_os("ADIOS_PROGRESS").is_some_and(|v| v != "0");
+        let mut last_beat = 0u64;
+        // Claim all same-instant events in one queue touch; dispatch in
+        // the exact (time, seq) order single pops would give.
+        let mut batch: Vec<Ev> = Vec::with_capacity(64);
         while !self.tracker.finished() {
-            let Some((t, ev)) = self.queue.pop() else {
+            if progress && self.events_processed >> 20 != last_beat {
+                last_beat = self.events_processed >> 20;
+                eprintln!(
+                    "[adios] t={:.3}s events={} queue={} maps_done={} streams={} flows={}",
+                    self.now.as_secs_f64(),
+                    self.events_processed,
+                    self.queue.len(),
+                    self.tracker.maps_done_count(),
+                    self.streams.len(),
+                    self.net.active_flows(),
+                );
+            }
+            batch.clear();
+            let Some(t) = self.queue.pop_batch(&mut batch) else {
                 panic!(
                     "event queue drained before job completion (deadlock): \
                      {} maps done, streams={}, fetches={}",
@@ -1145,52 +1285,14 @@ impl ClusterSim {
                 );
             };
             self.now = t;
-            match ev {
-                Ev::Stack { node, ev } => {
-                    let actions = self.nodes[node as usize].handle(t, ev);
-                    self.push_stack_actions(node, actions);
+            for &ev in &batch {
+                // The job can finish mid-batch; stop exactly where a
+                // pop-per-event loop would have.
+                if self.tracker.finished() {
+                    break;
                 }
-                Ev::Net { ticket } => {
-                    if self.net_timer.fire(ticket) {
-                        for flow in self.net.take_completed(t) {
-                            self.on_flow_done(flow);
-                        }
-                        self.rearm_net();
-                    }
-                }
-                Ev::Cpu { gvm, ticket } => {
-                    if self.cpu_timers[gvm as usize].fire(ticket) {
-                        for work in self.vcpus[gvm as usize].take_completed(t) {
-                            self.on_cpu_done(work);
-                        }
-                        self.rearm_cpu(gvm);
-                    }
-                }
-                Ev::MapFetchable { map } => {
-                    for r in 0..self.tracker.num_reduces() {
-                        let rt_id = self.tracker.reduce_task_id(r);
-                        if let Some(rt) = self.tasks.get_mut(&rt_id) {
-                            rt.fetch_queue.push_back(map);
-                        }
-                    }
-                    for r in 0..self.tracker.num_reduces() {
-                        self.try_start_fetches(r);
-                    }
-                }
-                Ev::PolicyTick => {
-                    if self.online.is_some() {
-                        let snap = self.snapshot();
-                        let (policy, period) = self.online.as_mut().expect("checked");
-                        let period = *period;
-                        let decision = if snap.switching { None } else { policy.decide(&snap) };
-                        if let Some(pair) = decision {
-                            if pair != snap.current_pair {
-                                self.switch_all(pair);
-                            }
-                        }
-                        self.queue.push(self.now + period, Ev::PolicyTick);
-                    }
-                }
+                self.events_processed += 1;
+                self.dispatch(t, ev);
             }
         }
         let end = self.tracker.t_job_done.expect("job finished");
@@ -1234,6 +1336,7 @@ impl ClusterSim {
             network_bytes: self.net.delivered_bytes as u64,
             metrics,
             trace_digest,
+            events_processed: self.events_processed,
         }
     }
 
@@ -1280,6 +1383,18 @@ impl ClusterSim {
         reg.inc("cache", "misses", self.cache_misses);
         for (g, ns) in self.cpu_busy_ns.iter().enumerate() {
             reg.add_gauge("cpu", &format!("vm{g}_busy_s"), *ns as f64 / 1e9);
+        }
+        // Reactive-switcher decision log — only present when a policy is
+        // attached, so plain runs keep their pinned byte layout.
+        if self.online.is_some() {
+            reg.inc("online", "ticks", self.policy_ticks);
+            reg.inc("online", "switch_decisions", self.policy_decisions.len() as u64);
+            let all = SchedPair::all();
+            for (i, (t, pair)) in self.policy_decisions.iter().enumerate() {
+                reg.set_gauge("online", &format!("decision{i}_t_s"), t.as_secs_f64());
+                let idx = all.iter().position(|p| p == pair).expect("known pair");
+                reg.set_gauge("online", &format!("decision{i}_pair_idx"), idx as f64);
+            }
         }
         let records: u64 =
             self.nodes.iter().map(|n| n.trace().total()).sum::<u64>() + self.trace.total();

@@ -28,6 +28,8 @@ pub mod cpu;
 pub mod driver;
 pub mod files;
 pub mod network;
+pub mod sweep;
 
 pub use driver::{run_job, ClusterParams, ClusterSim, ClusterSnapshot, JobOutcome, OnlinePolicy, SwitchPlan};
 pub use network::NetParams;
+pub use sweep::{run_sweep, CellResult, MergedMetrics, SweepCell, SweepGrid, SweepReport};

@@ -7,9 +7,22 @@
 //! state machine: the driver advances it to the current time, asks for
 //! the earliest flow completion, and re-arms its timer whenever the
 //! flow set (and hence the rate allocation) changes.
+//!
+//! # Storage
+//!
+//! Flow ids are handed out sequentially, so flows live in a slab
+//! (`Vec<Option<Flow>>` indexed by id) with a separate `active` id list.
+//! Because ids only grow, pushing new flows to the back keeps `active`
+//! sorted ascending — the same iteration order the original `BTreeMap`
+//! gave — so every f64 accumulation (delivered bytes, capacity
+//! subtraction during water-filling) happens in the identical order and
+//! results stay bit-for-bit reproducible. The water-filling scratch
+//! (per-port capacities/counts, frozen flags, the unfrozen worklist) is
+//! reused across calls: shuffle-heavy runs call `reallocate` once per
+//! flow arrival/departure, and those per-call allocations were the
+//! single hottest cost in 64-node sweeps.
 
 use simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Flow identifier.
 pub type FlowId = u64;
@@ -43,13 +56,42 @@ struct Flow {
     rate: f64,
 }
 
+/// One unfrozen flow in the water-filling worklist: endpoints and the
+/// rate accumulated so far, packed contiguously so each round streams
+/// through memory instead of chasing slab slots.
+#[derive(Clone, Copy)]
+struct WorkItem {
+    id: FlowId,
+    src: u32,
+    dst: u32,
+    rate: f64,
+}
+
+/// Reusable water-filling scratch (one allocation per network, not one
+/// per `reallocate` round).
+#[derive(Default)]
+struct Scratch {
+    egress_cap: Vec<f64>,
+    ingress_cap: Vec<f64>,
+    egress_cnt: Vec<u32>,
+    ingress_cnt: Vec<u32>,
+    frozen_e: Vec<bool>,
+    frozen_i: Vec<bool>,
+    work: Vec<WorkItem>,
+}
+
 /// The network state machine.
 pub struct Network {
     params: NetParams,
     nodes: u32,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Slab of flows indexed by id (slot 0 unused; ids start at 1).
+    slab: Vec<Option<Flow>>,
+    /// Ids of live flows, always sorted ascending (ids are sequential
+    /// and only ever appended).
+    active: Vec<FlowId>,
     next_id: FlowId,
     last_advance: SimTime,
+    scratch: Scratch,
     /// Total bytes delivered (accounting).
     pub delivered_bytes: f64,
 }
@@ -60,16 +102,23 @@ impl Network {
         Network {
             params,
             nodes,
-            flows: BTreeMap::new(),
+            slab: Vec::new(),
+            active: Vec::new(),
             next_id: 1,
             last_advance: SimTime::ZERO,
+            scratch: Scratch::default(),
             delivered_bytes: 0.0,
         }
     }
 
     /// Number of active flows.
     pub fn active_flows(&self) -> usize {
-        self.flows.len()
+        self.active.len()
+    }
+
+    #[inline]
+    fn flow(&self, id: FlowId) -> &Flow {
+        self.slab[id as usize].as_ref().expect("live flow")
     }
 
     /// Progress every flow to `now` at its allocated rate.
@@ -79,7 +128,8 @@ impl Network {
         if dt <= 0.0 {
             return;
         }
-        for f in self.flows.values_mut() {
+        for &id in &self.active {
+            let f = self.slab[id as usize].as_mut().expect("live flow");
             let moved = (f.rate * dt).min(f.left);
             f.left -= moved;
             self.delivered_bytes += moved;
@@ -90,58 +140,70 @@ impl Network {
     /// get the fixed loopback rate and do not consume NIC capacity.
     fn reallocate(&mut self) {
         let n = self.nodes as usize;
-        let mut egress_cap = vec![self.params.nic_bytes_per_sec as f64; n];
-        let mut ingress_cap = vec![self.params.nic_bytes_per_sec as f64; n];
-        let mut unfrozen: Vec<FlowId> = Vec::new();
-        for (&id, f) in self.flows.iter_mut() {
+        let s = &mut self.scratch;
+        s.egress_cap.clear();
+        s.ingress_cap.clear();
+        s.egress_cap
+            .resize(n, self.params.nic_bytes_per_sec as f64);
+        s.ingress_cap
+            .resize(n, self.params.nic_bytes_per_sec as f64);
+        s.work.clear();
+        for &id in &self.active {
+            let f = self.slab[id as usize].as_mut().expect("live flow");
             if f.src == f.dst {
                 f.rate = self.params.loopback_bytes_per_sec as f64;
             } else {
                 f.rate = 0.0;
-                unfrozen.push(id);
+                s.work.push(WorkItem { id, src: f.src, dst: f.dst, rate: 0.0 });
             }
         }
-        // Iteratively saturate the tightest port.
-        while !unfrozen.is_empty() {
-            let mut egress_cnt = vec![0u32; n];
-            let mut ingress_cnt = vec![0u32; n];
-            for id in &unfrozen {
-                let f = &self.flows[id];
-                egress_cnt[f.src as usize] += 1;
-                ingress_cnt[f.dst as usize] += 1;
+        // Iteratively saturate the tightest port. Rates accumulate in
+        // the worklist (same additions, same order as updating the slab
+        // in place — bit-exact) and are written back when a flow's port
+        // freezes, which every flow's eventually does.
+        while !s.work.is_empty() {
+            s.egress_cnt.clear();
+            s.ingress_cnt.clear();
+            s.egress_cnt.resize(n, 0);
+            s.ingress_cnt.resize(n, 0);
+            for w in &s.work {
+                s.egress_cnt[w.src as usize] += 1;
+                s.ingress_cnt[w.dst as usize] += 1;
             }
             // Fair share offered by each port; the minimum is binding.
             let mut bottleneck = f64::INFINITY;
             for i in 0..n {
-                if egress_cnt[i] > 0 {
-                    bottleneck = bottleneck.min(egress_cap[i] / egress_cnt[i] as f64);
+                if s.egress_cnt[i] > 0 {
+                    bottleneck = bottleneck.min(s.egress_cap[i] / s.egress_cnt[i] as f64);
                 }
-                if ingress_cnt[i] > 0 {
-                    bottleneck = bottleneck.min(ingress_cap[i] / ingress_cnt[i] as f64);
+                if s.ingress_cnt[i] > 0 {
+                    bottleneck = bottleneck.min(s.ingress_cap[i] / s.ingress_cnt[i] as f64);
                 }
             }
             debug_assert!(bottleneck.is_finite());
             // Grant the bottleneck share to every unfrozen flow; freeze
             // flows crossing a port that is now saturated.
-            let mut still = Vec::with_capacity(unfrozen.len());
-            for id in unfrozen.drain(..) {
-                let f = self.flows.get_mut(&id).expect("live flow");
-                f.rate += bottleneck;
-                egress_cap[f.src as usize] -= bottleneck;
-                ingress_cap[f.dst as usize] -= bottleneck;
-                still.push(id);
+            for w in s.work.iter_mut() {
+                w.rate += bottleneck;
+                s.egress_cap[w.src as usize] -= bottleneck;
+                s.ingress_cap[w.dst as usize] -= bottleneck;
             }
             // A port with (near-)zero residual capacity freezes its flows.
             const EPS: f64 = 1e-6;
-            let frozen_ports_e: Vec<bool> = egress_cap.iter().map(|&c| c <= EPS).collect();
-            let frozen_ports_i: Vec<bool> = ingress_cap.iter().map(|&c| c <= EPS).collect();
-            unfrozen = still
-                .into_iter()
-                .filter(|id| {
-                    let f = &self.flows[id];
-                    !frozen_ports_e[f.src as usize] && !frozen_ports_i[f.dst as usize]
-                })
-                .collect();
+            s.frozen_e.clear();
+            s.frozen_i.clear();
+            s.frozen_e.extend(s.egress_cap.iter().map(|&c| c <= EPS));
+            s.frozen_i.extend(s.ingress_cap.iter().map(|&c| c <= EPS));
+            let slab = &mut self.slab;
+            let (fe, fi) = (&s.frozen_e, &s.frozen_i);
+            s.work.retain(|w| {
+                if fe[w.src as usize] || fi[w.dst as usize] {
+                    slab[w.id as usize].as_mut().expect("live flow").rate = w.rate;
+                    false
+                } else {
+                    true
+                }
+            });
         }
     }
 
@@ -153,46 +215,66 @@ impl Network {
         self.advance(now);
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(
-            id,
-            Flow {
-                src,
-                dst,
-                left: bytes as f64,
-                rate: 0.0,
-            },
-        );
+        if self.slab.len() <= id as usize {
+            self.slab.resize_with(id as usize + 1, || None);
+        }
+        self.slab[id as usize] = Some(Flow {
+            src,
+            dst,
+            left: bytes as f64,
+            rate: 0.0,
+        });
+        self.active.push(id); // ids grow, so `active` stays ascending
         self.reallocate();
         id
     }
 
     /// Earliest projected completion time across active flows.
+    ///
+    /// Never returns `last_advance` itself: a sub-half-nanosecond
+    /// estimate (a high-rate flow with under a byte left — more than
+    /// the half-byte completion threshold, but less than one tick's
+    /// worth of transfer) would round to a zero-length timer, and since
+    /// flows only progress when time advances, the driver would re-arm
+    /// at the same instant forever. Clamping to the 1 ns tick moves
+    /// such a flow past the threshold on the next advance.
     pub fn next_completion(&self) -> Option<SimTime> {
-        self.flows
-            .values()
-            .map(|f| {
+        self.active
+            .iter()
+            .map(|&id| {
+                let f = self.flow(id);
                 let secs = if f.rate > 0.0 { f.left / f.rate } else { f64::INFINITY };
-                self.last_advance + SimDuration::from_secs_f64(secs.min(1e9))
+                let d = SimDuration::from_secs_f64(secs.min(1e9));
+                self.last_advance + d.max(SimDuration::from_nanos(1))
             })
             .min()
     }
 
-    /// Pop every flow that has (effectively) finished by `now`.
-    pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+    /// Pop every flow that has (effectively) finished by `now`,
+    /// appending their ids (ascending) to `done`.
+    pub fn take_completed_into(&mut self, now: SimTime, done: &mut Vec<FlowId>) {
         self.advance(now);
         const EPS: f64 = 0.5; // half a byte
-        let done: Vec<FlowId> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.left <= EPS)
-            .map(|(&id, _)| id)
-            .collect();
-        if !done.is_empty() {
-            for id in &done {
-                self.flows.remove(id);
+        let before = done.len();
+        let slab = &mut self.slab;
+        self.active.retain(|&id| {
+            if slab[id as usize].as_ref().expect("live flow").left <= EPS {
+                slab[id as usize] = None;
+                done.push(id);
+                false
+            } else {
+                true
             }
+        });
+        if done.len() > before {
             self.reallocate();
         }
+    }
+
+    /// Pop every flow that has (effectively) finished by `now`.
+    pub fn take_completed(&mut self, now: SimTime) -> Vec<FlowId> {
+        let mut done = Vec::new();
+        self.take_completed_into(now, &mut done);
         done
     }
 }
@@ -301,5 +383,17 @@ mod tests {
             assert!(guard < 100, "flows never drain");
         }
         assert!((n.delivered_bytes - total as f64).abs() < 16.0);
+    }
+
+    /// Completed-flow ids come back ascending (the order the old
+    /// `BTreeMap` implementation guaranteed and the driver relies on).
+    #[test]
+    fn completion_order_is_ascending() {
+        let mut n = net(2);
+        let b = 10 * 1024 * 1024;
+        let ids: Vec<FlowId> = (0..6).map(|_| n.start_flow(SimTime::ZERO, 0, 1, b)).collect();
+        let t = n.next_completion().unwrap();
+        let done = n.take_completed(t + SimDuration::from_secs(60));
+        assert_eq!(done, ids);
     }
 }

@@ -1,0 +1,325 @@
+//! Sharded experiment sweeps: fan a `ClusterShape × data-size × plan`
+//! grid over worker threads and merge the results deterministically.
+//!
+//! The paper's evaluation (Fig. 7b–d) and every capacity-planning
+//! question downstream of it reduce to the same loop: run one job per
+//! grid cell and compare. Cells are completely independent simulations,
+//! so the driver shards them over `simcore::par::par_map`, which
+//! returns results **in grid order no matter how the threads
+//! interleave** — the report is byte-identical for any `SIM_THREADS`.
+//! Cross-cell aggregation ([`SweepReport::merged`]) only uses
+//! commutative integer arithmetic (sums of `u64` event counts and
+//! nanosecond totals, an order-insensitive digest fold), so it is
+//! order-independent by construction, not by scheduling luck.
+//!
+//! Wall-clock per cell is measured with a monotonic clock and reported
+//! for throughput accounting (`events/sec`); it is *host* time and
+//! deliberately kept out of every deterministic artifact except the
+//! benchmark document, which exists to record it.
+
+use crate::driver::{run_job, ClusterParams, SwitchPlan};
+use iosched::SchedPair;
+use mrsim::{ClusterShape, JobSpec};
+use simcore::par::par_map;
+use simcore::{Json, SimDuration};
+use std::time::Instant;
+
+/// One point of the sweep grid.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Cluster shape for this cell.
+    pub shape: ClusterShape,
+    /// HDFS data per VM, MB.
+    pub data_mb_per_vm: u64,
+    /// Human-readable plan label (pair code or plan description).
+    pub plan_label: String,
+    /// The switch plan to run.
+    pub plan: SwitchPlan,
+}
+
+/// A sweep grid: the cartesian product of shapes, data sizes and
+/// plans, enumerated shapes-outer / data-middle / plans-inner. The
+/// enumeration order *is* the report order.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Cluster shapes to sweep.
+    pub shapes: Vec<ClusterShape>,
+    /// Data sizes (MB per VM) to sweep.
+    pub data_mb_per_vm: Vec<u64>,
+    /// Labelled plans to sweep.
+    pub plans: Vec<(String, SwitchPlan)>,
+}
+
+impl SweepGrid {
+    /// The classic single-shape pairs sweep: all 16 single-pair plans
+    /// on one shape and data size (the `repro-cli sweep` default).
+    pub fn pairs(shape: ClusterShape, data_mb_per_vm: u64) -> Self {
+        SweepGrid {
+            shapes: vec![shape],
+            data_mb_per_vm: vec![data_mb_per_vm],
+            plans: SchedPair::all()
+                .into_iter()
+                .map(|p| (p.code(), SwitchPlan::single(p)))
+                .collect(),
+        }
+    }
+
+    /// Materialize the grid cells in enumeration order.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut out =
+            Vec::with_capacity(self.shapes.len() * self.data_mb_per_vm.len() * self.plans.len());
+        for &shape in &self.shapes {
+            for &mb in &self.data_mb_per_vm {
+                for (label, plan) in &self.plans {
+                    out.push(SweepCell {
+                        shape,
+                        data_mb_per_vm: mb,
+                        plan_label: label.clone(),
+                        plan: plan.clone(),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Outcome of one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that produced this result.
+    pub cell: SweepCell,
+    /// Simulated job elapsed time.
+    pub makespan: SimDuration,
+    /// Kernel events the cell's run processed.
+    pub events_processed: u64,
+    /// Bytes moved over the simulated network.
+    pub network_bytes: u64,
+    /// The run's combined trace digest (determinism witness).
+    pub trace_digest: u64,
+    /// Host wall-clock seconds the cell took (monotonic clock;
+    /// non-deterministic, excluded from merged deterministic state).
+    pub wall_s: f64,
+}
+
+impl CellResult {
+    /// Events per host wall-clock second — the kernel throughput this
+    /// cell sustained.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events_processed as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Deterministic cross-cell aggregate. Every field is merged with a
+/// commutative, associative operation over exact integers, so the
+/// result is independent of both thread interleaving *and* the order
+/// the cells are folded in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergedMetrics {
+    /// Number of cells merged.
+    pub cells: u64,
+    /// Total kernel events across cells.
+    pub events: u64,
+    /// Sum of simulated makespans, nanoseconds.
+    pub sim_ns: u64,
+    /// Total simulated network bytes.
+    pub network_bytes: u64,
+    /// Order-insensitive fold (wrapping sum) of per-cell trace
+    /// digests: equal multisets of runs ⇒ equal combined digest.
+    pub digest: u64,
+}
+
+impl MergedMetrics {
+    /// Fold one cell in (commutative).
+    pub fn absorb(&mut self, r: &CellResult) {
+        self.cells += 1;
+        self.events += r.events_processed;
+        self.sim_ns += r.makespan.as_nanos();
+        self.network_bytes += r.network_bytes;
+        self.digest = self.digest.wrapping_add(r.trace_digest);
+    }
+}
+
+/// A completed sweep: per-cell results in grid order plus the merged
+/// aggregate and total host wall-clock.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Per-cell results, in [`SweepGrid::cells`] order.
+    pub results: Vec<CellResult>,
+    /// Host wall-clock of the whole sweep (with sharding this is far
+    /// less than the sum of per-cell walls).
+    pub total_wall_s: f64,
+}
+
+impl SweepReport {
+    /// The deterministic cross-cell aggregate.
+    pub fn merged(&self) -> MergedMetrics {
+        let mut m = MergedMetrics::default();
+        for r in &self.results {
+            m.absorb(r);
+        }
+        m
+    }
+
+    /// Aggregate kernel throughput: total events over total wall time.
+    pub fn events_per_sec(&self) -> f64 {
+        self.merged().events as f64 / self.total_wall_s.max(1e-9)
+    }
+
+    /// Serialize as an `adios.bench/1` document (the shape
+    /// `BENCH_sweep.json` and `adios-report` consume). Wall-clock and
+    /// throughput fields are host measurements; everything else is
+    /// deterministic.
+    pub fn to_json(&self) -> Json {
+        let cells = Json::Arr(
+            self.results
+                .iter()
+                .map(|r| {
+                    Json::obj()
+                        .field("nodes", r.cell.shape.nodes as u64)
+                        .field("vms_per_node", r.cell.shape.vms_per_node as u64)
+                        .field("data_mb_per_vm", r.cell.data_mb_per_vm)
+                        .field("plan", r.cell.plan_label.clone())
+                        .field("makespan_s", r.makespan.as_secs_f64())
+                        .field("events", r.events_processed)
+                        .field("network_mb", r.network_bytes >> 20)
+                        .field("wall_s", r.wall_s)
+                        .field("events_per_sec", r.events_per_sec())
+                })
+                .collect(),
+        );
+        let m = self.merged();
+        Json::obj()
+            .field("schema", "adios.bench/1")
+            .field("kind", "sweep")
+            .field("cells", cells)
+            .field("total_events", m.events)
+            .field("total_sim_s", SimDuration::from_nanos(m.sim_ns).as_secs_f64())
+            .field("total_wall_s", self.total_wall_s)
+            .field("events_per_sec", self.events_per_sec())
+            .field("merged_digest", format!("{:#018x}", m.digest))
+    }
+}
+
+/// Run every cell of `grid`, sharded over `simcore::par::par_map`
+/// (honouring `SIM_THREADS`). `base` and `base_job` supply everything
+/// the grid does not vary — disk model, network parameters, workload,
+/// telemetry level.
+pub fn run_sweep(base: &ClusterParams, base_job: &JobSpec, grid: &SweepGrid) -> SweepReport {
+    let cells = grid.cells();
+    let sweep_start = Instant::now();
+    let results = par_map(&cells, |cell| {
+        let mut params = base.clone();
+        params.shape = cell.shape;
+        let mut job = base_job.clone();
+        job.data_per_vm_bytes = cell.data_mb_per_vm * 1024 * 1024;
+        let start = Instant::now();
+        let out = run_job(&params, &job, cell.plan.clone());
+        CellResult {
+            cell: cell.clone(),
+            makespan: out.makespan,
+            events_processed: out.events_processed,
+            network_bytes: out.network_bytes,
+            trace_digest: out.trace_digest,
+            wall_s: start.elapsed().as_secs_f64(),
+        }
+    });
+    SweepReport {
+        results,
+        total_wall_s: sweep_start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_shape(nodes: u32) -> ClusterShape {
+        ClusterShape {
+            nodes,
+            vms_per_node: 2,
+            ..ClusterShape::default()
+        }
+    }
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid {
+            shapes: vec![tiny_shape(1), tiny_shape(2)],
+            data_mb_per_vm: vec![16, 32],
+            plans: vec![
+                ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),
+                (
+                    "dd".into(),
+                    SwitchPlan::single(
+                        SchedPair::new(iosched::SchedKind::Deadline, iosched::SchedKind::Deadline),
+                    ),
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn grid_enumeration_order_is_shapes_data_plans() {
+        let g = tiny_grid();
+        let cells = g.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].shape.nodes, 1);
+        assert_eq!(cells[0].data_mb_per_vm, 16);
+        assert_eq!(cells[0].plan_label, "cc");
+        assert_eq!(cells[1].plan_label, "dd");
+        assert_eq!(cells[2].data_mb_per_vm, 32);
+        assert_eq!(cells[4].shape.nodes, 2);
+    }
+
+    #[test]
+    fn pairs_grid_covers_all_sixteen() {
+        let g = SweepGrid::pairs(tiny_shape(1), 64);
+        assert_eq!(g.cells().len(), SchedPair::all().len());
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let base = ClusterParams::default();
+        let job = JobSpec {
+            data_per_vm_bytes: 16 << 20,
+            ..JobSpec::default()
+        };
+        let report = run_sweep(&base, &job, &tiny_grid());
+        let forward = report.merged();
+        let mut backward = MergedMetrics::default();
+        for r in report.results.iter().rev() {
+            backward.absorb(r);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.cells, 8);
+        assert!(forward.events > 0);
+    }
+
+    #[test]
+    fn sweep_deterministic_across_thread_counts() {
+        use simcore::par::par_map_threads;
+        let base = ClusterParams::default();
+        let job = JobSpec {
+            data_per_vm_bytes: 16 << 20,
+            ..JobSpec::default()
+        };
+        let grid = tiny_grid();
+        let cells = grid.cells();
+        // Strip the host wall-clock: compare only deterministic fields.
+        let run_with = |threads: usize| -> Vec<(u64, u64, u64)> {
+            par_map_threads(threads, &cells, |cell| {
+                let mut params = base.clone();
+                params.shape = cell.shape;
+                let mut j = job.clone();
+                j.data_per_vm_bytes = cell.data_mb_per_vm * 1024 * 1024;
+                let out = run_job(&params, &j, cell.plan.clone());
+                (
+                    out.makespan.as_nanos(),
+                    out.events_processed,
+                    out.trace_digest,
+                )
+            })
+        };
+        assert_eq!(run_with(1), run_with(8));
+    }
+}

@@ -39,10 +39,9 @@ use iosched::{
 use crate::telemetry::NodeTelemetry;
 use simcore::trace::{Layer, Trace, TraceEvent};
 use simcore::{
-    MetricsRegistry, OnlineStats, SampleSet, SimDuration, SimTime, Telemetry, ThroughputMeter,
-    Timer, TimerTicket,
+    FxHashMap, MetricsRegistry, OnlineStats, SampleSet, SimDuration, SimTime, Telemetry,
+    ThroughputMeter, Timer, TimerTicket,
 };
-use std::collections::HashMap;
 
 /// Identifier of a VM on this node.
 pub type VmId = u32;
@@ -226,12 +225,15 @@ pub struct NodeStack {
     dom0_timer: Timer,
     dom0_switch: SwitchState,
     guests: Vec<Guest>,
-    /// Dom0-level request id → ring segment.
-    ring: HashMap<RequestId, RingSegment>,
+    /// Dom0-level request id → ring segment (id-keyed, never iterated,
+    /// so a fast hash map is safe).
+    ring: FxHashMap<RequestId, RingSegment>,
     /// Guest requests with segments in flight.
-    parents: HashMap<u64, RingParent>,
+    parents: FxHashMap<u64, RingParent>,
     next_parent: u64,
     next_dom0_id: RequestId,
+    /// Reused by `on_disk_done` for VMs whose ring occupancy changed.
+    occ_scratch: Vec<VmId>,
     in_service: Option<QueuedRq>,
     /// Guest requests submitted and not yet completed.
     outstanding: usize,
@@ -301,8 +303,9 @@ impl NodeStack {
             dom0_timer: Timer::new(),
             dom0_switch: SwitchState::new(),
             guests,
-            ring: HashMap::new(),
-            parents: HashMap::new(),
+            ring: FxHashMap::default(),
+            parents: FxHashMap::default(),
+            occ_scratch: Vec::new(),
             next_parent: 1,
             next_dom0_id: 1,
             in_service: None,
@@ -538,16 +541,28 @@ impl NodeStack {
     /// Submit a guest request. `req.sector` is relative to the VM's
     /// virtual disk; `req.stream` identifies the submitting task.
     pub fn submit(&mut self, now: SimTime, vm: VmId, req: IoRequest) -> Vec<StackAction> {
+        let mut out = Vec::new();
+        self.submit_into(now, vm, req, &mut out);
+        out
+    }
+
+    /// Allocation-free [`NodeStack::submit`]: actions are appended to
+    /// `out` (which the driver recycles across calls).
+    pub fn submit_into(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        req: IoRequest,
+        out: &mut Vec<StackAction>,
+    ) {
         assert!(
             req.sector + req.sectors <= self.params.vm_extent_sectors,
             "guest request beyond VM extent"
         );
         self.outstanding += 1;
-        let mut out = Vec::new();
         self.enter_guest(now, vm, req);
-        self.pump_guest(now, vm, &mut out);
-        self.pump_dom0(now, &mut out);
-        out
+        self.pump_guest(now, vm, out);
+        self.pump_dom0(now, out);
     }
 
     // ------------------------------------------------------------------
@@ -557,21 +572,27 @@ impl NodeStack {
     /// Handle a previously scheduled stack event.
     pub fn handle(&mut self, now: SimTime, ev: StackEvent) -> Vec<StackAction> {
         let mut out = Vec::new();
+        self.handle_into(now, ev, &mut out);
+        out
+    }
+
+    /// Allocation-free [`NodeStack::handle`]: actions are appended to
+    /// `out` (which the driver recycles across calls).
+    pub fn handle_into(&mut self, now: SimTime, ev: StackEvent, out: &mut Vec<StackAction>) {
         match ev {
             StackEvent::GuestKick { vm, ticket } => {
                 if self.guests[vm as usize].timer.fire(ticket) {
-                    self.pump_guest(now, vm, &mut out);
-                    self.pump_dom0(now, &mut out);
+                    self.pump_guest(now, vm, out);
+                    self.pump_dom0(now, out);
                 }
             }
             StackEvent::Dom0Kick { ticket } => {
                 if self.dom0_timer.fire(ticket) {
-                    self.pump_dom0(now, &mut out);
+                    self.pump_dom0(now, out);
                 }
             }
-            StackEvent::DiskDone => self.on_disk_done(now, &mut out),
+            StackEvent::DiskDone => self.on_disk_done(now, out),
         }
-        out
     }
 
     /// Arm a guest kick at `at` unless one is already pending (at most
@@ -778,7 +799,8 @@ impl NodeStack {
         self.dom0_meter.record(now, rq.bytes());
         self.dom0.completed(&rq, now);
         // VMs whose ring occupancy changed, in first-touch order.
-        let mut occ_vms: Vec<VmId> = Vec::new();
+        let mut occ_vms = std::mem::take(&mut self.occ_scratch);
+        occ_vms.clear();
         let counters = self.tel.level.counters();
         for part in &rq.parts {
             self.trace
@@ -833,13 +855,14 @@ impl NodeStack {
                 });
             }
         }
-        for vm in occ_vms {
+        for &vm in &occ_vms {
             let occ = self.guests[vm as usize].in_ring as u32;
             self.ring_occ.record(occ as f64);
             self.tel.on_ring_occ(now, occ);
             self.trace
                 .push(now, TraceEvent::RingOcc { vm, occupied: occ, bound: self.ring_bound });
         }
+        self.occ_scratch = occ_vms;
         // Freed ring slots: refill from every guest that was blocked.
         for vm in 0..self.guests.len() as u32 {
             self.pump_guest(now, vm, out);

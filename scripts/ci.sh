@@ -10,6 +10,14 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 
+# Causality guard: re-run the pairs smoke suite with the EventQueue's
+# push-before-watermark check enabled in the release build. In normal
+# release runs the check compiles to nothing; ADIOS_STRICT=1 turns it
+# into a hard panic, so a batching or queue change that lets an event
+# be scheduled in the past fails CI instead of silently corrupting a
+# simulation.
+ADIOS_STRICT=1 cargo test -q --release --offline --test pairs_smoke
+
 # Smoke-run the micro-benchmark harness (shrunken iteration counts):
 # proves the in-tree timer harness and its workloads stay runnable,
 # and that it emits a parseable BENCH_micro.json.
@@ -18,6 +26,12 @@ BENCH_MICRO_OUT="${bench_json}" REPRO_QUICK=1 \
   cargo bench --offline -p repro-bench --bench criterion_micro
 grep -q '"schema":"adios.bench/1"' "${bench_json}" \
   || { echo "error: BENCH_micro.json missing or unstamped" >&2; exit 1; }
+
+# Structural comparison against the committed baseline: timings drift
+# from machine to machine, but the set of benchmarks and their recorded
+# fields must match — a dropped or renamed bench fails here (exit 2).
+cargo run -q --release --offline -p adios-report -- diff \
+  --shape --fail-on-delta BENCH_micro.json "${bench_json}"
 
 # Observability smoke: a full-telemetry sort run must produce a metrics
 # document that adios-report renders, and whose self-diff is empty
@@ -42,4 +56,4 @@ if [[ -n "${external}" ]]; then
   exit 1
 fi
 
-echo "ci: offline build (all targets) + tests + bench smoke + report smoke green; dependency graph is workspace-only"
+echo "ci: offline build (all targets) + tests + strict causality smoke + bench smoke/shape + report smoke green; dependency graph is workspace-only"

@@ -3,7 +3,10 @@
 //! ```text
 //! repro-cli run   [--workload sort] [--pair cc] [--nodes 4] [--vms 4] [--data-mb 512]
 //!                 [--telemetry off|counters|full] [--metrics-out FILE] [--trace-out FILE]
-//! repro-cli sweep [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512]
+//!                 [--mode plan|reactive] [--policy queue|phase] [--tick-ms 500]
+//!                 [--busy-pair dd] [--idle-pair cc] [--map-pair ac] [--reduce-pair dd]
+//! repro-cli sweep [--workload sort] [--nodes 4,8,...] [--vms 4] [--data-mb 512,...]
+//!                 [--json-out FILE]
 //! repro-cli tune  [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512] [--json]
 //! repro-cli switch-cost [--from cc] [--to ad] [--vms 4] [--mb 600]
 //! repro-cli waves [--data-mb 128,192,256,320,384,448,512]
@@ -11,14 +14,28 @@
 //!
 //! Pairs use the paper's two-letter codes (`c`=CFQ, `d`=deadline,
 //! `a`=anticipatory, `n`=noop; first letter = VMM/Dom0, second = VMs).
+//!
+//! `run --mode reactive` replaces the fixed switch plan with the online
+//! switcher the paper sketches as future work: a policy consulted every
+//! `--tick-ms` of simulated time that picks the pair from live cluster
+//! state. Its switch decisions are recorded in the metrics document
+//! (`online` section) and echoed on stdout.
+//!
+//! `sweep` shards its grid (every `--nodes` entry × every `--data-mb`
+//! entry × all 16 pairs) over worker threads (`SIM_THREADS` overrides
+//! the fan-out); `--json-out` writes the per-cell `adios.bench/1`
+//! document with events/sec and wall-clock per cell.
 
 use adaptive_disk_sched::iosched::SchedPair;
 use adaptive_disk_sched::metasched::{
-    measure_switch_cost, DdConfig, Experiment, MetaScheduler,
+    measure_switch_cost, DdConfig, Experiment, MetaScheduler, PhaseReactivePolicy,
+    QueueDepthPolicy,
 };
 use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
-use adaptive_disk_sched::vcluster::{run_job, ClusterParams, ClusterSim, SwitchPlan};
-use simcore::{Json, Telemetry};
+use adaptive_disk_sched::vcluster::{
+    run_job, run_sweep, ClusterParams, ClusterSim, SweepGrid, SwitchPlan,
+};
+use simcore::{Json, SimDuration, Telemetry};
 use std::collections::HashMap;
 use std::process::exit;
 
@@ -114,6 +131,52 @@ fn cmd_run(flags: HashMap<String, String>) {
         params.node.trace_capacity = 1 << 16;
     }
     let mut sim = ClusterSim::new(params.clone(), j.clone(), SwitchPlan::single(p));
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("plan");
+    match mode {
+        "plan" => {}
+        "reactive" => {
+            let tick_ms: u64 = flags
+                .get("tick-ms")
+                .map(|v| v.parse().expect("--tick-ms"))
+                .unwrap_or(500);
+            let period = SimDuration::from_millis(tick_ms);
+            match flags.get("policy").map(String::as_str).unwrap_or("queue") {
+                "queue" => {
+                    // Deep Dom0 queues => the disk is the bottleneck,
+                    // install the throughput pair; shallow => return to
+                    // the baseline (the pair `--pair` asked for).
+                    let busy = pair(&flags, "busy-pair", "dd");
+                    let idle = flags
+                        .get("idle-pair")
+                        .map(|_| pair(&flags, "idle-pair", "cc"))
+                        .unwrap_or(p);
+                    sim.set_online_policy(
+                        Box::new(QueueDepthPolicy::new(busy, idle, 8.0, 2.0)),
+                        period,
+                    );
+                }
+                "phase" => {
+                    let map_pair = pair(&flags, "map-pair", "ac");
+                    let reduce_pair = pair(&flags, "reduce-pair", "dd");
+                    sim.set_online_policy(
+                        Box::new(PhaseReactivePolicy {
+                            map_pair,
+                            reduce_pair,
+                        }),
+                        period,
+                    );
+                }
+                other => {
+                    eprintln!("--policy must be queue|phase, got {other:?}");
+                    exit(2);
+                }
+            }
+        }
+        other => {
+            eprintln!("--mode must be plan|reactive, got {other:?}");
+            exit(2);
+        }
+    }
     let out = sim.run();
     if let Some(path) = flags.get("metrics-out") {
         write_out(path, &out.metrics.to_string());
@@ -141,30 +204,105 @@ fn cmd_run(flags: HashMap<String, String>) {
         out.phases.non_concurrent_shuffle_pct(),
         out.network_bytes >> 20
     );
+    if mode == "reactive" {
+        // The full decision log also lands in the metrics document's
+        // `online` section (`--metrics-out`).
+        if out.switch_log.is_empty() {
+            println!("  online policy: no switches");
+        }
+        for (t, p) in &out.switch_log {
+            println!("  online switch at {:.1}s -> {}", t.as_secs_f64(), p);
+        }
+    }
+}
+
+/// Parse a comma-separated list flag, defaulting to the given single
+/// value.
+fn num_list(flags: &HashMap<String, String>, key: &str, default: u64) -> Vec<u64> {
+    flags
+        .get(key)
+        .map(|v| {
+            v.split(',')
+                .map(|x| x.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("--{key} expects a comma-separated number list, got {v:?}");
+                    exit(2);
+                }))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![default])
 }
 
 fn cmd_sweep(flags: HashMap<String, String>) {
-    let params = cluster(&flags);
+    let base = cluster(&flags);
     let j = job(&flags);
-    let mut results: Vec<(SchedPair, f64)> = SchedPair::all()
-        .into_iter()
-        .map(|p| {
-            let t = run_job(&params, &j, SwitchPlan::single(p)).makespan.as_secs_f64();
-            println!("{:>14}: {:>8.1}s", p.to_string(), t);
-            (p, t)
-        })
-        .collect();
-    results.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    println!(
-        "best {} ({:.1}s); default (CFQ, CFQ) {:.1}s",
-        results[0].0,
-        results[0].1,
-        results
+    let nodes = num_list(&flags, "nodes", base.shape.nodes as u64);
+    let data_mb = num_list(&flags, "data-mb", j.data_per_vm_bytes >> 20);
+    let grid = SweepGrid {
+        shapes: nodes
             .iter()
-            .find(|(p, _)| *p == SchedPair::DEFAULT)
-            .unwrap()
-            .1
+            .map(|&n| {
+                let mut s = base.shape;
+                s.nodes = n as u32;
+                s
+            })
+            .collect(),
+        data_mb_per_vm: data_mb,
+        plans: SchedPair::all()
+            .into_iter()
+            .map(|p| (p.code(), SwitchPlan::single(p)))
+            .collect(),
+    };
+    let report = run_sweep(&base, &j, &grid);
+    println!(
+        "{:>6} {:>4} {:>8} {:>6} {:>10} {:>9} {:>12}",
+        "nodes", "vms", "data/VM", "plan", "makespan", "wall", "events/s"
     );
+    for r in &report.results {
+        println!(
+            "{:>6} {:>4} {:>6}MB {:>6} {:>9.1}s {:>8.2}s {:>12.0}",
+            r.cell.shape.nodes,
+            r.cell.shape.vms_per_node,
+            r.cell.data_mb_per_vm,
+            r.cell.plan_label,
+            r.makespan.as_secs_f64(),
+            r.wall_s,
+            r.events_per_sec()
+        );
+    }
+    // Best plan per (shape, data) group — the comparison each of the
+    // paper's Fig. 7 panels makes.
+    for chunk in report.results.chunks(grid.plans.len()) {
+        let best = chunk
+            .iter()
+            .min_by(|a, b| a.makespan.cmp(&b.makespan).then(a.cell.plan_label.cmp(&b.cell.plan_label)))
+            .expect("non-empty plan group");
+        let default = chunk
+            .iter()
+            .find(|r| r.cell.plan_label == SchedPair::DEFAULT.code());
+        println!(
+            "{}x{} VMs, {} MB/VM: best {} ({:.1}s){}",
+            best.cell.shape.nodes,
+            best.cell.shape.vms_per_node,
+            best.cell.data_mb_per_vm,
+            best.cell.plan_label,
+            best.makespan.as_secs_f64(),
+            default
+                .map(|d| format!("; default cc {:.1}s", d.makespan.as_secs_f64()))
+                .unwrap_or_default()
+        );
+    }
+    let merged = report.merged();
+    println!(
+        "{} cells, {} events in {:.1}s wall ({:.0} events/s aggregate)",
+        merged.cells,
+        merged.events,
+        report.total_wall_s,
+        report.events_per_sec()
+    );
+    if let Some(path) = flags.get("json-out") {
+        write_out(path, &(report.to_json().to_string() + "\n"));
+        println!("wrote {path}");
+    }
 }
 
 fn cmd_tune(flags: HashMap<String, String>) {

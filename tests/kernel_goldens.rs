@@ -1,0 +1,103 @@
+//! Kernel-swap goldens: hardcoded fingerprints of small reference runs,
+//! captured from the pre-calendar-queue kernel (flat `BinaryHeap` event
+//! queue, `BTreeMap` id maps, allocating dispatch loops). The rebuilt
+//! hot path — calendar/ladder queue, batched same-instant dispatch,
+//! slab-backed network and id maps — must reproduce every one of these
+//! values bit-for-bit: the optimization contract is "faster, not
+//! different".
+//!
+//! If a *deliberate* behaviour change ever invalidates these numbers,
+//! re-capture them with the printing helper below and say so in the
+//! commit message.
+
+use adaptive_disk_sched::iosched::SchedPair;
+use adaptive_disk_sched::mrsim::{JobSpec, WorkloadSpec};
+use adaptive_disk_sched::vcluster::{run_job, ClusterParams, SwitchPlan};
+use simcore::par::par_map_threads;
+use simcore::Telemetry;
+
+struct Golden {
+    pair_idx: usize,
+    data_mb: u64,
+    makespan_ns: u64,
+    trace_digest: u64,
+    metrics_fnv: u64,
+}
+
+/// FNV-1a over a byte string (stable fingerprint of the metrics doc).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn params() -> ClusterParams {
+    let mut p = ClusterParams::default();
+    p.shape.nodes = 2;
+    p.shape.vms_per_node = 2;
+    p.node.trace_capacity = 4096;
+    p.node.telemetry = Telemetry::Counters;
+    p
+}
+
+fn fingerprint(pair_idx: usize, data_mb: u64) -> (u64, u64, u64) {
+    let job = JobSpec {
+        data_per_vm_bytes: data_mb * 1024 * 1024,
+        ..JobSpec::new(WorkloadSpec::sort())
+    };
+    let out = run_job(
+        &params(),
+        &job,
+        SwitchPlan::single(SchedPair::all()[pair_idx]),
+    );
+    (
+        out.makespan.as_nanos(),
+        out.trace_digest,
+        fnv1a(out.metrics.to_string().as_bytes()),
+    )
+}
+
+/// Captured from the seed kernel (commit 92d140c) with
+/// `cargo test -q --test kernel_goldens -- --ignored --nocapture`.
+const GOLDENS: &[Golden] = &[
+    Golden { pair_idx: 0, data_mb: 64, makespan_ns: 6403298906, trace_digest: 0xaca5ae7afd87e97c, metrics_fnv: 0x9cb8a8604006056d },
+    Golden { pair_idx: 5, data_mb: 64, makespan_ns: 6257273994, trace_digest: 0x6a5f7b1fcdb23fa9, metrics_fnv: 0x0da20f193994f5eb },
+    Golden { pair_idx: 10, data_mb: 96, makespan_ns: 9385997512, trace_digest: 0x89a9cfc194d9e09c, metrics_fnv: 0x0fc656d6f55ebec2 },
+    Golden { pair_idx: 15, data_mb: 48, makespan_ns: 7526422090, trace_digest: 0x628faec7bd2bd011, metrics_fnv: 0xba30e4162848cad1 },
+];
+
+#[test]
+#[ignore]
+fn capture_goldens() {
+    for (pair_idx, data_mb) in [(0usize, 64u64), (5, 64), (10, 96), (15, 48)] {
+        let (m, d, f) = fingerprint(pair_idx, data_mb);
+        println!(
+            "Golden {{ pair_idx: {pair_idx}, data_mb: {data_mb}, makespan_ns: {m}, \
+             trace_digest: 0x{d:016x}, metrics_fnv: 0x{f:016x} }},"
+        );
+    }
+}
+
+#[test]
+fn kernel_swap_preserves_goldens() {
+    for g in GOLDENS {
+        let (m, d, f) = fingerprint(g.pair_idx, g.data_mb);
+        assert_eq!(m, g.makespan_ns, "makespan drifted (pair {})", g.pair_idx);
+        assert_eq!(d, g.trace_digest, "trace digest drifted (pair {})", g.pair_idx);
+        assert_eq!(f, g.metrics_fnv, "metrics doc drifted (pair {})", g.pair_idx);
+    }
+}
+
+/// The goldens hold whatever the `par_map` worker count: 1-thread and
+/// 8-thread sweeps over the golden configurations yield the same
+/// fingerprints.
+#[test]
+fn kernel_goldens_thread_invariant() {
+    let configs: Vec<(usize, u64)> = vec![(0, 64), (15, 48)];
+    let one = par_map_threads(1, &configs, |&(p, mb)| fingerprint(p, mb));
+    let eight = par_map_threads(8, &configs, |&(p, mb)| fingerprint(p, mb));
+    assert_eq!(one, eight, "worker count changed kernel fingerprints");
+}
