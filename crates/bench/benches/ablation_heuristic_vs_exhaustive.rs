@@ -33,9 +33,11 @@ fn main() {
             plans.push([a, b]);
         }
     }
-    let exhaustive: Vec<([SchedPair; 2], f64)> =
-        par_map(&plans, |&pl| (pl, eval.evaluate(&pl).as_secs_f64()));
-    let (best_plan, best_t) = exhaustive
+    let exhaustive: Vec<([SchedPair; 2], f64, bool)> = par_map(&plans, |&pl| {
+        let (t, cached) = eval.evaluate_traced(&pl);
+        (pl, t.as_secs_f64(), cached)
+    });
+    let (best_plan, best_t, _) = exhaustive
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .cloned()
@@ -48,6 +50,52 @@ fn main() {
         heuristic.runs(),
         heuristic.time.as_secs_f64()
     );
+    // The heuristic's own audit: per phase, the candidate table in
+    // ranking-walk order with cache provenance.
+    for d in &heuristic.decisions {
+        let cands: Vec<String> = d
+            .candidates
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}@{} {:.1}s{}",
+                    c.pair.code(),
+                    c.rank,
+                    c.time.as_secs_f64(),
+                    if c.cached { "*" } else { "" }
+                )
+            })
+            .collect();
+        println!(
+            "  ph{} candidates [{}] -> {} (margin {:.2}s, stop {:?})",
+            d.phase,
+            cands.join(", "),
+            d.chosen.code(),
+            d.margin.as_secs_f64(),
+            d.stop
+        );
+    }
+    // The exhaustive baseline's score table per phase-1 pair: best
+    // completion and how many of its 16 plans the memo cache served
+    // (`*` = at least the shared diagonal/profile entries).
+    for &a in &pairs {
+        let row: Vec<&([SchedPair; 2], f64, bool)> = exhaustive
+            .iter()
+            .filter(|(pl, _, _)| pl[0] == a)
+            .collect();
+        let best = row
+            .iter()
+            .min_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+            .unwrap();
+        let hits = row.iter().filter(|(_, _, c)| *c).count();
+        println!(
+            "  exhaustive ph1={}: best tail {} {:.1}s ({}/16 cached)",
+            a.code(),
+            best.0[1].code(),
+            best.1,
+            hits
+        );
+    }
     println!(
         "exhaustive: [{}, {}] in 256 evaluations -> {:.1}s",
         best_plan[0].code(),

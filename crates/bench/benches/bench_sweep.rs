@@ -14,9 +14,11 @@
 //! the speedup assertion (the headline cell never runs).
 
 use iosched::{SchedKind, SchedPair};
+use metasched::{assignment_plan, Experiment, MetaScheduler, PhaseReactivePolicy, QueueDepthPolicy};
 use mrsim::{ClusterShape, JobSpec, WorkloadSpec};
 use repro_bench::quick;
-use vcluster::{run_sweep, ClusterParams, SweepGrid, SwitchPlan};
+use simcore::{Json, SimDuration};
+use vcluster::{ClusterSim, OnlinePolicy, run_sweep, ClusterParams, SweepGrid, SwitchPlan};
 
 /// Host wall-clock of the headline cell (64×4 VMs, 64 MB/VM sort,
 /// default pair) under the pre-change kernel — measured before the
@@ -37,6 +39,101 @@ fn out_path() -> std::path::PathBuf {
         .unwrap_or_else(|| {
             std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sweep.json")
         })
+}
+
+/// Run one labelled cell, optionally under an online policy, and fold
+/// it into a JSON row. Switch decisions are counted from the run's
+/// audit records (`online` section of the metrics document).
+fn policy_cell(
+    params: &ClusterParams,
+    job: &JobSpec,
+    label: &str,
+    plan: SwitchPlan,
+    policy: Option<Box<dyn OnlinePolicy>>,
+) -> Json {
+    let started = std::time::Instant::now();
+    let mut sim = ClusterSim::new(params.clone(), job.clone(), plan);
+    if let Some(p) = policy {
+        sim.set_online_policy(p, SimDuration::from_millis(500));
+    }
+    let out = sim.run();
+    let wall = started.elapsed().as_secs_f64();
+    let audit = |name: &str| {
+        out.metrics
+            .get("online")
+            .and_then(|o| o.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    println!(
+        "policy {:>14}: makespan {:>6.1}s, {} switches, {} audit steps, wall {:.2}s",
+        label,
+        out.makespan.as_secs_f64(),
+        out.switch_log.len(),
+        audit("audit_steps"),
+        wall
+    );
+    Json::obj()
+        .field("plan", label)
+        .field("makespan_s", out.makespan.as_secs_f64())
+        .field("events", out.events_processed)
+        .field("switches", out.switch_log.len() as u64)
+        .field("audit_steps", audit("audit_steps"))
+        .field("audit_flips", audit("audit_flips"))
+        .field("wall_s", wall)
+}
+
+/// The offline-vs-online comparison column set: `default`,
+/// `best-single` and `adaptive` from a real tune of the given shape,
+/// then the two reactive policies (`reactive-queue`,
+/// `reactive-phase`) mirroring the tuned plan online.
+fn policy_cells(base: &ClusterParams, job: &JobSpec, shape: ClusterShape) -> Json {
+    let mut params = base.clone();
+    params.shape = shape;
+    println!("\n## Policy comparison ({}x{} VMs, {} MB/VM)\n", shape.nodes, shape.vms_per_node, job.data_per_vm_bytes >> 20);
+    let tune = MetaScheduler::new(Experiment::new(params.clone(), job.clone())).tune();
+    let assignment = tune.final_assignment();
+    let dd = SchedPair::new(SchedKind::Deadline, SchedKind::Deadline);
+    let rows = vec![
+        policy_cell(
+            &params,
+            job,
+            "default",
+            SwitchPlan::single(SchedPair::DEFAULT),
+            None,
+        ),
+        policy_cell(
+            &params,
+            job,
+            "best-single",
+            SwitchPlan::single(tune.best_single.pair),
+            None,
+        ),
+        policy_cell(&params, job, "adaptive", assignment_plan(&assignment), None),
+        policy_cell(
+            &params,
+            job,
+            "reactive-queue",
+            SwitchPlan::single(SchedPair::DEFAULT),
+            Some(Box::new(QueueDepthPolicy::new(
+                dd,
+                SchedPair::DEFAULT,
+                8.0,
+                2.0,
+            ))),
+        ),
+        policy_cell(
+            &params,
+            job,
+            "reactive-phase",
+            SwitchPlan::single(assignment[0]),
+            Some(Box::new(PhaseReactivePolicy {
+                map_pair: assignment[0],
+                reduce_pair: *assignment.last().expect("non-empty assignment"),
+            })),
+        ),
+    ];
+    Json::Arr(rows)
 }
 
 fn main() {
@@ -91,6 +188,16 @@ fn main() {
     let mut doc = report
         .to_json()
         .field("baseline_kernel", "flat BinaryHeap, pop-per-event, alloc-per-dispatch");
+
+    // Policy comparison on the grid's smallest shape: the offline
+    // plans (default / best-single / adaptive, from a real tune) next
+    // to the two online switchers. Their switch decisions land in the
+    // metrics document's audit records, surfaced here as
+    // switches/audit counts per cell.
+    doc = doc.field(
+        "policy_cells",
+        policy_cells(&base, &job, grid.shapes[0]),
+    );
 
     if !quick() {
         let headline = report

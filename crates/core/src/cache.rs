@@ -183,12 +183,16 @@ impl<'a> CachedEvaluator<'a> {
 
 impl PlanEvaluator for CachedEvaluator<'_> {
     fn evaluate(&self, assignment: &[SchedPair]) -> SimDuration {
+        self.evaluate_traced(assignment).0
+    }
+
+    fn evaluate_traced(&self, assignment: &[SchedPair]) -> (SimDuration, bool) {
         if let Some(t) = self.cache.score(self.fingerprint, assignment) {
-            return t;
+            return (t, true);
         }
         let t = self.exp.run(assignment_plan(assignment)).makespan;
         self.cache.insert_score(self.fingerprint, assignment, t);
-        t
+        (t, false)
     }
 }
 
@@ -267,5 +271,17 @@ mod tests {
         assert_eq!(ev.evaluate(&[q, q]), SimDuration::from_secs(6));
         let s = cache.stats();
         assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn traced_evaluation_reports_cache_provenance() {
+        // Pre-seeded scores come back flagged as cache hits — the
+        // provenance bit the decision audit records carry.
+        let exp = Experiment::paper_sort();
+        let cache = EvalCache::new();
+        let p = SchedPair::DEFAULT;
+        cache.insert_score(exp.fingerprint(), &[p], SimDuration::from_secs(9));
+        let ev = CachedEvaluator::new(&exp, &cache);
+        assert_eq!(ev.evaluate_traced(&[p, p]), (SimDuration::from_secs(9), true));
     }
 }

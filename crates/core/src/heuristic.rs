@@ -26,6 +26,14 @@ use vcluster::SwitchPlan;
 pub trait PlanEvaluator {
     /// Measured elapsed time of the job under `assignment`.
     fn evaluate(&self, assignment: &[SchedPair]) -> SimDuration;
+
+    /// Like [`evaluate`](Self::evaluate), but also reports whether the
+    /// measurement was served from a memo cache rather than a fresh
+    /// simulation — the provenance bit the audit records carry. The
+    /// default (an uncached evaluator) always measures fresh.
+    fn evaluate_traced(&self, assignment: &[SchedPair]) -> (SimDuration, bool) {
+        (self.evaluate(assignment), false)
+    }
 }
 
 impl PlanEvaluator for Experiment {
@@ -63,6 +71,57 @@ pub struct Evaluation {
     pub time: SimDuration,
 }
 
+/// One candidate considered during a phase's ranking walk: where it
+/// ranked, the profile score that put it there, the measured
+/// composed-plan time, and whether that measurement came out of a memo
+/// cache ([`PlanEvaluator::evaluate_traced`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateScore {
+    /// The candidate pair.
+    pub pair: SchedPair,
+    /// Its position in the phase ranking (0 = best profile score).
+    pub rank: usize,
+    /// The per-phase profile duration that produced `rank`.
+    pub profile_score: SimDuration,
+    /// Measured whole-job time of `(prefix, candidate, tail)`.
+    pub time: SimDuration,
+    /// True when the measurement was served from a cache, not a run.
+    pub cached: bool,
+}
+
+/// Why a phase's ranking walk ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The next candidate measured worse — the greedy stop condition.
+    Regression,
+    /// The walk exhausted its rank cap without a regression.
+    RankCap,
+}
+
+/// Audit record of one phase's greedy decision: the full candidate
+/// score table the walk built, the winner, and its margin over the
+/// runner-up. Serialized as the `decisions` section of `adios.tune/2`.
+#[derive(Debug, Clone)]
+pub struct PhaseDecision {
+    /// Phase index the decision fixes (0-based).
+    pub phase: usize,
+    /// The `S_{i+1}` tail pair the candidates were composed with
+    /// (`None` for the last phase).
+    pub tail_pair: Option<SchedPair>,
+    /// Every candidate evaluated, in walk order.
+    pub candidates: Vec<CandidateScore>,
+    /// The winning pair.
+    pub chosen: SchedPair,
+    /// Runner-up time minus winner time over the evaluated candidates
+    /// (zero when only one candidate was measured).
+    pub margin: SimDuration,
+    /// False when this phase keeps the previous phase's pair — the
+    /// paper's `0` entry.
+    pub switched: bool,
+    /// Why the walk stopped.
+    pub stop: StopReason,
+}
+
 /// Result of running Algorithm 1.
 #[derive(Debug, Clone)]
 pub struct HeuristicResult {
@@ -75,6 +134,8 @@ pub struct HeuristicResult {
     pub time: SimDuration,
     /// Every evaluation performed, in order.
     pub evaluations: Vec<Evaluation>,
+    /// Per-phase audit records of the greedy walk.
+    pub decisions: Vec<PhaseDecision>,
 }
 
 impl HeuristicResult {
@@ -119,25 +180,28 @@ pub fn algorithm1<E: PlanEvaluator + ?Sized>(
     let mut evaluations = Vec::new();
     let mut cache: BTreeMap<Vec<SchedPair>, SimDuration> = BTreeMap::new();
 
-    // Measured elapsed time of a full assignment (cached).
+    // Measured elapsed time of a full assignment, with cache-hit
+    // provenance: true when the score came from the walk's own memo or
+    // the evaluator's cache rather than a fresh simulation.
     let measure = |assignment: &[SchedPair],
                        evaluations: &mut Vec<Evaluation>,
                        cache: &mut BTreeMap<Vec<SchedPair>, SimDuration>|
-     -> SimDuration {
+     -> (SimDuration, bool) {
         if let Some(&t) = cache.get(assignment) {
-            return t;
+            return (t, true);
         }
-        let t = exp.evaluate(assignment);
+        let (t, hit) = exp.evaluate_traced(assignment);
         cache.insert(assignment.to_vec(), t);
         evaluations.push(Evaluation {
             assignment: assignment.to_vec(),
             time: t,
         });
-        t
+        (t, hit)
     };
 
     let mut resolved: Vec<SchedPair> = Vec::with_capacity(phases);
     let mut solution: Vec<Option<SchedPair>> = Vec::with_capacity(phases);
+    let mut decisions: Vec<PhaseDecision> = Vec::with_capacity(phases);
 
     for i in 0..phases {
         let last_phase = i == phases - 1;
@@ -170,33 +234,80 @@ pub fn algorithm1<E: PlanEvaluator + ?Sized>(
             a
         };
 
+        // The ranking score that placed each candidate (same duration
+        // `rank_for_phase` sorted by) — recorded in the audit table.
+        let profile_score = |pair: SchedPair| -> SimDuration {
+            let p = profiles
+                .iter()
+                .find(|p| p.pair == pair)
+                .expect("ranked pair has a profile");
+            match (split, i) {
+                (PhaseSplit::Two, 1) => p.tail_from(1),
+                _ => p.phase[i],
+            }
+        };
+        let score_of = |pair: SchedPair, rank: usize, time: SimDuration, cached: bool| {
+            CandidateScore {
+                pair,
+                rank,
+                profile_score: profile_score(pair),
+                time,
+                cached,
+            }
+        };
+
         let mut j = 0;
-        let mut best_time = measure(&compose(ranking[0], &resolved), &mut evaluations, &mut cache);
+        let (t0, hit0) = measure(&compose(ranking[0], &resolved), &mut evaluations, &mut cache);
+        let mut candidates = vec![score_of(ranking[0], 0, t0, hit0)];
+        let mut best_time = t0;
+        let mut stop = StopReason::RankCap;
         while j + 1 < cap {
-            let next_time = measure(
+            let (next_time, hit) = measure(
                 &compose(ranking[j + 1], &resolved),
                 &mut evaluations,
                 &mut cache,
             );
+            candidates.push(score_of(ranking[j + 1], j + 1, next_time, hit));
             if next_time < best_time {
                 j += 1;
                 best_time = next_time;
             } else {
+                stop = StopReason::Regression;
                 break;
             }
         }
         let chosen = ranking[j];
         let prev = resolved.last().copied();
-        solution.push(if prev == Some(chosen) { None } else { Some(chosen) });
+        let switched = prev != Some(chosen);
+        let margin = {
+            let mut times: Vec<SimDuration> = candidates.iter().map(|c| c.time).collect();
+            times.sort();
+            if times.len() >= 2 {
+                times[1].saturating_sub(times[0])
+            } else {
+                SimDuration::ZERO
+            }
+        };
+        decisions.push(PhaseDecision {
+            phase: i,
+            tail_pair,
+            candidates,
+            chosen,
+            margin,
+            switched,
+            stop,
+        });
+        solution.push(if switched { Some(chosen) } else { None });
         resolved.push(chosen);
     }
 
-    let time = measure(&resolved.clone(), &mut evaluations, &mut cache);
+    let (time, _) = measure(&resolved.clone(), &mut evaluations, &mut cache);
     HeuristicResult {
         solution,
         resolved,
         time,
         evaluations,
+        decisions,
     }
 }
 
@@ -299,6 +410,25 @@ mod tests {
         assert_eq!(r.solution, vec![Some(asdl()), Some(dldl())]);
         // 60 + (5+50) + 4 = 119 < best single (AS,DL)=155, (DL,DL)=145.
         assert_eq!(r.time, SimDuration::from_secs(119));
+        // Audit: one decision per phase, each with a full candidate
+        // table, positive winner margin, and switch flags that mirror
+        // the solution.
+        assert_eq!(r.decisions.len(), 2);
+        assert_eq!(r.decisions[0].chosen, asdl());
+        assert_eq!(r.decisions[1].chosen, dldl());
+        assert!(r.decisions.iter().all(|d| d.switched));
+        assert!(r.decisions.iter().all(|d| !d.candidates.is_empty()));
+        assert!(r.decisions[0].margin > SimDuration::ZERO);
+        // Phase 0 composes candidates with the tail pair; the ranking
+        // walk stopped at the first regression.
+        assert_eq!(r.decisions[0].tail_pair, Some(dldl()));
+        assert_eq!(r.decisions[0].stop, StopReason::Regression);
+        // Candidate ranks follow the profile ranking in walk order.
+        for d in &r.decisions {
+            for (k, c) in d.candidates.iter().enumerate() {
+                assert_eq!(c.rank, k);
+            }
+        }
     }
 
     #[test]
@@ -319,6 +449,9 @@ mod tests {
         assert_eq!(r.resolved, vec![dldl(), dldl()]);
         assert_eq!(r.solution[1], None, "no switch when it cannot pay");
         assert_eq!(r.time, SimDuration::from_secs(145));
+        // The no-switch phase records `switched: false` in its audit.
+        assert!(!r.decisions[1].switched);
+        assert_eq!(r.decisions[1].chosen, dldl());
     }
 
     #[test]

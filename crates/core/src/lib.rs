@@ -45,7 +45,10 @@ pub mod switch_cost;
 
 pub use cache::{canonical_assignment, CacheStats, CachedEvaluator, EvalCache};
 pub use experiment::{Experiment, PhaseProfile};
-pub use heuristic::{algorithm1, assignment_plan, HeuristicResult, PhaseSplit, PlanEvaluator};
+pub use heuristic::{
+    algorithm1, assignment_plan, CandidateScore, Evaluation, HeuristicResult, PhaseDecision,
+    PhaseSplit, PlanEvaluator, StopReason,
+};
 pub use meta::{MetaConfig, MetaScheduler, TuneReport};
 pub use online::{PhaseReactivePolicy, QueueDepthPolicy};
 pub use profiler::{

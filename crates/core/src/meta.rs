@@ -4,7 +4,7 @@
 
 use crate::cache::{CachedEvaluator, EvalCache};
 use crate::experiment::{Experiment, PhaseProfile};
-use crate::heuristic::{algorithm1, HeuristicResult, PhaseSplit};
+use crate::heuristic::{algorithm1, HeuristicResult, PhaseSplit, StopReason};
 use crate::profiler::{best_single, profile_pairs_cached};
 use iosched::SchedPair;
 use simcore::{Json, SimDuration};
@@ -45,6 +45,10 @@ pub struct TuneReport {
     pub default_time: SimDuration,
     /// The best single pair and its time.
     pub best_single: PhaseProfile,
+    /// Memo-cache lookups this pass answered without a simulation.
+    pub cache_hits: u64,
+    /// Memo-cache lookups that had to run the simulator.
+    pub cache_misses: u64,
 }
 
 impl TuneReport {
@@ -77,8 +81,10 @@ impl TuneReport {
 
     /// Serialize the whole tuning pass — every candidate's phase
     /// profile, the chosen split, each Algorithm 1 evaluation in search
-    /// order, and the deployed plan — as one deterministic JSON
-    /// document (the meta-scheduler's slice of a run's observability).
+    /// order, the per-phase decision audit (candidate score tables with
+    /// winner margins and cache-hit provenance), and the deployed plan
+    /// — as one deterministic JSON document (the meta-scheduler's slice
+    /// of a run's observability).
     pub fn to_json(&self) -> Json {
         let profiles = Json::Arr(
             self.profiles
@@ -112,11 +118,50 @@ impl TuneReport {
             None => "0".to_string(),
             Some(p) => p.code(),
         }));
+        let decisions = Json::Arr(
+            self.heuristic
+                .decisions
+                .iter()
+                .map(|d| {
+                    let candidates = Json::Arr(
+                        d.candidates
+                            .iter()
+                            .map(|c| {
+                                Json::obj()
+                                    .field("pair", c.pair.code())
+                                    .field("rank", c.rank)
+                                    .field("profile_s", c.profile_score.as_secs_f64())
+                                    .field("time_s", c.time.as_secs_f64())
+                                    .field("cached", c.cached)
+                            })
+                            .collect(),
+                    );
+                    Json::obj()
+                        .field("phase", d.phase)
+                        .field(
+                            "tail",
+                            d.tail_pair.map(|p| p.code()).unwrap_or_else(|| "-".into()),
+                        )
+                        .field("candidates", candidates)
+                        .field("chosen", d.chosen.code())
+                        .field("margin_s", d.margin.as_secs_f64())
+                        .field("switched", d.switched)
+                        .field(
+                            "stop",
+                            match d.stop {
+                                StopReason::Regression => "regression",
+                                StopReason::RankCap => "rank-cap",
+                            },
+                        )
+                })
+                .collect(),
+        );
         Json::obj()
-            .field("schema", "adios.tune/1")
+            .field("schema", "adios.tune/2")
             .field("phases", self.split.count())
             .field("profiles", profiles)
             .field("evaluations", evaluations)
+            .field("decisions", decisions)
             .field("solution", solution)
             .field(
                 "deployed",
@@ -128,6 +173,8 @@ impl TuneReport {
             .field("final_s", self.final_time().as_secs_f64())
             .field("gain_vs_default_pct", self.gain_vs_default_pct())
             .field("gain_vs_best_single_pct", self.gain_vs_best_single_pct())
+            .field("cache_hits", self.cache_hits)
+            .field("cache_misses", self.cache_misses)
     }
 }
 
@@ -182,6 +229,7 @@ impl MetaScheduler {
     /// simulation-free. Even within a single pass the profiler's 16
     /// single-pair runs pre-pay Algorithm 1's uniform-plan evaluations.
     pub fn tune_with_cache(&self, cache: &EvalCache) -> TuneReport {
+        let before = cache.stats();
         let profiles = profile_pairs_cached(&self.exp, &self.cfg.candidates, cache);
         let split = self.choose_split(&profiles);
         let eval = CachedEvaluator::new(&self.exp, cache);
@@ -192,12 +240,17 @@ impl MetaScheduler {
             .map(|p| p.total)
             .unwrap_or_else(|| self.exp.run_single(SchedPair::DEFAULT).makespan);
         let best = best_single(&profiles);
+        // Cache provenance of *this pass*: the delta against the shared
+        // cache's counters before we started.
+        let after = cache.stats();
         TuneReport {
             profiles,
             split,
             heuristic,
             default_time,
             best_single: best,
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
         }
     }
 }
@@ -206,7 +259,7 @@ impl MetaScheduler {
 mod tests {
     use super::*;
     use crate::experiment::PhaseProfile;
-    use crate::heuristic::{Evaluation, HeuristicResult};
+    use crate::heuristic::{CandidateScore, Evaluation, HeuristicResult, PhaseDecision};
 
     fn report() -> TuneReport {
         let p = |pair, secs| PhaseProfile {
@@ -231,9 +284,26 @@ mod tests {
                     assignment: vec![best.pair, best.pair],
                     time: SimDuration::from_secs(75),
                 }],
+                decisions: vec![PhaseDecision {
+                    phase: 0,
+                    tail_pair: Some(best.pair),
+                    candidates: vec![CandidateScore {
+                        pair: best.pair,
+                        rank: 0,
+                        profile_score: SimDuration::from_secs(40),
+                        time: SimDuration::from_secs(75),
+                        cached: true,
+                    }],
+                    chosen: best.pair,
+                    margin: SimDuration::ZERO,
+                    switched: true,
+                    stop: StopReason::Regression,
+                }],
             },
             default_time: default.total,
             best_single: best,
+            cache_hits: 3,
+            cache_misses: 17,
         }
     }
 
@@ -242,11 +312,19 @@ mod tests {
         let r = report();
         let s = r.to_json().to_string();
         assert_eq!(s, r.to_json().to_string());
+        assert!(s.starts_with("{\"schema\":\"adios.tune/2\""), "{s}");
         assert!(s.contains("\"phases\":2"), "{s}");
         assert!(s.contains("\"final_s\":75"), "{s}");
         assert!(s.contains("\"solution\":["), "{s}");
         // The kept-pair entry serializes as the paper's "0".
         assert!(s.contains("\"0\""), "{s}");
+        // The decision audit rides along: candidate table with cache
+        // provenance, winner margin, and the walk's stop reason.
+        assert!(s.contains("\"decisions\":["), "{s}");
+        assert!(s.contains("\"cached\":true"), "{s}");
+        assert!(s.contains("\"margin_s\":0"), "{s}");
+        assert!(s.contains("\"stop\":\"regression\""), "{s}");
+        assert!(s.contains("\"cache_hits\":3"), "{s}");
     }
 
     #[test]

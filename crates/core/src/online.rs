@@ -14,7 +14,7 @@
 //!   preferred baseline. Matches the paper's sketch most closely.
 
 use iosched::SchedPair;
-use vcluster::{ClusterSnapshot, OnlinePolicy};
+use vcluster::{ClusterSnapshot, OnlinePolicy, PolicyAudit};
 
 /// Online mirror of the offline two-phase plan: install `map_pair`
 /// while maps are running, `reduce_pair` afterwards.
@@ -28,11 +28,22 @@ pub struct PhaseReactivePolicy {
 
 impl OnlinePolicy for PhaseReactivePolicy {
     fn decide(&mut self, snap: &ClusterSnapshot) -> Option<SchedPair> {
-        if snap.maps_done_fraction >= 1.0 {
-            Some(self.reduce_pair)
-        } else {
-            Some(self.map_pair)
-        }
+        self.decide_explained(snap).0
+    }
+
+    fn decide_explained(&mut self, snap: &ClusterSnapshot) -> (Option<SchedPair>, PolicyAudit) {
+        let in_reduce = snap.maps_done_fraction >= 1.0;
+        let audit = PolicyAudit {
+            signal: "maps_done_fraction",
+            observed: snap.maps_done_fraction,
+            threshold: 1.0,
+            streak: 0,
+            confirm: 1,
+            // Stateless policy: "flipped" mirrors the trigger condition.
+            flipped: in_reduce,
+        };
+        let pair = if in_reduce { self.reduce_pair } else { self.map_pair };
+        (Some(pair), audit)
     }
 }
 
@@ -88,22 +99,43 @@ impl QueueDepthPolicy {
 
 impl OnlinePolicy for QueueDepthPolicy {
     fn decide(&mut self, snap: &ClusterSnapshot) -> Option<SchedPair> {
+        self.decide_explained(snap).0
+    }
+
+    fn decide_explained(&mut self, snap: &ClusterSnapshot) -> (Option<SchedPair>, PolicyAudit) {
         let depth = Self::avg_depth(snap);
-        let trigger = if self.busy {
-            depth <= self.low_watermark
+        // The active watermark depends on which side of the hysteresis
+        // band we are on — exactly what the audit must expose.
+        let threshold = if self.busy {
+            self.low_watermark
         } else {
-            depth >= self.high_watermark
+            self.high_watermark
         };
+        let trigger = if self.busy {
+            depth <= threshold
+        } else {
+            depth >= threshold
+        };
+        let mut flipped = false;
         if trigger {
             self.streak += 1;
             if self.streak >= self.confirm_ticks {
                 self.busy = !self.busy;
                 self.streak = 0;
+                flipped = true;
             }
         } else {
             self.streak = 0;
         }
-        Some(if self.busy { self.busy_pair } else { self.idle_pair })
+        let audit = PolicyAudit {
+            signal: "dom0_avg_qdepth",
+            observed: depth,
+            threshold,
+            streak: self.streak,
+            confirm: self.confirm_ticks,
+            flipped,
+        };
+        (Some(if self.busy { self.busy_pair } else { self.idle_pair }), audit)
     }
 }
 
@@ -156,5 +188,38 @@ mod tests {
     #[should_panic(expected = "hysteresis")]
     fn watermark_order_enforced() {
         QueueDepthPolicy::new(asdl(), SchedPair::DEFAULT, 2.0, 8.0);
+    }
+
+    #[test]
+    fn queue_policy_audit_explains_each_step() {
+        let mut p = QueueDepthPolicy::new(asdl(), SchedPair::DEFAULT, 8.0, 2.0);
+        // Tick 1: deep queues, first confirming tick — no flip yet.
+        let (d, a) = p.decide_explained(&snap(0.0, &[10, 10]));
+        assert_eq!(d, Some(SchedPair::DEFAULT));
+        assert_eq!(a.signal, "dom0_avg_qdepth");
+        assert_eq!(a.observed, 10.0);
+        assert_eq!(a.threshold, 8.0, "idle side compares against high watermark");
+        assert_eq!((a.streak, a.confirm, a.flipped), (1, 2, false));
+        // Tick 2: second confirming tick flips to busy, streak resets.
+        let (d, a) = p.decide_explained(&snap(0.0, &[12, 12]));
+        assert_eq!(d, Some(asdl()));
+        assert_eq!((a.streak, a.flipped), (0, true));
+        // Tick 3: busy side now audits against the low watermark.
+        let (_, a) = p.decide_explained(&snap(0.0, &[5, 5]));
+        assert_eq!(a.threshold, 2.0);
+        assert!(!a.flipped);
+    }
+
+    #[test]
+    fn phase_policy_audit_reports_trigger_sample() {
+        let mut p = PhaseReactivePolicy {
+            map_pair: asdl(),
+            reduce_pair: SchedPair::DEFAULT,
+        };
+        let (_, a) = p.decide_explained(&snap(0.4, &[4]));
+        assert_eq!(a.signal, "maps_done_fraction");
+        assert_eq!((a.observed, a.threshold, a.flipped), (0.4, 1.0, false));
+        let (_, a) = p.decide_explained(&snap(1.0, &[4]));
+        assert!(a.flipped);
     }
 }

@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod store;
+
 use simcore::Json;
 use std::fmt::Write as _;
 

@@ -3,6 +3,9 @@
 //! ```text
 //! adios-report render <doc.json>
 //! adios-report diff <a.json> <b.json> [--shape] [--fail-on-delta]
+//! adios-report rank --metrics-dir <dir> [--require-crossover]
+//! adios-report correlate --metrics-dir <dir>
+//! adios-report history --ledger <file> <doc.json>...
 //! ```
 //!
 //! A path of `-` reads from stdin. `render` exits non-zero on parse or
@@ -11,6 +14,16 @@
 //! compares structure only — which keys and named benchmark entries
 //! exist, not their values — the right gate for committed benchmark
 //! baselines whose timings drift from machine to machine.
+//!
+//! The cross-run analytics commands ingest manifest-stamped
+//! `adios.metrics/2` documents produced by `repro-cli sweep
+//! --metrics-dir`: `rank` prints per-phase plan rankings per (shape,
+//! data) group and exits 2 under `--require-crossover` when no
+//! phase-local ranking crossover exists anywhere (the D6 gate);
+//! `correlate` prints gain-vs-queue-depth/disk-busy tables (the D3
+//! diagnosis); `history` appends `adios.bench/1` documents to an
+//! append-only JSONL ledger with regression deltas, deterministically
+//! and idempotently.
 
 use simcore::Json;
 use std::io::Read as _;
@@ -32,7 +45,86 @@ fn load(path: &str) -> Result<Json, String> {
 fn usage() -> ExitCode {
     eprintln!("usage: adios-report render <doc.json>");
     eprintln!("       adios-report diff <a.json> <b.json> [--shape] [--fail-on-delta]");
+    eprintln!("       adios-report rank --metrics-dir <dir> [--require-crossover]");
+    eprintln!("       adios-report correlate --metrics-dir <dir>");
+    eprintln!("       adios-report history --ledger <file> <doc.json>...");
     ExitCode::FAILURE
+}
+
+/// Value of a `--flag value` pair anywhere in `args`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Load every `*.json` in `dir`, sorted by file name so the run set —
+/// and everything rendered from it — is deterministic.
+fn load_metrics_dir(dir: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("{dir}: no *.json metrics documents"));
+    }
+    let mut docs = Vec::with_capacity(names.len());
+    for n in names {
+        let path = format!("{dir}/{n}");
+        docs.push((n, load(&path)?));
+    }
+    Ok(docs)
+}
+
+fn run_store_command(args: &[String]) -> Result<ExitCode, String> {
+    match args[0].as_str() {
+        "rank" => {
+            let dir = flag_value(args, "--metrics-dir").ok_or("rank needs --metrics-dir")?;
+            let require = args.iter().any(|a| a == "--require-crossover");
+            let runs = report::store::load_runs(&load_metrics_dir(dir)?)?;
+            let r = report::store::rank(&runs)?;
+            print!("{}", r.text);
+            if require && r.crossovers == 0 {
+                eprintln!("adios-report: no phase-local ranking crossover found");
+                return Ok(ExitCode::from(2));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "correlate" => {
+            let dir = flag_value(args, "--metrics-dir").ok_or("correlate needs --metrics-dir")?;
+            let runs = report::store::load_runs(&load_metrics_dir(dir)?)?;
+            print!("{}", report::store::correlate(&runs)?);
+            Ok(ExitCode::SUCCESS)
+        }
+        "history" => {
+            let path = flag_value(args, "--ledger").ok_or("history needs --ledger <file>")?;
+            let docs: Vec<&String> = args[1..]
+                .iter()
+                .filter(|a| !a.starts_with("--") && a.as_str() != path)
+                .collect();
+            if docs.is_empty() {
+                return Err("history needs at least one bench document".into());
+            }
+            let mut ledger = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(format!("{path}: {e}")),
+            };
+            for d in docs {
+                let doc = load(d)?;
+                let out = report::store::history_append(&ledger, &doc, d)?;
+                println!("{}", out.line);
+                ledger = out.ledger;
+            }
+            std::fs::write(path, &ledger).map_err(|e| format!("{path}: {e}"))?;
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => unreachable!(),
+    }
 }
 
 fn main() -> ExitCode {
@@ -83,6 +175,13 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("rank" | "correlate" | "history") => match run_store_command(&args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("adios-report: {e}");
+                ExitCode::FAILURE
+            }
+        },
         _ => usage(),
     }
 }

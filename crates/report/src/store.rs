@@ -1,0 +1,704 @@
+//! Cross-run analytics: ingest a directory of `adios.metrics/2+`
+//! documents stamped with a run manifest (see
+//! `vcluster::sweep::stamp_manifest`) and answer the questions the
+//! discrepancy log keeps asking:
+//!
+//! * [`rank`] — per-phase ranking tables of switch plans within each
+//!   (shape, data size) group, flagging *phase-local ranking
+//!   crossovers*: a pair that wins phase 1 but loses phases 2–3 is
+//!   exactly the Fig. 6 structure that makes phase-wise switching pay
+//!   (the D6 signal). Without a crossover every phase agrees on one
+//!   winner and the adaptive plan can only match best-single.
+//! * [`correlate`] — per-group gain-vs-signal table (Dom0 queue depth,
+//!   disk busy fraction) with Pearson coefficients, the D3 diagnosis
+//!   tool for non-monotone gains across cluster shapes.
+//! * [`history_append`] — an append-only JSONL ledger of
+//!   `adios.bench/1` documents with regression deltas against the
+//!   previous entry of the same kind. Entries are a pure function of
+//!   document content (no timestamps, host-time fields excluded from
+//!   the identity digest), so re-running the command over the same
+//!   documents is byte-identical and idempotent.
+//!
+//! Like the rest of this crate the module is pure: callers hand in
+//! parsed documents (plus their file names for error messages) and get
+//! rendered text or ledger lines back; `main.rs` owns all I/O.
+
+use simcore::Json;
+use std::collections::BTreeMap;
+
+/// One ingested metrics document plus the identity of its run, pulled
+/// from the `manifest` section.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// File name the document came from (error messages only).
+    pub file: String,
+    /// Cluster nodes.
+    pub nodes: u64,
+    /// VMs per node.
+    pub vms: u64,
+    /// Input data per VM, MB.
+    pub data_mb: u64,
+    /// Switch-plan label (e.g. `cc`, `ad`, `ad>da`).
+    pub plan: String,
+    /// Telemetry level the run captured (`off`/`counters`/`full`).
+    pub telemetry: String,
+    /// Parsed document.
+    pub doc: Json,
+}
+
+fn num(doc: &Json, path: &[&str]) -> Option<f64> {
+    let mut v = doc;
+    for k in path {
+        v = v.get(k)?;
+    }
+    v.as_f64()
+}
+
+fn manifest_u64(m: &Json, key: &str, file: &str) -> Result<u64, String> {
+    m.get(key)
+        .and_then(Json::as_f64)
+        .map(|x| x as u64)
+        .ok_or_else(|| format!("{file}: manifest missing numeric '{key}'"))
+}
+
+fn manifest_str(m: &Json, key: &str, file: &str) -> Result<String, String> {
+    m.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{file}: manifest missing string '{key}'"))
+}
+
+/// Ingest named documents into [`Run`]s, rejecting anything that is
+/// not a manifest-stamped `adios.metrics/*` document.
+pub fn load_runs(named: &[(String, Json)]) -> Result<Vec<Run>, String> {
+    let mut runs = Vec::with_capacity(named.len());
+    for (file, doc) in named {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if !schema.starts_with("adios.metrics/") {
+            return Err(format!(
+                "{file}: not an adios.metrics document (schema '{schema}')"
+            ));
+        }
+        let m = doc
+            .get("manifest")
+            .ok_or_else(|| format!("{file}: no manifest section — produced without --metrics-dir?"))?;
+        runs.push(Run {
+            file: file.clone(),
+            nodes: manifest_u64(m, "nodes", file)?,
+            vms: manifest_u64(m, "vms_per_node", file)?,
+            data_mb: manifest_u64(m, "data_mb_per_vm", file)?,
+            plan: manifest_str(m, "plan", file)?,
+            telemetry: manifest_str(m, "telemetry", file)?,
+            doc: doc.clone(),
+        });
+    }
+    Ok(runs)
+}
+
+/// Group runs by (nodes, vms, data_mb); runs inside a group are sorted
+/// by plan label so every table renders deterministically.
+fn groups(runs: &[Run]) -> BTreeMap<(u64, u64, u64), Vec<&Run>> {
+    let mut g: BTreeMap<(u64, u64, u64), Vec<&Run>> = BTreeMap::new();
+    for r in runs {
+        g.entry((r.nodes, r.vms, r.data_mb)).or_default().push(r);
+    }
+    for v in g.values_mut() {
+        v.sort_by(|a, b| a.plan.cmp(&b.plan));
+    }
+    g
+}
+
+fn group_header(key: (u64, u64, u64), n: usize) -> String {
+    format!(
+        "[{}x{} nodes·vms · {} MB/vm · {} runs]\n",
+        key.0, key.1, key.2, n
+    )
+}
+
+/// Result of [`rank`]: the rendered tables plus how many plan pairs
+/// exhibited a phase-local ranking crossover anywhere in the set.
+#[derive(Debug)]
+pub struct RankReport {
+    /// Human-readable ranking tables.
+    pub text: String,
+    /// Plan pairs whose relative order inverts between phases.
+    pub crossovers: usize,
+}
+
+const PHASES: [&str; 3] = ["ph1_s", "ph2_s", "ph3_s"];
+
+/// Per-phase plan rankings within each (shape, data) group, with
+/// crossover detection. `Err` on an empty set or a document missing
+/// its `phases` section.
+pub fn rank(runs: &[Run]) -> Result<RankReport, String> {
+    if runs.is_empty() {
+        return Err("no runs to rank".into());
+    }
+    let mut out = String::new();
+    let mut crossovers = 0usize;
+    out.push_str("adios cross-run ranking (adios.metrics/2)\n");
+    for (key, members) in groups(runs) {
+        out.push('\n');
+        out.push_str(&group_header(key, members.len()));
+        // phase index -> Vec<(time, plan)>, ascending = better.
+        let mut ranked: Vec<Vec<(f64, &str)>> = Vec::new();
+        for ph in PHASES {
+            let mut row: Vec<(f64, &str)> = Vec::new();
+            for r in members.iter() {
+                let t = num(&r.doc, &["phases", ph])
+                    .ok_or_else(|| format!("{}: missing phases.{ph}", r.file))?;
+                row.push((t, r.plan.as_str()));
+            }
+            row.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(b.1)));
+            ranked.push(row);
+        }
+        for (i, row) in ranked.iter().enumerate() {
+            let best = row[0].0;
+            out.push_str(&format!("  ph{}", i + 1));
+            for (j, (t, plan)) in row.iter().enumerate() {
+                if j == 0 {
+                    out.push_str(&format!("  1. {plan} {t:.3}s"));
+                } else {
+                    out.push_str(&format!("  {}. {plan} +{:.3}s", j + 1, t - best));
+                }
+            }
+            out.push('\n');
+        }
+        // A crossover between plans A and B: A strictly faster in one
+        // phase, strictly slower in another. Count each pair once.
+        let plans: Vec<&str> = members.iter().map(|r| r.plan.as_str()).collect();
+        let time_of = |ph: usize, plan: &str| -> f64 {
+            ranked[ph].iter().find(|(_, p)| *p == plan).unwrap().0
+        };
+        let mut group_cross = Vec::new();
+        for a in 0..plans.len() {
+            for b in a + 1..plans.len() {
+                let mut a_wins = Vec::new();
+                let mut b_wins = Vec::new();
+                for ph in 0..PHASES.len() {
+                    let (ta, tb) = (time_of(ph, plans[a]), time_of(ph, plans[b]));
+                    if ta < tb {
+                        a_wins.push(ph + 1);
+                    } else if tb < ta {
+                        b_wins.push(ph + 1);
+                    }
+                }
+                if !a_wins.is_empty() && !b_wins.is_empty() {
+                    group_cross.push(format!(
+                        "  ** crossover: {} wins ph{:?}, {} wins ph{:?}",
+                        plans[a], a_wins, plans[b], b_wins
+                    ));
+                }
+            }
+        }
+        crossovers += group_cross.len();
+        for line in &group_cross {
+            out.push_str(line);
+            out.push('\n');
+        }
+        if group_cross.is_empty() {
+            out.push_str("  (no phase-local ranking crossover)\n");
+        }
+    }
+    out.push_str(&format!("\ncrossovers: {crossovers}\n"));
+    Ok(RankReport {
+        text: out,
+        crossovers,
+    })
+}
+
+/// Mean of a full-telemetry time series (`sum[]` / `count[]` buckets),
+/// if the document carries one.
+fn series_mean(doc: &Json, name: &str) -> Option<f64> {
+    let s = doc.get("series")?.get(name)?;
+    let (Some(Json::Arr(sums)), Some(Json::Arr(counts))) = (s.get("sum"), s.get("count")) else {
+        return None;
+    };
+    let total: f64 = sums.iter().filter_map(Json::as_f64).sum();
+    let n: f64 = counts.iter().filter_map(Json::as_f64).sum();
+    if n > 0.0 {
+        Some(total / n)
+    } else {
+        None
+    }
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 3 || n != ys.len() {
+        return None;
+    }
+    let nf = n as f64;
+    let (mx, my) = (
+        xs.iter().sum::<f64>() / nf,
+        ys.iter().sum::<f64>() / nf,
+    );
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let (dx, dy) = (xs[i] - mx, ys[i] - my);
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+/// Pick the baseline run of a group: plan `cc` (the paper's CFQ/CFQ
+/// default) when present, else the first plan alphabetically.
+fn baseline<'a>(members: &[&'a Run]) -> &'a Run {
+    members
+        .iter()
+        .find(|r| r.plan == "cc" || r.plan == "default")
+        .unwrap_or(&members[0])
+}
+
+/// Gain-vs-signal tables per group: each plan's makespan gain over the
+/// group baseline against Dom0 queue depth and disk busy fraction,
+/// plus Pearson coefficients over the group (D3 diagnosis).
+pub fn correlate(runs: &[Run]) -> Result<String, String> {
+    if runs.is_empty() {
+        return Err("no runs to correlate".into());
+    }
+    let mut out = String::new();
+    out.push_str("adios cross-run correlation (adios.metrics/2)\n");
+    for (key, members) in groups(runs) {
+        out.push('\n');
+        out.push_str(&group_header(key, members.len()));
+        let base = baseline(&members);
+        let base_mk = num(&base.doc, &["run", "makespan_s"])
+            .ok_or_else(|| format!("{}: missing run.makespan_s", base.file))?;
+        out.push_str(&format!(
+            "  baseline {} makespan {:.3}s\n  {:<10} {:>10} {:>8} {:>8} {:>9}\n",
+            base.plan, base_mk, "plan", "makespan", "gain%", "qdepth", "busy"
+        ));
+        let mut gains = Vec::new();
+        let mut qdepths = Vec::new();
+        let mut busys = Vec::new();
+        for r in members.iter() {
+            let mk = num(&r.doc, &["run", "makespan_s"])
+                .ok_or_else(|| format!("{}: missing run.makespan_s", r.file))?;
+            let gain = (base_mk - mk) / base_mk * 100.0;
+            // Prefer the full-telemetry series; counters-level docs
+            // still carry the elevator's running queue-depth stats.
+            let qd = series_mean(&r.doc, "dom0_qdepth")
+                .or_else(|| num(&r.doc, &["dom0_elevator", "queue_depth", "mean"]))
+                .ok_or_else(|| format!("{}: no queue-depth signal", r.file))?;
+            let busy_s = num(&r.doc, &["disk", "busy_s"])
+                .ok_or_else(|| format!("{}: missing disk.busy_s", r.file))?;
+            // busy_s accumulates across nodes; normalise to a fraction
+            // of one disk-second per node.
+            let busy = busy_s / (mk * r.nodes as f64);
+            out.push_str(&format!(
+                "  {:<10} {:>9.3}s {:>8.2} {:>8.2} {:>9.3}\n",
+                r.plan, mk, gain, qd, busy
+            ));
+            gains.push(gain);
+            qdepths.push(qd);
+            busys.push(busy);
+        }
+        if members.len() < 3 {
+            out.push_str("  (fewer than 3 runs — no correlation)\n");
+        } else {
+            // A degenerate axis (zero variance) has no coefficient.
+            let fmt = |c: Option<f64>| c.map_or("n/a".into(), |c| format!("{c:+.3}"));
+            out.push_str(&format!(
+                "  corr(gain, qdepth) = {}   corr(gain, busy) = {}\n",
+                fmt(pearson(&gains, &qdepths)),
+                fmt(pearson(&gains, &busys))
+            ));
+        }
+    }
+    Ok(out)
+}
+
+// --- history ledger ---------------------------------------------------
+
+fn fnv1a_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Outcome of [`history_append`].
+#[derive(Debug)]
+pub struct HistoryOutcome {
+    /// The full new ledger text (caller writes it back).
+    pub ledger: String,
+    /// One-line human summary of what happened.
+    pub line: String,
+    /// False when the document was already the latest entry of its
+    /// kind (idempotent re-run) and nothing was appended.
+    pub appended: bool,
+    /// Worst regression percentage vs the previous entry, if any
+    /// comparison was possible. Positive = slower.
+    pub worst_pct: Option<f64>,
+}
+
+/// The deterministic headline metrics of a bench document: name →
+/// value, in document order. `mean_ns` per benchmark for micro docs,
+/// `makespan_s` per cell for sweep docs.
+fn bench_metrics(doc: &Json, file: &str) -> Result<(String, Json), String> {
+    let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "adios.bench/1" {
+        return Err(format!(
+            "{file}: history ingests adios.bench/1 documents (schema '{schema}')"
+        ));
+    }
+    let mut metrics = Json::obj();
+    if let Some(Json::Arr(cells)) = doc.get("cells") {
+        for c in cells {
+            let (n, v, d) = (
+                num(c, &["nodes"]).unwrap_or(0.0),
+                num(c, &["vms_per_node"]).unwrap_or(0.0),
+                num(c, &["data_mb_per_vm"]).unwrap_or(0.0),
+            );
+            let plan = c.get("plan").and_then(Json::as_str).unwrap_or("?");
+            let mk = num(c, &["makespan_s"])
+                .ok_or_else(|| format!("{file}: sweep cell missing makespan_s"))?;
+            metrics = metrics.field(&format!("n{n}x{v}_d{d}mb_{plan}"), mk);
+        }
+        Ok(("sweep".into(), metrics))
+    } else if let Some(Json::Arr(results)) = doc.get("results") {
+        for r in results {
+            let name = r
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{file}: bench result missing name"))?;
+            let mean = num(r, &["mean_ns"])
+                .ok_or_else(|| format!("{file}: bench result missing mean_ns"))?;
+            metrics = metrics.field(name, mean);
+        }
+        Ok(("micro".into(), metrics))
+    } else {
+        Err(format!("{file}: bench document has neither cells nor results"))
+    }
+}
+
+/// Append `doc` to the JSONL ledger, computing regression deltas
+/// against the previous entry of the same kind. The identity digest
+/// covers only the deterministic metrics map — host-time fields like
+/// `wall_s` never enter the ledger, so the same simulation results
+/// always produce the same bytes, and an unchanged document is
+/// deduplicated instead of re-appended.
+pub fn history_append(ledger: &str, doc: &Json, file: &str) -> Result<HistoryOutcome, String> {
+    let (kind, metrics) = bench_metrics(doc, file)?;
+    let digest = format!("{:016x}", fnv1a_str(&metrics.to_string()));
+
+    // Parse existing entries; remember the last one of the same kind.
+    let mut entries = 0usize;
+    let mut prev: Option<Json> = None;
+    for (i, line) in ledger.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let e = Json::parse(line).map_err(|err| format!("ledger line {}: {err}", i + 1))?;
+        if e.get("kind").and_then(Json::as_str) == Some(&kind) {
+            prev = Some(e);
+        }
+        entries += 1;
+    }
+
+    if let Some(p) = &prev {
+        if p.get("digest").and_then(Json::as_str) == Some(&digest) {
+            return Ok(HistoryOutcome {
+                ledger: ledger.to_string(),
+                line: format!("history: {kind} unchanged (digest {digest}), not appended"),
+                appended: false,
+                worst_pct: None,
+            });
+        }
+    }
+
+    let Json::Obj(fields) = &metrics else { unreachable!() };
+    let metric_count = fields.len();
+    let mut entry = Json::obj()
+        .field("seq", (entries + 1) as u64)
+        .field("kind", kind.as_str())
+        .field("digest", digest.as_str())
+        .field("entries", metric_count as u64);
+    let mut worst: Option<(f64, String)> = None;
+    if let Some(p) = &prev {
+        let mut compared = 0u64;
+        let mut best: Option<(f64, String)> = None;
+        for (name, v) in fields {
+            let (Some(new), Some(old)) = (
+                v.as_f64(),
+                p.get("metrics").and_then(|m| m.get(name)).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            if old == 0.0 {
+                continue;
+            }
+            let pct = (new - old) / old * 100.0;
+            compared += 1;
+            if worst.as_ref().is_none_or(|(w, _)| pct > *w) {
+                worst = Some((pct, name.clone()));
+            }
+            if best.as_ref().is_none_or(|(b, _)| pct < *b) {
+                best = Some((pct, name.clone()));
+            }
+        }
+        entry = entry.field("compared", compared);
+        if let (Some((w, wn)), Some((b, bn))) = (&worst, &best) {
+            entry = entry
+                .field("worst_pct", *w)
+                .field("worst", wn.as_str())
+                .field("best_pct", *b)
+                .field("best", bn.as_str());
+        }
+    }
+    entry = entry.field("metrics", metrics);
+
+    let mut new_ledger = ledger.to_string();
+    if !new_ledger.is_empty() && !new_ledger.ends_with('\n') {
+        new_ledger.push('\n');
+    }
+    new_ledger.push_str(&entry.to_string());
+    new_ledger.push('\n');
+    let line = match &worst {
+        Some((w, wn)) => format!(
+            "history: {kind} seq {} appended, {} metrics, worst delta {w:+.2}% ({wn})",
+            entries + 1,
+            metric_count
+        ),
+        None => format!(
+            "history: {kind} seq {} appended, {} metrics (first of its kind)",
+            entries + 1,
+            metric_count
+        ),
+    };
+    Ok(HistoryOutcome {
+        ledger: new_ledger,
+        line,
+        appended: true,
+        worst_pct: worst.map(|(w, _)| w),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal manifest-stamped metrics doc.
+    fn doc(
+        nodes: u64,
+        vms: u64,
+        mb: u64,
+        plan: &str,
+        mk: f64,
+        phases: [f64; 3],
+        qdepth: f64,
+    ) -> (String, Json) {
+        let d = Json::obj()
+            .field("schema", "adios.metrics/2")
+            .field("telemetry", "counters")
+            .field(
+                "manifest",
+                Json::obj()
+                    .field("nodes", nodes)
+                    .field("vms_per_node", vms)
+                    .field("data_mb_per_vm", mb)
+                    .field("plan", plan)
+                    .field("telemetry", "counters")
+                    .field("seed", "00000000deadbeef"),
+            )
+            .field(
+                "run",
+                Json::obj().field("makespan_s", mk).field("nodes", nodes),
+            )
+            .field(
+                "phases",
+                Json::obj()
+                    .field("ph1_s", phases[0])
+                    .field("ph2_s", phases[1])
+                    .field("ph3_s", phases[2]),
+            )
+            .field(
+                "dom0_elevator",
+                Json::obj().field("queue_depth", Json::obj().field("mean", qdepth)),
+            )
+            .field("disk", Json::obj().field("busy_s", mk * nodes as f64 * 0.5));
+        (format!("{plan}.json"), d)
+    }
+
+    #[test]
+    fn rank_detects_fig6_style_crossover() {
+        // The Fig. 6 structure: (AS,DL) "ad" wins phase 1, (DL,AS)
+        // "da" wins phases 2 and 3.
+        let docs = vec![
+            doc(4, 4, 512, "ad", 30.0, [10.0, 12.0, 8.0], 6.0),
+            doc(4, 4, 512, "da", 29.0, [11.0, 11.0, 7.0], 7.0),
+            doc(4, 4, 512, "cc", 33.0, [12.0, 13.0, 8.5], 9.0),
+        ];
+        let runs = load_runs(&docs).unwrap();
+        let r = rank(&runs).unwrap();
+        assert!(r.crossovers >= 1, "{}", r.text);
+        assert!(
+            r.text.contains("** crossover: ad wins ph[1], da wins ph[2, 3]"),
+            "{}",
+            r.text
+        );
+        assert!(r.text.contains("ph1  1. ad 10.000s"), "{}", r.text);
+        assert!(r.text.contains("ph2  1. da 11.000s"), "{}", r.text);
+    }
+
+    #[test]
+    fn rank_reports_absence_of_crossover() {
+        // One plan dominates every phase: no crossover anywhere.
+        let docs = vec![
+            doc(2, 2, 64, "cc", 20.0, [8.0, 8.0, 4.0], 5.0),
+            doc(2, 2, 64, "dd", 19.0, [7.0, 7.5, 3.9], 5.5),
+        ];
+        let r = rank(&load_runs(&docs).unwrap()).unwrap();
+        assert_eq!(r.crossovers, 0);
+        assert!(r.text.contains("(no phase-local ranking crossover)"));
+        assert!(r.text.contains("crossovers: 0"));
+    }
+
+    #[test]
+    fn rank_groups_shapes_separately_and_is_deterministic() {
+        let docs = vec![
+            doc(4, 4, 512, "ad", 30.0, [10.0, 12.0, 8.0], 6.0),
+            doc(2, 2, 64, "cc", 20.0, [8.0, 8.0, 4.0], 5.0),
+            doc(4, 4, 512, "da", 29.0, [11.0, 11.0, 7.0], 7.0),
+        ];
+        let runs = load_runs(&docs).unwrap();
+        let a = rank(&runs).unwrap().text;
+        let b = rank(&runs).unwrap().text;
+        assert_eq!(a, b);
+        let small = a.find("[2x2").unwrap();
+        let big = a.find("[4x4").unwrap();
+        assert!(small < big, "groups must render in shape order:\n{a}");
+    }
+
+    #[test]
+    fn load_rejects_unstamped_documents() {
+        let bare = Json::obj().field("schema", "adios.metrics/2");
+        let err = load_runs(&[("x.json".into(), bare)]).unwrap_err();
+        assert!(err.contains("no manifest"), "{err}");
+        let foreign = Json::obj().field("schema", "adios.bench/1");
+        let err = load_runs(&[("y.json".into(), foreign)]).unwrap_err();
+        assert!(err.contains("not an adios.metrics"), "{err}");
+    }
+
+    #[test]
+    fn correlate_renders_gains_and_coefficients() {
+        // Gains rise with queue depth -> strong positive correlation.
+        let docs = vec![
+            doc(4, 4, 512, "cc", 30.0, [10.0, 12.0, 8.0], 4.0),
+            doc(4, 4, 512, "ad", 27.0, [9.0, 11.0, 7.0], 6.0),
+            doc(4, 4, 512, "da", 24.0, [8.0, 10.0, 6.0], 8.0),
+        ];
+        let out = correlate(&load_runs(&docs).unwrap()).unwrap();
+        assert!(out.contains("baseline cc makespan 30.000s"), "{out}");
+        assert!(out.contains("corr(gain, qdepth) = +1.000"), "{out}");
+        // Baseline's own gain is zero.
+        assert!(out.contains("cc            30.000s     0.00"), "{out}");
+    }
+
+    #[test]
+    fn correlate_prefers_series_signal_when_present() {
+        let (name, d) = doc(4, 4, 512, "cc", 30.0, [10.0, 12.0, 8.0], 4.0);
+        // Graft a full-telemetry series whose mean (12.0) differs from
+        // the counters-level stat (4.0).
+        let d = d.field(
+            "series",
+            Json::obj().field(
+                "dom0_qdepth",
+                Json::obj()
+                    .field("sum", Json::Arr(vec![Json::from(20.0), Json::from(4.0)]))
+                    .field("count", Json::Arr(vec![Json::from(1u64), Json::from(1u64)])),
+            ),
+        );
+        let out = correlate(&load_runs(&[(name, d)]).unwrap()).unwrap();
+        assert!(out.contains("12.00"), "series mean must win:\n{out}");
+    }
+
+    fn micro(names_means: &[(&str, f64)]) -> Json {
+        let mut arr = Vec::new();
+        for (n, m) in names_means {
+            arr.push(Json::obj().field("name", *n).field("mean_ns", *m));
+        }
+        Json::obj()
+            .field("schema", "adios.bench/1")
+            .field("quick", true)
+            .field("results", Json::Arr(arr))
+    }
+
+    #[test]
+    fn history_appends_deltas_and_dedupes() {
+        let a = micro(&[("push", 100.0), ("pop", 200.0)]);
+        let o1 = history_append("", &a, "a.json").unwrap();
+        assert!(o1.appended);
+        assert!(o1.ledger.contains("\"seq\":1"));
+        assert!(o1.line.contains("first of its kind"), "{}", o1.line);
+
+        // Same doc again: idempotent, ledger unchanged.
+        let o2 = history_append(&o1.ledger, &a, "a.json").unwrap();
+        assert!(!o2.appended);
+        assert_eq!(o2.ledger, o1.ledger);
+
+        // A 10% regression on `push` is the worst delta.
+        let b = micro(&[("push", 110.0), ("pop", 190.0)]);
+        let o3 = history_append(&o1.ledger, &b, "b.json").unwrap();
+        assert!(o3.appended);
+        assert_eq!(o3.worst_pct.map(|w| w.round()), Some(10.0));
+        assert!(o3.ledger.contains("\"worst\":\"push\""), "{}", o3.ledger);
+        assert!(o3.ledger.contains("\"compared\":2"), "{}", o3.ledger);
+        assert!(o3.line.contains("worst delta +10.00% (push)"), "{}", o3.line);
+    }
+
+    #[test]
+    fn history_entries_are_byte_deterministic() {
+        let a = micro(&[("push", 100.0)]);
+        let x = history_append("", &a, "a.json").unwrap().ledger;
+        let y = history_append("", &a, "a.json").unwrap().ledger;
+        assert_eq!(x, y);
+        // No host-time leakage: a doc differing only in a wall_s field
+        // hashes identically (metrics map is the identity).
+        let noisy = a.clone().field("wall_s", 1.23);
+        let z = history_append("", &noisy, "a.json").unwrap().ledger;
+        assert_eq!(x, z);
+    }
+
+    #[test]
+    fn history_tracks_sweep_cells_by_shape_key() {
+        let sweep = Json::obj()
+            .field("schema", "adios.bench/1")
+            .field("kind", "sweep")
+            .field(
+                "cells",
+                Json::Arr(vec![Json::obj()
+                    .field("nodes", 8u64)
+                    .field("vms_per_node", 4u64)
+                    .field("data_mb_per_vm", 64u64)
+                    .field("plan", "cc")
+                    .field("makespan_s", 10.5)
+                    .field("wall_s", 0.07)]),
+            );
+        let o = history_append("", &sweep, "s.json").unwrap();
+        assert!(o.ledger.contains("\"kind\":\"sweep\""), "{}", o.ledger);
+        assert!(o.ledger.contains("\"n8x4_d64mb_cc\":10.5"), "{}", o.ledger);
+        // Micro and sweep ledgers interleave without cross-talk.
+        let m = micro(&[("push", 100.0)]);
+        let o2 = history_append(&o.ledger, &m, "m.json").unwrap();
+        assert!(o2.ledger.contains("\"seq\":2"));
+        assert!(!o2.ledger.contains("compared"), "{}", o2.ledger);
+    }
+
+    #[test]
+    fn history_rejects_foreign_schemas() {
+        let bad = Json::obj().field("schema", "adios.metrics/2");
+        let err = history_append("", &bad, "x.json").unwrap_err();
+        assert!(err.contains("adios.bench/1"), "{err}");
+    }
+}

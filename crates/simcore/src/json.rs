@@ -483,6 +483,91 @@ mod tests {
         assert_eq!(j.to_string(), r#"{"z":1,"a":2}"#);
     }
 
+    /// Random string with a bias toward escape-heavy content: control
+    /// characters, quotes, backslashes, multi-byte UTF-8, surrogate-pair
+    /// astral plane characters.
+    fn gen_string(g: &mut crate::check::Gen) -> String {
+        let len = g.usize_in(0, 24);
+        let mut s = String::new();
+        for _ in 0..len {
+            match g.u32_in(0, 6) {
+                0 => s.push(char::from_u32(g.u32_in(0, 0x1f)).unwrap()),
+                1 => s.push(*g.pick(&['"', '\\', '/', '\n', '\r', '\t'])),
+                2 => s.push(char::from_u32(g.u32_in(0x20, 0x7e)).unwrap()),
+                3 => s.push(*g.pick(&['é', '☃', 'ß', '中'])),
+                4 => s.push(*g.pick(&['😀', '𝄞', '🚀'])),
+                5 => s.push('\u{7f}'),
+                _ => s.push(char::from_u32(g.u32_in(0x80, 0x7ff)).unwrap()),
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn prop_string_escape_round_trip() {
+        // Any string the writer can emit must come back bit-identical
+        // through the parser — the contract the cross-run store's doc
+        // ingestion leans on.
+        crate::check::check(300, |g| {
+            let s = gen_string(g);
+            let text = Json::Str(s.clone()).to_string();
+            let back = Json::parse(&text).expect("writer output parses");
+            assert_eq!(back, Json::Str(s), "via {text}");
+        });
+    }
+
+    #[test]
+    fn prop_number_round_trip() {
+        crate::check::check(300, |g| {
+            // Integers: full i64 range, including extremes.
+            let i = match g.u32_in(0, 3) {
+                0 => i64::MIN + g.u64_in(0, 1000) as i64,
+                1 => i64::MAX - g.u64_in(0, 1000) as i64,
+                _ => g.u64_in(0, u64::MAX) as i64,
+            };
+            let back = Json::parse(&Json::Int(i).to_string()).expect("int parses");
+            assert_eq!(back, Json::Int(i));
+            // Floats: shortest round-trip formatting must re-parse to
+            // the same bits (sweep over magnitudes, including subnormal
+            // and huge).
+            let exp = g.f64_in(-300.0, 300.0);
+            let mantissa = g.f64_in(-10.0, 10.0);
+            let f = mantissa * 10f64.powf(exp);
+            if f.is_finite() {
+                let text = Json::Num(f).to_string();
+                match Json::parse(&text).expect("float parses") {
+                    Json::Num(b) => assert_eq!(b.to_bits(), f.to_bits(), "via {text}"),
+                    Json::Int(b) => assert_eq!(b as f64, f, "via {text}"),
+                    other => panic!("number parsed as {other:?}"),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn prop_document_round_trip() {
+        // Small random documents (the shape the store ingests): object
+        // of scalars and arrays with escape-heavy keys.
+        crate::check::check(150, |g| {
+            let mut doc = Json::obj();
+            let fields = g.usize_in(1, 6);
+            for i in 0..fields {
+                let key = format!("{}_{i}", gen_string(g));
+                let val = match g.u32_in(0, 4) {
+                    0 => Json::Str(gen_string(g)),
+                    1 => Json::Int(g.u64_in(0, u64::MAX) as i64),
+                    2 => Json::Bool(g.bool()),
+                    3 => Json::Arr((0..g.usize_in(0, 4)).map(|k| Json::Int(k as i64)).collect()),
+                    _ => Json::Null,
+                };
+                doc = doc.field(&key, val);
+            }
+            let text = doc.to_string();
+            let back = Json::parse(&text).expect("doc parses");
+            assert_eq!(back.to_string(), text);
+        });
+    }
+
     #[test]
     fn parse_round_trips_writer_output() {
         let j = Json::obj()

@@ -197,6 +197,21 @@ pub enum TraceEvent {
         /// Phase code.
         phase: u8,
     },
+    /// An online reactive policy was consulted (cluster-level trace):
+    /// the triggering sample, the threshold it was compared against,
+    /// the hysteresis streak after the tick, and whether the step
+    /// installed a new elevator pair.
+    PolicyDecision {
+        /// Sampled signal value (`f64::to_bits` of e.g. the average
+        /// Dom0 queue depth or the maps-done fraction).
+        observed_bits: u64,
+        /// Threshold the sample was compared against (`f64::to_bits`).
+        threshold_bits: u64,
+        /// Consecutive confirming ticks after this one.
+        streak: u32,
+        /// True when this step triggered a cluster-wide switch.
+        acted: bool,
+    },
 }
 
 /// A timestamped trace record.
@@ -258,6 +273,10 @@ impl TraceRecord {
             }
             FlowEnd { id } => fnv1a(h, &[t, 14, id]),
             Phase { phase } => fnv1a(h, &[t, 15, phase as u64]),
+            PolicyDecision { observed_bits, threshold_bits, streak, acted } => fnv1a(
+                h,
+                &[t, 16, observed_bits, threshold_bits, streak as u64, acted as u64],
+            ),
         }
     }
 }
@@ -707,6 +726,16 @@ impl TraceOracle {
                 }
                 self.phase = phase;
             }
+            PolicyDecision { streak, acted, .. } => {
+                // A step that acted has just reset or re-armed its
+                // hysteresis; an unbounded streak means the policy
+                // never resolves its confirm window.
+                if acted && streak > 0 {
+                    self.violate(format!(
+                        "policy acted mid-confirm: streak {streak} after acting"
+                    ));
+                }
+            }
         }
     }
 
@@ -833,6 +862,23 @@ pub fn to_chrome_json(cluster: &Trace, nodes: &[&Trace]) -> Json {
                     chrome_ev("e", 0, 0, rec.t, "flow")
                         .field("cat", "net")
                         .field("id", format!("f{id}")),
+                );
+            }
+            TraceEvent::PolicyDecision { observed_bits, threshold_bits, streak, acted } => {
+                // Each consulted policy tick becomes an instant on the
+                // cluster track: observed sample vs threshold, the
+                // hysteresis streak, and whether the step switched.
+                events.push(
+                    chrome_ev("i", 0, 0, rec.t, if acted { "policy switch" } else { "policy tick" })
+                        .field("s", "t")
+                        .field(
+                            "args",
+                            Json::obj()
+                                .field("observed", f64::from_bits(observed_bits))
+                                .field("threshold", f64::from_bits(threshold_bits))
+                                .field("streak", streak)
+                                .field("acted", acted),
+                        ),
                 );
             }
             _ => {}

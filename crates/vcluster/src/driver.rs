@@ -146,6 +146,44 @@ pub struct ClusterSnapshot {
     pub switching: bool,
 }
 
+/// The audit record behind one observe→threshold→hysteresis→decide
+/// step of an [`OnlinePolicy`]: what the policy sampled, what it
+/// compared the sample against, and where its hysteresis stood after
+/// the tick. Surfaced in the metrics doc (`online` section) and as
+/// Perfetto instant events on the cluster trace track.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyAudit {
+    /// Machine-readable name of the observed signal (e.g.
+    /// `dom0_avg_qdepth`, `maps_done_fraction`).
+    pub signal: &'static str,
+    /// The sampled value that drove this step.
+    pub observed: f64,
+    /// Threshold the sample was compared against.
+    pub threshold: f64,
+    /// Consecutive confirming ticks after this one (hysteresis state;
+    /// stateless policies report 0).
+    pub streak: u32,
+    /// Ticks the condition must hold before the policy acts.
+    pub confirm: u32,
+    /// True when this tick flipped the policy's internal state (for
+    /// stateless policies: when the trigger condition held).
+    pub flipped: bool,
+}
+
+impl PolicyAudit {
+    /// A minimal audit for policies that do not explain themselves.
+    pub fn opaque() -> Self {
+        PolicyAudit {
+            signal: "opaque",
+            observed: 0.0,
+            threshold: 0.0,
+            streak: 0,
+            confirm: 0,
+            flipped: false,
+        }
+    }
+}
+
 /// A reactive switching policy consulted periodically during the run —
 /// the paper's proposed fine-grained extension of the offline
 /// meta-scheduler.
@@ -153,6 +191,14 @@ pub trait OnlinePolicy: Send {
     /// Inspect the snapshot; return a pair to switch the cluster to
     /// (returning the current pair or `None` keeps it).
     fn decide(&mut self, snap: &ClusterSnapshot) -> Option<SchedPair>;
+
+    /// Like [`decide`](Self::decide), but also explains the step with a
+    /// [`PolicyAudit`]. The default wraps `decide` with an opaque
+    /// audit; real policies override both in terms of one shared
+    /// implementation so the two paths can never diverge.
+    fn decide_explained(&mut self, snap: &ClusterSnapshot) -> (Option<SchedPair>, PolicyAudit) {
+        (self.decide(snap), PolicyAudit::opaque())
+    }
 }
 
 /// Result of one job execution.
@@ -359,6 +405,9 @@ pub struct ClusterSim {
     /// attached.
     policy_ticks: u64,
     policy_decisions: Vec<(SimTime, SchedPair)>,
+    /// Audit log of every consulted policy step `(time, audit, acted)`
+    /// — the explained observe→threshold→hysteresis→switch chain.
+    policy_audit: Vec<(SimTime, PolicyAudit, bool)>,
 }
 
 impl ClusterSim {
@@ -431,6 +480,7 @@ impl ClusterSim {
             events_processed: 0,
             policy_ticks: 0,
             policy_decisions: Vec::new(),
+            policy_audit: Vec::new(),
             params,
             job,
             plan,
@@ -1227,9 +1277,23 @@ impl ClusterSim {
                     let snap = self.snapshot();
                     let (policy, period) = self.online.as_mut().expect("checked");
                     let period = *period;
-                    let decision = if snap.switching { None } else { policy.decide(&snap) };
-                    if let Some(pair) = decision {
-                        if pair != snap.current_pair {
+                    // Mid-switch ticks skip consultation entirely (no
+                    // audit step: the policy was never asked).
+                    if !snap.switching {
+                        let (decision, audit) = policy.decide_explained(&snap);
+                        let acted = decision.is_some_and(|p| p != snap.current_pair);
+                        self.trace.push(
+                            self.now,
+                            TraceEvent::PolicyDecision {
+                                observed_bits: audit.observed.to_bits(),
+                                threshold_bits: audit.threshold.to_bits(),
+                                streak: audit.streak,
+                                acted,
+                            },
+                        );
+                        self.policy_audit.push((self.now, audit, acted));
+                        if acted {
+                            let pair = decision.expect("acted implies a decision");
                             self.policy_decisions.push((self.now, pair));
                             self.switch_all(pair);
                         }
@@ -1258,20 +1322,38 @@ impl ClusterSim {
         // configurations (stderr only; no effect on any artifact).
         let progress = std::env::var_os("ADIOS_PROGRESS").is_some_and(|v| v != "0");
         let mut last_beat = 0u64;
+        let wall_start = std::time::Instant::now();
         // Claim all same-instant events in one queue touch; dispatch in
         // the exact (time, seq) order single pops would give.
         let mut batch: Vec<Ev> = Vec::with_capacity(64);
         while !self.tracker.finished() {
             if progress && self.events_processed >> 20 != last_beat {
                 last_beat = self.events_processed >> 20;
+                let elapsed = wall_start.elapsed().as_secs_f64().max(1e-9);
+                let rate = self.events_processed as f64 / elapsed;
+                // Sim-time advance per wall second, read off the
+                // calendar queue's watermark; combined with the
+                // completed-task fraction it yields an ETA.
+                let sim_rate = self.queue.now().as_secs_f64() / elapsed;
+                let frac = self.progress.last().map(|&(_, f)| f).unwrap_or(0.0);
+                let eta = if frac > 0.0 {
+                    format!("{:.0}s", elapsed * (1.0 - frac) / frac)
+                } else {
+                    "?".to_string()
+                };
                 eprintln!(
-                    "[adios] t={:.3}s events={} queue={} maps_done={} streams={} flows={}",
+                    "[adios] t={:.3}s events={} ({:.0}/s, x{:.1} realtime) queue={} \
+                     maps_done={} streams={} flows={} done={:.0}% eta={}",
                     self.now.as_secs_f64(),
                     self.events_processed,
+                    rate,
+                    sim_rate,
                     self.queue.len(),
                     self.tracker.maps_done_count(),
                     self.streams.len(),
                     self.net.active_flows(),
+                    frac * 100.0,
+                    eta,
                 );
             }
             batch.clear();
@@ -1394,6 +1476,25 @@ impl ClusterSim {
                 reg.set_gauge("online", &format!("decision{i}_t_s"), t.as_secs_f64());
                 let idx = all.iter().position(|p| p == pair).expect("known pair");
                 reg.set_gauge("online", &format!("decision{i}_pair_idx"), idx as f64);
+            }
+            // Decision audit: every consulted step is counted, state
+            // flips separately; the steps that acted export their full
+            // observe→threshold→hysteresis provenance so a switch can
+            // be explained from the metrics doc alone.
+            reg.inc("online", "audit_steps", self.policy_audit.len() as u64);
+            let flips = self.policy_audit.iter().filter(|(_, a, _)| a.flipped).count();
+            reg.inc("online", "audit_flips", flips as u64);
+            let mut k = 0usize;
+            for (t, a, acted) in &self.policy_audit {
+                if !acted {
+                    continue;
+                }
+                reg.set_gauge("online", &format!("audit{k}_t_s"), t.as_secs_f64());
+                reg.set_gauge("online", &format!("audit{k}_observed"), a.observed);
+                reg.set_gauge("online", &format!("audit{k}_threshold"), a.threshold);
+                reg.set_gauge("online", &format!("audit{k}_streak"), a.streak as f64);
+                reg.set_gauge("online", &format!("audit{k}_confirm"), a.confirm as f64);
+                k += 1;
             }
         }
         let records: u64 =

@@ -30,6 +30,12 @@ pub mod files;
 pub mod network;
 pub mod sweep;
 
-pub use driver::{run_job, ClusterParams, ClusterSim, ClusterSnapshot, JobOutcome, OnlinePolicy, SwitchPlan};
+pub use driver::{
+    run_job, ClusterParams, ClusterSim, ClusterSnapshot, JobOutcome, OnlinePolicy, PolicyAudit,
+    SwitchPlan,
+};
 pub use network::NetParams;
-pub use sweep::{run_sweep, CellResult, MergedMetrics, SweepCell, SweepGrid, SweepReport};
+pub use sweep::{
+    run_sweep, stamp_manifest, CellResult, MergedMetrics, RunManifest, SweepCell, SweepGrid,
+    SweepReport,
+};

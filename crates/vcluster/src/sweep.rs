@@ -22,6 +22,7 @@ use iosched::SchedPair;
 use mrsim::{ClusterShape, JobSpec};
 use simcore::par::par_map;
 use simcore::{Json, SimDuration};
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 /// One point of the sweep grid.
@@ -100,6 +101,107 @@ pub struct CellResult {
     /// Host wall-clock seconds the cell took (monotonic clock;
     /// non-deterministic, excluded from merged deterministic state).
     pub wall_s: f64,
+    /// The cell's full `adios.metrics/2` document — the per-cell
+    /// artifact a `--metrics-dir` export writes for the cross-run
+    /// analytics store.
+    pub metrics: Json,
+}
+
+/// The identity of one sweep cell's run: shape × data size × plan ×
+/// telemetry level × seed. This is the key under which a
+/// `--metrics-dir` export stores the cell's metrics document and the
+/// cross-run store (`adios-report rank`/`correlate`) groups runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Physical nodes.
+    pub nodes: u32,
+    /// VMs per node.
+    pub vms_per_node: u32,
+    /// HDFS data per VM, MB.
+    pub data_mb_per_vm: u64,
+    /// Plan label (pair code or plan description).
+    pub plan: String,
+    /// Telemetry level label (`off`/`counters`/`full`).
+    pub telemetry: String,
+    /// Stable hash of the complete (params, job) configuration the
+    /// cell ran — the run's seed: two documents with equal seeds came
+    /// from bit-identical configurations, so their metrics are
+    /// directly comparable.
+    pub seed: u64,
+}
+
+impl RunManifest {
+    /// Manifest of `cell` as [`run_sweep`] would execute it under
+    /// `base`/`base_job`.
+    pub fn new(cell: &SweepCell, base: &ClusterParams, base_job: &JobSpec) -> Self {
+        let mut params = base.clone();
+        params.shape = cell.shape;
+        let mut job = base_job.clone();
+        job.data_per_vm_bytes = cell.data_mb_per_vm * 1024 * 1024;
+        let mut h = simcore::fxmap::FxHasher::default();
+        format!("{:?}|{:?}", params, job).hash(&mut h);
+        let telemetry = match base.node.telemetry {
+            simcore::Telemetry::Off => "off",
+            simcore::Telemetry::Counters => "counters",
+            simcore::Telemetry::Full => "full",
+        };
+        RunManifest {
+            nodes: cell.shape.nodes,
+            vms_per_node: cell.shape.vms_per_node,
+            data_mb_per_vm: cell.data_mb_per_vm,
+            plan: cell.plan_label.clone(),
+            telemetry: telemetry.to_string(),
+            seed: h.finish(),
+        }
+    }
+
+    /// Deterministic file stem for this run's exported document.
+    pub fn key(&self) -> String {
+        let plan: String = self
+            .plan
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '-' })
+            .collect();
+        format!(
+            "n{}x{}_d{}mb_{}_{}_s{:016x}",
+            self.nodes, self.vms_per_node, self.data_mb_per_vm, plan, self.telemetry, self.seed
+        )
+    }
+
+    /// The manifest as the `manifest` section of an exported document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("nodes", self.nodes as u64)
+            .field("vms_per_node", self.vms_per_node as u64)
+            .field("data_mb_per_vm", self.data_mb_per_vm)
+            .field("plan", self.plan.clone())
+            .field("telemetry", self.telemetry.clone())
+            .field("seed", format!("{:016x}", self.seed))
+    }
+}
+
+/// A copy of a metrics document with the run manifest stamped in,
+/// right after the `telemetry` field — the form `--metrics-dir`
+/// exports write and the cross-run store ingests.
+pub fn stamp_manifest(doc: &Json, m: &RunManifest) -> Json {
+    match doc {
+        Json::Obj(entries) => {
+            let mut out: Vec<(String, Json)> = Vec::with_capacity(entries.len() + 1);
+            let mut inserted = false;
+            for (k, v) in entries {
+                out.push((k.clone(), v.clone()));
+                if !inserted && k == "telemetry" {
+                    out.push(("manifest".to_string(), m.to_json()));
+                    inserted = true;
+                }
+            }
+            if !inserted {
+                out.insert(0, ("manifest".to_string(), m.to_json()));
+            }
+            Json::Obj(out)
+        }
+        other => other.clone(),
+    }
 }
 
 impl CellResult {
@@ -222,6 +324,7 @@ pub fn run_sweep(base: &ClusterParams, base_job: &JobSpec, grid: &SweepGrid) -> 
             network_bytes: out.network_bytes,
             trace_digest: out.trace_digest,
             wall_s: start.elapsed().as_secs_f64(),
+            metrics: out.metrics,
         }
     });
     SweepReport {
@@ -275,6 +378,52 @@ mod tests {
     fn pairs_grid_covers_all_sixteen() {
         let g = SweepGrid::pairs(tiny_shape(1), 64);
         assert_eq!(g.cells().len(), SchedPair::all().len());
+    }
+
+    #[test]
+    fn manifest_key_is_deterministic_and_filesystem_safe() {
+        let base = ClusterParams::default();
+        let job = JobSpec::default();
+        let g = tiny_grid();
+        let cells = g.cells();
+        let m = RunManifest::new(&cells[0], &base, &job);
+        assert_eq!(m, RunManifest::new(&cells[0], &base, &job));
+        let key = m.key();
+        assert!(key.starts_with("n1x2_d16mb_cc_"), "{key}");
+        assert!(key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        // Different cells get different seeds (config hash covers the
+        // grid axes), same cell under a different telemetry level gets
+        // a different key.
+        let m2 = RunManifest::new(&cells[2], &base, &job);
+        assert_ne!(m.seed, m2.seed);
+        let mut full = base.clone();
+        full.node.telemetry = simcore::Telemetry::Full;
+        let m3 = RunManifest::new(&cells[0], &full, &job);
+        assert_ne!(m.key(), m3.key());
+    }
+
+    #[test]
+    fn stamped_manifest_lands_after_telemetry() {
+        let doc = Json::obj()
+            .field("schema", "adios.metrics/2")
+            .field("telemetry", "counters")
+            .field("run", Json::obj().field("makespan_s", 1.0));
+        let m = RunManifest {
+            nodes: 4,
+            vms_per_node: 4,
+            data_mb_per_vm: 512,
+            plan: "ad".into(),
+            telemetry: "counters".into(),
+            seed: 0xabcd,
+        };
+        let stamped = stamp_manifest(&doc, &m);
+        let s = stamped.to_string();
+        assert!(
+            s.contains("\"telemetry\":\"counters\",\"manifest\":{\"nodes\":4"),
+            "{s}"
+        );
+        // Stamping is idempotent in shape: schema stays first.
+        assert!(s.starts_with("{\"schema\":\"adios.metrics/2\""), "{s}");
     }
 
     #[test]

@@ -44,6 +44,34 @@ cargo run -q --release --offline -p adios-report -- diff \
   "${metrics_json}" "${metrics_json}" --fail-on-delta > /dev/null
 rm -f "${bench_json}" "${metrics_json}"
 
+# Decision-observability smoke: the cross-run store must ingest the
+# committed bench documents into a fresh ledger (exit 0, two entries,
+# schema-gated inside `history`), and a 2-cell mini-sweep must round-
+# trip through `rank` and `correlate`. `rank` without
+# --require-crossover must exit 0 even when the tiny grid has none;
+# the Fig. 6 crossover itself is covered by unit tests and the
+# EXPERIMENTS.md 4x4/512MB recipe.
+ledger="$(mktemp)"; rm -f "${ledger}"
+cargo run -q --release --offline -p adios-report -- history \
+  --ledger "${ledger}" BENCH_micro.json BENCH_sweep.json > /dev/null
+[[ "$(wc -l < "${ledger}")" -eq 2 ]] \
+  || { echo "error: history ledger must hold exactly 2 entries" >&2; exit 1; }
+# Idempotence: re-ingesting the same documents must not grow the ledger.
+cargo run -q --release --offline -p adios-report -- history \
+  --ledger "${ledger}" BENCH_micro.json BENCH_sweep.json > /dev/null
+[[ "$(wc -l < "${ledger}")" -eq 2 ]] \
+  || { echo "error: history re-ingest must be idempotent" >&2; exit 1; }
+grep -q '"kind":"sweep"' "${ledger}" \
+  || { echo "error: sweep entry missing from ledger" >&2; exit 1; }
+sweep_dir="$(mktemp -d)"
+cargo run -q --release --offline --bin repro-cli -- sweep \
+  --nodes 2 --vms 2 --data-mb 64 --pairs cc,dd --metrics-dir "${sweep_dir}" > /dev/null
+cargo run -q --release --offline -p adios-report -- rank \
+  --metrics-dir "${sweep_dir}" > /dev/null
+cargo run -q --release --offline -p adios-report -- correlate \
+  --metrics-dir "${sweep_dir}" > /dev/null
+rm -rf "${ledger}" "${sweep_dir}"
+
 # Dependency guard: every node reachable over normal, build, and dev
 # edges must be a path crate inside this repo. A registry dependency
 # shows up without a local path and fails the grep below.
@@ -56,4 +84,4 @@ if [[ -n "${external}" ]]; then
   exit 1
 fi
 
-echo "ci: offline build (all targets) + tests + strict causality smoke + bench smoke/shape + report smoke green; dependency graph is workspace-only"
+echo "ci: offline build (all targets) + tests + strict causality smoke + bench smoke/shape + report smoke + history/rank/correlate smoke green; dependency graph is workspace-only"

@@ -6,7 +6,7 @@
 //!                 [--mode plan|reactive] [--policy queue|phase] [--tick-ms 500]
 //!                 [--busy-pair dd] [--idle-pair cc] [--map-pair ac] [--reduce-pair dd]
 //! repro-cli sweep [--workload sort] [--nodes 4,8,...] [--vms 4] [--data-mb 512,...]
-//!                 [--json-out FILE]
+//!                 [--pairs cc,dd,...] [--json-out FILE] [--metrics-dir DIR]
 //! repro-cli tune  [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512] [--json]
 //! repro-cli switch-cost [--from cc] [--to ad] [--vms 4] [--mb 600]
 //! repro-cli waves [--data-mb 128,192,256,320,384,448,512]
@@ -22,9 +22,16 @@
 //! (`online` section) and echoed on stdout.
 //!
 //! `sweep` shards its grid (every `--nodes` entry × every `--data-mb`
-//! entry × all 16 pairs) over worker threads (`SIM_THREADS` overrides
-//! the fan-out); `--json-out` writes the per-cell `adios.bench/1`
-//! document with events/sec and wall-clock per cell.
+//! entry × all 16 pairs, or the `--pairs` subset) over worker threads
+//! (`SIM_THREADS` overrides the fan-out); `--json-out` writes the
+//! per-cell `adios.bench/1` document with events/sec and wall-clock
+//! per cell, and `--metrics-dir` additionally writes each cell's full
+//! manifest-stamped `adios.metrics/2` document into the directory —
+//! the input format of `adios-report rank`/`correlate`.
+//!
+//! Every output flag is validated *before* the simulation runs: a
+//! path pointing into a missing directory fails immediately with a
+//! clear error instead of losing the results after a long run.
 
 use adaptive_disk_sched::iosched::SchedPair;
 use adaptive_disk_sched::metasched::{
@@ -33,7 +40,8 @@ use adaptive_disk_sched::metasched::{
 };
 use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
 use adaptive_disk_sched::vcluster::{
-    run_job, run_sweep, ClusterParams, ClusterSim, SweepGrid, SwitchPlan,
+    run_job, run_sweep, stamp_manifest, ClusterParams, ClusterSim, RunManifest, SweepGrid,
+    SwitchPlan,
 };
 use simcore::{Json, SimDuration, Telemetry};
 use std::collections::HashMap;
@@ -100,6 +108,39 @@ fn write_out(path: &str, text: &str) {
     }
 }
 
+/// Check that an output file's directory exists, so a mistyped
+/// `--metrics-out`/`--trace-out`/`--json-out` fails *before* the
+/// simulation instead of silently losing an hour of results after it.
+fn validate_out_path(path: &str) -> Result<(), String> {
+    let p = std::path::Path::new(path);
+    if p.is_dir() {
+        return Err(format!("output path {path} is a directory, expected a file"));
+    }
+    match p.parent() {
+        // Bare file name: lands in the current directory.
+        None => Ok(()),
+        Some(dir) if dir.as_os_str().is_empty() => Ok(()),
+        Some(dir) if dir.is_dir() => Ok(()),
+        Some(dir) => Err(format!(
+            "output directory {} does not exist (for --flag value {path})",
+            dir.display()
+        )),
+    }
+}
+
+/// Validate every output-path flag in `keys` up front; exit 1 with a
+/// clear message naming the flag on the first failure.
+fn validate_out_flags(flags: &HashMap<String, String>, keys: &[&str]) {
+    for key in keys {
+        if let Some(path) = flags.get(*key) {
+            if let Err(e) = validate_out_path(path) {
+                eprintln!("--{key}: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
 fn job(flags: &HashMap<String, String>) -> JobSpec {
     let mut j = JobSpec::new(workload(flags));
     if let Some(mb) = flags.get("data-mb") {
@@ -121,6 +162,7 @@ fn pair(flags: &HashMap<String, String>, key: &str, default: &str) -> SchedPair 
 }
 
 fn cmd_run(flags: HashMap<String, String>) {
+    validate_out_flags(&flags, &["metrics-out", "trace-out"]);
     let params = cluster(&flags);
     let j = job(&flags);
     let p = pair(&flags, "pair", "cc");
@@ -233,10 +275,31 @@ fn num_list(flags: &HashMap<String, String>, key: &str, default: u64) -> Vec<u64
 }
 
 fn cmd_sweep(flags: HashMap<String, String>) {
+    validate_out_flags(&flags, &["json-out"]);
+    if let Some(dir) = flags.get("metrics-dir") {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("--metrics-dir: cannot create {dir}: {e}");
+            exit(1);
+        }
+    }
     let base = cluster(&flags);
     let j = job(&flags);
     let nodes = num_list(&flags, "nodes", base.shape.nodes as u64);
     let data_mb = num_list(&flags, "data-mb", j.data_per_vm_bytes >> 20);
+    // Default grid: all 16 elevator pairs; `--pairs cc,dd` restricts
+    // it (CI's mini-sweeps, quick A/B comparisons).
+    let pairs: Vec<SchedPair> = match flags.get("pairs") {
+        Some(list) => list
+            .split(',')
+            .map(|c| {
+                c.trim().parse().unwrap_or_else(|e| {
+                    eprintln!("--pairs entry {c:?}: {e}");
+                    exit(2);
+                })
+            })
+            .collect(),
+        None => SchedPair::all(),
+    };
     let grid = SweepGrid {
         shapes: nodes
             .iter()
@@ -247,12 +310,22 @@ fn cmd_sweep(flags: HashMap<String, String>) {
             })
             .collect(),
         data_mb_per_vm: data_mb,
-        plans: SchedPair::all()
+        plans: pairs
             .into_iter()
             .map(|p| (p.code(), SwitchPlan::single(p)))
             .collect(),
     };
     let report = run_sweep(&base, &j, &grid);
+    if let Some(dir) = flags.get("metrics-dir") {
+        // One manifest-stamped adios.metrics/2 document per cell —
+        // the run set `adios-report rank`/`correlate` ingests.
+        for r in &report.results {
+            let m = RunManifest::new(&r.cell, &base, &j);
+            let doc = stamp_manifest(&r.metrics, &m);
+            write_out(&format!("{dir}/{}.json", m.key()), &(doc.to_string() + "\n"));
+        }
+        println!("wrote {} metrics documents to {dir}/", report.results.len());
+    }
     println!(
         "{:>6} {:>4} {:>8} {:>6} {:>10} {:>9} {:>12}",
         "nodes", "vms", "data/VM", "plan", "makespan", "wall", "events/s"
@@ -406,5 +479,38 @@ fn main() {
         "switch-cost" => cmd_switch_cost(flags),
         "waves" => cmd_waves(flags),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate_out_path;
+
+    #[test]
+    fn out_path_accepts_bare_names_and_existing_dirs() {
+        assert_eq!(validate_out_path("metrics.json"), Ok(()));
+        assert_eq!(validate_out_path("./metrics.json"), Ok(()));
+        let dir = std::env::temp_dir();
+        let inside = dir.join("adios-out-path-test.json");
+        assert_eq!(validate_out_path(inside.to_str().unwrap()), Ok(()));
+    }
+
+    #[test]
+    fn out_path_rejects_missing_directory_with_clear_error() {
+        let missing = std::env::temp_dir().join("adios-no-such-dir-xyzzy");
+        let path = missing.join("metrics.json");
+        let err = validate_out_path(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("does not exist"), "{err}");
+        assert!(
+            err.contains("adios-no-such-dir-xyzzy"),
+            "error must name the missing directory: {err}"
+        );
+    }
+
+    #[test]
+    fn out_path_rejects_directory_targets() {
+        let dir = std::env::temp_dir();
+        let err = validate_out_path(dir.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("is a directory"), "{err}");
     }
 }

@@ -1,0 +1,109 @@
+//! Determinism goldens for the decision audit records: the
+//! `adios.tune/2` document — including its per-phase candidate score
+//! tables and cache provenance — must be byte-identical across
+//! repeated tunes and across `SIM_THREADS` worker counts, and the
+//! online policy audit trail must land deterministically in the
+//! metrics document.
+
+use adaptive_disk_sched::iosched::SchedPair;
+use adaptive_disk_sched::metasched::{EvalCache, Experiment, MetaScheduler, QueueDepthPolicy};
+use adaptive_disk_sched::mrsim::{JobSpec, WorkloadSpec};
+use adaptive_disk_sched::vcluster::{ClusterParams, ClusterSim, SwitchPlan};
+use simcore::SimDuration;
+
+fn small_exp() -> Experiment {
+    let mut params = ClusterParams::default();
+    params.shape.nodes = 2;
+    params.shape.vms_per_node = 2;
+    let mut job = JobSpec::new(WorkloadSpec::sort());
+    job.data_per_vm_bytes = 128 << 20;
+    Experiment::new(params, job)
+}
+
+/// The tune document is a pure function of the experiment: two tunes
+/// serialize to the same bytes, and those bytes carry the decision
+/// audit (schema v2, candidate tables, stop reasons, cache counters).
+#[test]
+fn tune_document_is_byte_identical_and_audited() {
+    let a = MetaScheduler::new(small_exp()).tune().to_json().to_string();
+    let b = MetaScheduler::new(small_exp()).tune().to_json().to_string();
+    assert_eq!(a, b);
+    assert!(a.starts_with("{\"schema\":\"adios.tune/2\""), "{a}");
+    assert!(a.contains("\"decisions\":["), "{a}");
+    assert!(a.contains("\"candidates\":["), "{a}");
+    assert!(a.contains("\"stop\":"), "{a}");
+    assert!(a.contains("\"cache_hits\":"), "{a}");
+    // Every decision names a chosen pair and a margin.
+    assert!(a.contains("\"chosen\":"), "{a}");
+    assert!(a.contains("\"margin_s\":"), "{a}");
+}
+
+/// Candidate provenance: tuning twice against one shared cache turns
+/// the second tune's evaluations into cache hits, visible in the audit
+/// (`cached:true` on candidates, hit counters in the document) without
+/// changing any decision.
+#[test]
+fn shared_cache_surfaces_hit_provenance() {
+    let cache = EvalCache::new();
+    let cold = MetaScheduler::new(small_exp()).tune_with_cache(&cache);
+    let warm = MetaScheduler::new(small_exp()).tune_with_cache(&cache);
+    assert_eq!(cold.final_assignment(), warm.final_assignment());
+    let cold_doc = cold.to_json().to_string();
+    let warm_doc = warm.to_json().to_string();
+    assert!(cold_doc.contains("\"cached\":false"), "{cold_doc}");
+    assert!(warm_doc.contains("\"cached\":true"), "{warm_doc}");
+    assert!(warm.cache_hits > 0, "warm tune must hit the shared cache");
+    assert!(
+        warm.cache_misses < cold.cache_misses || warm.cache_misses == 0,
+        "warm tune must miss less: cold {} vs warm {}",
+        cold.cache_misses,
+        warm.cache_misses
+    );
+}
+
+/// The single test in this binary that touches the process-global
+/// `SIM_THREADS` variable (the convention from `determinism.rs`): the
+/// tune document — decisions included — must not depend on how many
+/// workers the profiling sweep fans out to.
+#[test]
+fn tune_document_is_invariant_to_sim_threads() {
+    // SAFETY: this test binary's only env mutation site; tests that
+    // run concurrently in this binary never read SIM_THREADS.
+    unsafe { std::env::set_var("SIM_THREADS", "1") };
+    let one = MetaScheduler::new(small_exp()).tune().to_json().to_string();
+    unsafe { std::env::set_var("SIM_THREADS", "8") };
+    let eight = MetaScheduler::new(small_exp()).tune().to_json().to_string();
+    unsafe { std::env::remove_var("SIM_THREADS") };
+    assert_eq!(one, eight);
+}
+
+/// The online switcher's audit trail lands in the metrics document
+/// deterministically: two identical reactive runs export byte-equal
+/// `online` sections with observe→threshold→streak records.
+#[test]
+fn policy_audit_lands_deterministically_in_metrics() {
+    let run = || {
+        let mut params = ClusterParams::default();
+        params.shape.nodes = 2;
+        params.shape.vms_per_node = 2;
+        let mut job = JobSpec::new(WorkloadSpec::sort());
+        job.data_per_vm_bytes = 96 << 20;
+        let dd = "dd".parse::<SchedPair>().unwrap();
+        let mut sim = ClusterSim::new(params, job, SwitchPlan::single(SchedPair::DEFAULT));
+        sim.set_online_policy(
+            Box::new(QueueDepthPolicy::new(dd, SchedPair::DEFAULT, 8.0, 2.0)),
+            SimDuration::from_millis(500),
+        );
+        sim.run().metrics.to_string()
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert!(a.contains("\"audit_steps\":"), "{a}");
+    assert!(a.contains("\"audit_flips\":"), "{a}");
+    // At least one acted step carries its full explanation.
+    if a.contains("\"audit0_t_s\":") {
+        for field in ["audit0_observed", "audit0_threshold", "audit0_streak", "audit0_confirm"] {
+            assert!(a.contains(field), "missing {field} in {a}");
+        }
+    }
+}
