@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blend;
 pub mod cache;
 pub mod experiment;
 pub mod heuristic;
@@ -43,6 +44,7 @@ pub mod online;
 pub mod profiler;
 pub mod switch_cost;
 
+pub use blend::{calibrate_tenants, BlendedTuner};
 pub use cache::{canonical_assignment, CacheStats, CachedEvaluator, EvalCache};
 pub use experiment::{Experiment, PhaseProfile};
 pub use heuristic::{

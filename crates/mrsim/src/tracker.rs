@@ -53,6 +53,12 @@ pub struct JobTracker {
     shape: ClusterShape,
     num_maps: u32,
     num_reduces: u32,
+    /// Offset added to every task id this tracker hands out. Concurrent
+    /// jobs on one cluster give each tracker a disjoint base so task
+    /// ids never collide across jobs.
+    task_base: TaskId,
+    /// Reduce indices handed out so far via [`JobTracker::next_reduce`].
+    reduces_started: u32,
     /// Per-VM queue of pending (data-local) map tasks.
     pending_maps: Vec<VecDeque<TaskId>>,
     maps_done: Vec<bool>,
@@ -76,18 +82,28 @@ impl JobTracker {
     /// Plan a job on a cluster: places block `b` (and map `b`) on VM
     /// `b % total_vms`, reducer `r` on VM `r / reduce_slots_per_vm`.
     pub fn new(job: &JobSpec, shape: &ClusterShape) -> Self {
+        JobTracker::with_task_base(job, shape, 0)
+    }
+
+    /// Like [`JobTracker::new`], but every task id is offset by `base`.
+    /// Concurrent jobs sharing a cluster each get a disjoint id space
+    /// (`base`, `base + num_maps + num_reduces`, …); a base of 0 is
+    /// exactly the single-job tracker.
+    pub fn with_task_base(job: &JobSpec, shape: &ClusterShape, base: TaskId) -> Self {
         job.validate(shape).expect("invalid job spec");
         let num_maps = job.num_blocks(shape);
         let num_reduces = job.num_reduces(shape);
         let total_vms = shape.total_vms();
         let mut pending_maps = vec![VecDeque::new(); total_vms as usize];
         for b in 0..num_maps {
-            pending_maps[(b % total_vms) as usize].push_back(b as TaskId);
+            pending_maps[(b % total_vms) as usize].push_back(base + b as TaskId);
         }
         JobTracker {
             shape: *shape,
             num_maps,
             num_reduces,
+            task_base: base,
+            reduces_started: 0,
             pending_maps,
             maps_done: vec![false; num_maps as usize],
             maps_done_count: 0,
@@ -113,9 +129,20 @@ impl JobTracker {
         self.num_reduces
     }
 
+    /// The base of this tracker's task-id space.
+    pub fn task_base(&self) -> TaskId {
+        self.task_base
+    }
+
     /// The VM hosting block `b`'s first replica (and its map task).
     pub fn block_home(&self, block: u32) -> u32 {
         block % self.shape.total_vms()
+    }
+
+    /// The block a map task id processes.
+    pub fn map_block(&self, task: TaskId) -> u32 {
+        debug_assert!(task >= self.task_base && task < self.task_base + self.num_maps);
+        task - self.task_base
     }
 
     /// The VM a reduce task runs on.
@@ -125,13 +152,13 @@ impl JobTracker {
 
     /// Global task id of reduce index `r`.
     pub fn reduce_task_id(&self, r: u32) -> TaskId {
-        self.num_maps + r
+        self.task_base + self.num_maps + r
     }
 
     /// Reduce index of a reduce task id.
     pub fn reduce_index(&self, task: TaskId) -> u32 {
-        debug_assert!(task >= self.num_maps);
-        task - self.num_maps
+        debug_assert!(task >= self.task_base + self.num_maps);
+        task - self.task_base - self.num_maps
     }
 
     /// First-wave assignments: fill every map slot from its VM's local
@@ -145,7 +172,7 @@ impl JobTracker {
                         task,
                         kind: TaskKind::Map,
                         gvm,
-                        block: Some(task),
+                        block: Some(self.map_block(task)),
                     });
                 }
             }
@@ -158,7 +185,51 @@ impl JobTracker {
                 block: None,
             });
         }
+        self.reduces_started = self.num_reduces;
         out
+    }
+
+    /// Pull one pending data-local map for VM `gvm` (slot-at-a-time
+    /// scheduling under slot contention, instead of the greedy
+    /// [`JobTracker::initial_assignments`] wave).
+    pub fn pop_local_map(&mut self, gvm: u32) -> Option<Assignment> {
+        let task = self.pending_maps[gvm as usize].pop_front()?;
+        Some(Assignment {
+            task,
+            kind: TaskKind::Map,
+            gvm,
+            block: Some(self.map_block(task)),
+        })
+    }
+
+    /// Pull one pending map from any VM, lowest VM index first (a
+    /// deterministic non-local fallback when the local queue is empty).
+    pub fn pop_any_map(&mut self) -> Option<Assignment> {
+        let gvm = (0..self.shape.total_vms())
+            .find(|&g| !self.pending_maps[g as usize].is_empty())?;
+        self.pop_local_map(gvm)
+    }
+
+    /// Maps not yet handed out.
+    pub fn pending_map_count(&self) -> u32 {
+        self.pending_maps.iter().map(|q| q.len() as u32).sum()
+    }
+
+    /// Hand out the next not-yet-started reduce task, in index order.
+    /// Mixing this with [`JobTracker::initial_assignments`] (which
+    /// starts every reducer) yields nothing further.
+    pub fn next_reduce(&mut self) -> Option<Assignment> {
+        if self.reduces_started == self.num_reduces {
+            return None;
+        }
+        let r = self.reduces_started;
+        self.reduces_started += 1;
+        Some(Assignment {
+            task: self.reduce_task_id(r),
+            kind: TaskKind::Reduce,
+            gvm: self.reduce_home(r),
+            block: None,
+        })
     }
 
     /// A map committed: frees its slot (next local map is assigned) and
@@ -168,23 +239,17 @@ impl JobTracker {
         map: TaskId,
         now: SimTime,
     ) -> (Option<Assignment>, Vec<JobEvent>) {
-        assert!(!self.maps_done[map as usize], "map {map} finished twice");
-        self.maps_done[map as usize] = true;
+        let m = self.map_block(map);
+        assert!(!self.maps_done[m as usize], "map {map} finished twice");
+        self.maps_done[m as usize] = true;
         self.maps_done_count += 1;
         let mut events = Vec::new();
         if self.maps_done_count == self.num_maps {
             self.t_maps_done = Some(now);
             events.push(JobEvent::MapsAllDone);
         }
-        let gvm = self.block_home(map);
-        let next = self.pending_maps[gvm as usize].pop_front().map(|task| {
-            Assignment {
-                task,
-                kind: TaskKind::Map,
-                gvm,
-                block: Some(task),
-            }
-        });
+        let gvm = self.block_home(m);
+        let next = self.pop_local_map(gvm);
         (next, events)
     }
 
@@ -193,11 +258,13 @@ impl JobTracker {
     pub fn available_fetches(&self, r: u32) -> Vec<TaskId> {
         (0..self.num_maps)
             .filter(|&m| self.maps_done[m as usize] && !self.fetched[r as usize][m as usize])
+            .map(|m| self.task_base + m)
             .collect()
     }
 
     /// Record that reduce index `r` finished fetching map `m`'s output.
     pub fn on_fetch_complete(&mut self, r: u32, m: TaskId, now: SimTime) -> Vec<JobEvent> {
+        let m = self.map_block(m);
         assert!(
             self.maps_done[m as usize],
             "fetched output of unfinished map {m}"
@@ -380,6 +447,65 @@ mod tests {
             per_vm[t.reduce_home(r) as usize] += 1;
         }
         assert!(per_vm.iter().all(|&c| c == shape.reduce_slots_per_vm));
+    }
+
+    /// A based tracker is the base-0 tracker with every task id
+    /// shifted: same placement, same events, disjoint id space.
+    #[test]
+    fn task_base_offsets_every_id() {
+        let job = JobSpec::new(WorkloadSpec::sort());
+        let shape = ClusterShape::default();
+        let base: TaskId = 1000;
+        let mut plain = JobTracker::new(&job, &shape);
+        let mut offset = JobTracker::with_task_base(&job, &shape, base);
+        assert_eq!(offset.task_base(), base);
+        let a0 = plain.initial_assignments();
+        let a1 = offset.initial_assignments();
+        assert_eq!(a0.len(), a1.len());
+        for (x, y) in a0.iter().zip(&a1) {
+            assert_eq!(y.task, x.task + base);
+            assert_eq!(y.gvm, x.gvm);
+            assert_eq!(y.kind, x.kind);
+            assert_eq!(y.block, x.block, "block numbering is base-independent");
+        }
+        // Lifecycle with offset ids round-trips.
+        let m = a1.iter().find(|a| a.kind == TaskKind::Map).unwrap().task;
+        let (next, _) = offset.on_map_done(m, SimTime::from_secs(1));
+        if let Some(n) = next {
+            assert!(n.task >= base, "refill must stay in the offset id space");
+        }
+        assert!(offset.available_fetches(0).contains(&m));
+        offset.on_fetch_complete(0, m, SimTime::from_secs(2));
+        assert_eq!(offset.reduce_index(offset.reduce_task_id(3)), 3);
+    }
+
+    /// Slot-at-a-time scheduling: pulls never exceed the pending count,
+    /// stay data-local when asked, and `next_reduce` hands each reducer
+    /// out exactly once.
+    #[test]
+    fn incremental_slot_pulls() {
+        let job = JobSpec::new(WorkloadSpec::sort());
+        let shape = ClusterShape::default();
+        let mut t = JobTracker::new(&job, &shape);
+        let total = t.pending_map_count();
+        assert_eq!(total, t.num_maps());
+        let a = t.pop_local_map(2).unwrap();
+        assert_eq!(a.gvm, 2);
+        assert_eq!(t.block_home(a.block.unwrap()), 2);
+        assert_eq!(t.pending_map_count(), total - 1);
+        let mut pulled = 1;
+        while t.pop_any_map().is_some() {
+            pulled += 1;
+        }
+        assert_eq!(pulled, total);
+        assert_eq!(t.pending_map_count(), 0);
+        let mut reduces = 0;
+        while let Some(r) = t.next_reduce() {
+            assert_eq!(r.kind, TaskKind::Reduce);
+            assert_eq!(r.gvm, t.reduce_home(t.reduce_index(r.task)));
+            reduces += 1;
+        }
+        assert_eq!(reduces, t.num_reduces());
     }
 
     #[test]

@@ -365,6 +365,17 @@ fn bench_metrics(doc: &Json, file: &str) -> Result<(String, Json), String> {
                 .ok_or_else(|| format!("{file}: sweep cell missing makespan_s"))?;
             metrics = metrics.field(&format!("n{n}x{v}_d{d}mb_{plan}"), mk);
         }
+        // Multi-job service columns ride along in the sweep document:
+        // one mean-latency cell per service policy (simulated time, so
+        // deterministic and ledger-safe).
+        if let Some(Json::Arr(mj)) = doc.get("multijob_cells") {
+            for c in mj {
+                let plan = c.get("plan").and_then(Json::as_str).unwrap_or("?");
+                let lat = num(c, &["mean_latency_s"])
+                    .ok_or_else(|| format!("{file}: multijob cell missing mean_latency_s"))?;
+                metrics = metrics.field(&format!("mj_{plan}_latency_s"), lat);
+            }
+        }
         Ok(("sweep".into(), metrics))
     } else if let Some(Json::Arr(results)) = doc.get("results") {
         for r in results {
@@ -693,6 +704,61 @@ mod tests {
         let o2 = history_append(&o.ledger, &m, "m.json").unwrap();
         assert!(o2.ledger.contains("\"seq\":2"));
         assert!(!o2.ledger.contains("compared"), "{}", o2.ledger);
+    }
+
+    #[test]
+    fn history_folds_multijob_service_cells() {
+        let sweep = Json::obj()
+            .field("schema", "adios.bench/1")
+            .field(
+                "cells",
+                Json::Arr(vec![Json::obj()
+                    .field("nodes", 4u64)
+                    .field("vms_per_node", 4u64)
+                    .field("data_mb_per_vm", 64u64)
+                    .field("plan", "cc")
+                    .field("makespan_s", 12.0)]),
+            )
+            .field(
+                "multijob_cells",
+                Json::Arr(vec![
+                    Json::obj()
+                        .field("plan", "best-single")
+                        .field("mean_latency_s", 30.5)
+                        .field("wall_s", 0.4),
+                    Json::obj()
+                        .field("plan", "adaptive")
+                        .field("mean_latency_s", 28.25)
+                        .field("wall_s", 0.5),
+                ]),
+            );
+        let o = history_append("", &sweep, "s.json").unwrap();
+        assert!(o.ledger.contains("\"mj_best-single_latency_s\":30.5"), "{}", o.ledger);
+        assert!(o.ledger.contains("\"mj_adaptive_latency_s\":28.25"), "{}", o.ledger);
+        // The service cells are part of the identity: a latency change
+        // is a new ledger entry, not a dedupe.
+        let mut changed = sweep.clone();
+        if let Json::Obj(fields) = &mut changed {
+            let mj = fields.iter_mut().find(|(k, _)| k == "multijob_cells").unwrap();
+            if let Json::Arr(cells) = &mut mj.1 {
+                if let Json::Obj(c0) = &mut cells[0] {
+                    c0.iter_mut().find(|(k, _)| k == "mean_latency_s").unwrap().1 =
+                        Json::Num(31.0);
+                }
+            }
+        }
+        let o2 = history_append(&o.ledger, &changed, "s.json").unwrap();
+        assert!(o2.appended, "changed service cell must append");
+        // A multijob cell without its metric is a hard error.
+        let bad = Json::obj()
+            .field("schema", "adios.bench/1")
+            .field("cells", Json::Arr(vec![]))
+            .field(
+                "multijob_cells",
+                Json::Arr(vec![Json::obj().field("plan", "adaptive")]),
+            );
+        let err = history_append("", &bad, "x.json").unwrap_err();
+        assert!(err.contains("mean_latency_s"), "{err}");
     }
 
     #[test]

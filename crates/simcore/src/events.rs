@@ -401,6 +401,27 @@ impl<T> EventQueue<T> {
         self.active_hi = self.epoch_start;
         self.len = 0;
         self.next_seq = 0;
+        // The bucket width is re-fitted to the observed event spacing on
+        // every epoch roll. A width tuned to the *previous* workload's
+        // tail (possibly down to 1 ns, a 512 ns horizon) must not leak
+        // into the next job: it would push essentially everything through
+        // the overflow heap and change nothing about ordering but a lot
+        // about cost. A cleared queue has no events left to fit, so the
+        // only defensible width is the initial one.
+        self.width = INITIAL_WIDTH_NS;
+    }
+
+    /// Reset the queue to its just-constructed state: everything
+    /// [`clear`](Self::clear) drops, plus the watermark returns to
+    /// `SimTime::ZERO`. This is the entry point for *deliberate* reuse
+    /// across back-to-back jobs (e.g. a driver recycling one queue for a
+    /// sequence of runs): after `reset` the queue accepts pushes at any
+    /// time again, and the `(time, seq)` order is indistinguishable from
+    /// a freshly built queue.
+    pub fn reset(&mut self) {
+        self.watermark = SimTime::ZERO;
+        self.clear();
+        debug_assert_eq!(self.epoch_start, 0);
     }
 }
 
@@ -621,6 +642,48 @@ mod tests {
         q.push(t, 11);
         assert_eq!(q.pop(), Some((t, 10)));
         assert_eq!(q.pop(), Some((t, 11)));
+    }
+
+    /// A re-fitted bucket width must not survive `clear`: the width was
+    /// fitted to the *previous* job's event spacing, and a pathological
+    /// fit (dense far-future cluster → 1 ns buckets → 512 ns horizon)
+    /// would silently route the next job through the overflow heap.
+    #[test]
+    fn clear_restores_initial_bucket_width() {
+        let mut q = EventQueue::new();
+        // A dense cluster far beyond the initial horizon: draining up to
+        // it forces an epoch roll and a width re-fit to ns spacing.
+        let base = 60_000_000_000u64;
+        for i in 0..256u64 {
+            q.push(SimTime::ZERO + SimDuration::from_nanos(base + i), i);
+        }
+        while q.pop().is_some() {}
+        assert_ne!(q.width, INITIAL_WIDTH_NS, "reprime should have re-fitted width");
+        q.clear();
+        assert_eq!(q.width, INITIAL_WIDTH_NS, "clear must restore the initial width");
+    }
+
+    /// `reset` is the deliberate-reuse entry point: watermark back to
+    /// zero, and a recycled queue is observationally identical to a
+    /// fresh one over an arbitrary (time, seq) workload.
+    #[test]
+    fn reset_matches_fresh_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), 1);
+        q.push(SimTime::from_secs(70), 2); // beyond horizon: exercises overflow
+        while q.pop().is_some() {}
+        assert_eq!(q.now(), SimTime::from_secs(70));
+        q.reset();
+        assert_eq!(q.now(), SimTime::ZERO, "reset rewinds the watermark");
+
+        let mut fresh = EventQueue::new();
+        for (t, p) in [(3u64, 0u64), (1, 1), (1, 2), (2, 3)] {
+            q.push(SimTime::from_secs(t), p);
+            fresh.push(SimTime::from_secs(t), p);
+        }
+        let a: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| fresh.pop()).collect();
+        assert_eq!(a, b, "recycled queue diverged from a fresh one");
     }
 
     /// Epoch re-priming: events far beyond the initial horizon, with

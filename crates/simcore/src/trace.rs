@@ -212,6 +212,49 @@ pub enum TraceEvent {
         /// True when this step triggered a cluster-wide switch.
         acted: bool,
     },
+    /// A tenant job entered the cluster service (open-loop arrival).
+    /// Multi-job traces use these five `Job*`/`Slot*` events instead of
+    /// the single-job [`TraceEvent::Phase`] marker: overlapping jobs
+    /// have no global monotone phase.
+    JobArrive {
+        /// Service-unique job id.
+        job: u64,
+        /// Total input bytes the job will read through its map tasks.
+        bytes: u64,
+    },
+    /// The slot scheduler admitted the job (it may start claiming
+    /// slots). Admission never precedes arrival.
+    JobAdmit {
+        /// Job id.
+        job: u64,
+    },
+    /// The job occupied one task slot on a VM.
+    SlotAcquire {
+        /// Job id.
+        job: u64,
+        /// Cluster-global VM index.
+        gvm: u32,
+        /// Map slot (true) or reduce slot.
+        map: bool,
+    },
+    /// The job released a previously acquired slot. For map slots,
+    /// `bytes` is the input consumed by the finished task (the oracle
+    /// sums these against [`TraceEvent::JobArrive`]'s total).
+    SlotRelease {
+        /// Job id.
+        job: u64,
+        /// Cluster-global VM index.
+        gvm: u32,
+        /// Map slot (true) or reduce slot.
+        map: bool,
+        /// Input bytes consumed (map slots; 0 for reduce slots).
+        bytes: u64,
+    },
+    /// The job's last reduce finished and it left the service.
+    JobComplete {
+        /// Job id.
+        job: u64,
+    },
 }
 
 /// A timestamped trace record.
@@ -277,6 +320,15 @@ impl TraceRecord {
                 h,
                 &[t, 16, observed_bits, threshold_bits, streak as u64, acted as u64],
             ),
+            JobArrive { job, bytes } => fnv1a(h, &[t, 17, job, bytes]),
+            JobAdmit { job } => fnv1a(h, &[t, 18, job]),
+            SlotAcquire { job, gvm, map } => {
+                fnv1a(h, &[t, 19, job, gvm as u64, map as u64])
+            }
+            SlotRelease { job, gvm, map, bytes } => {
+                fnv1a(h, &[t, 20, job, gvm as u64, map as u64, bytes])
+            }
+            JobComplete { job } => fnv1a(h, &[t, 21, job]),
         }
     }
 }
@@ -395,6 +447,12 @@ pub struct OracleConfig {
     pub writes_starved: u32,
     /// The scheduler code that enables the expiry check (`b'd'`).
     pub deadline_code: u8,
+    /// Per-VM map-slot capacity for the multi-job slot check. `None`
+    /// (the default) still checks release-without-acquire but enforces
+    /// no upper bound.
+    pub map_slots_per_vm: Option<u32>,
+    /// Per-VM reduce-slot capacity (same semantics).
+    pub reduce_slots_per_vm: Option<u32>,
 }
 
 impl Default for OracleConfig {
@@ -405,6 +463,8 @@ impl Default for OracleConfig {
             fifo_batch: 16,
             writes_starved: 2,
             deadline_code: b'd',
+            map_slots_per_vm: None,
+            reduce_slots_per_vm: None,
         }
     }
 }
@@ -442,6 +502,19 @@ struct LayerState {
     dl_fifo: Vec<DlEntry>,
 }
 
+/// Per-job lifecycle state the oracle shadows in multi-job traces.
+#[derive(Debug)]
+struct JobState {
+    arrived: SimTime,
+    bytes: u64,
+    admitted: Option<SimTime>,
+    first_task: Option<SimTime>,
+    completed: bool,
+    map_bytes_released: u64,
+    /// Slots currently held (acquires minus releases).
+    held: u64,
+}
+
 /// Replays a [`Trace`] and checks cross-layer invariants:
 ///
 /// * **Lifecycle order** — for every request id: elevator entry ≤
@@ -462,6 +535,15 @@ struct LayerState {
 ///   direction, at batch boundaries).
 /// * **Flows and phases** — every flow ends after it starts, at most
 ///   once; phase codes never decrease.
+/// * **Multi-job lifecycle** — for every job id: arrive ≤ admit ≤
+///   first slot acquire ≤ complete, each stage at most once, and a
+///   completed job has released every slot it held.
+/// * **Slot accounting** — per-(VM, slot kind) occupancy never goes
+///   negative and, when [`OracleConfig::map_slots_per_vm`] /
+///   [`OracleConfig::reduce_slots_per_vm`] are set, never exceeds the
+///   configured capacity.
+/// * **Byte conservation** — the map-slot releases of a job account for
+///   exactly the input bytes announced at its arrival.
 ///
 /// Violations are collected (capped), not panicked, so a test can
 /// report them all; [`TraceOracle::assert_clean`] panics with the list.
@@ -471,6 +553,9 @@ pub struct TraceOracle {
     layers: HashMap<Layer, LayerState>,
     flows: HashMap<u64, SimTime>,
     phase: u8,
+    jobs: HashMap<u64, JobState>,
+    /// (gvm, map?) → slots currently occupied across all jobs.
+    slots: HashMap<(u32, bool), u32>,
     checked: u64,
     violations: Vec<String>,
 }
@@ -491,6 +576,8 @@ impl TraceOracle {
             layers: HashMap::new(),
             flows: HashMap::new(),
             phase: 0,
+            jobs: HashMap::new(),
+            slots: HashMap::new(),
             checked: 0,
             violations: Vec::new(),
         }
@@ -734,6 +821,134 @@ impl TraceOracle {
                     self.violate(format!(
                         "policy acted mid-confirm: streak {streak} after acting"
                     ));
+                }
+            }
+            JobArrive { job, bytes } => {
+                let prev = self.jobs.insert(
+                    job,
+                    JobState {
+                        arrived: t,
+                        bytes,
+                        admitted: None,
+                        first_task: None,
+                        completed: false,
+                        map_bytes_released: 0,
+                        held: 0,
+                    },
+                );
+                if prev.is_some() {
+                    self.violate(format!("job {job} arrived twice (second at {t})"));
+                }
+            }
+            JobAdmit { job } => {
+                let msg = match self.jobs.get_mut(&job) {
+                    None => Some(format!("job {job} admitted at {t} without arriving")),
+                    Some(js) if js.admitted.is_some() => {
+                        Some(format!("job {job} admitted twice (second at {t})"))
+                    }
+                    Some(js) if js.arrived > t => Some(format!(
+                        "job {job} admitted at {t} before its arrival at {}",
+                        js.arrived
+                    )),
+                    Some(js) => {
+                        js.admitted = Some(t);
+                        None
+                    }
+                };
+                if let Some(m) = msg {
+                    self.violate(m);
+                }
+            }
+            SlotAcquire { job, gvm, map } => {
+                let msg = match self.jobs.get_mut(&job) {
+                    None => Some(format!(
+                        "job {job} acquired a slot on vm {gvm} at {t} without arriving"
+                    )),
+                    Some(js) if js.admitted.is_none() => Some(format!(
+                        "job {job} acquired a slot on vm {gvm} at {t} before admission"
+                    )),
+                    Some(js) if js.completed => Some(format!(
+                        "job {job} acquired a slot on vm {gvm} at {t} after completing"
+                    )),
+                    Some(js) => {
+                        js.first_task.get_or_insert(t);
+                        js.held += 1;
+                        None
+                    }
+                };
+                if let Some(m) = msg {
+                    self.violate(m);
+                }
+                let occ = self.slots.entry((gvm, map)).or_insert(0);
+                *occ += 1;
+                let cap = if map {
+                    self.cfg.map_slots_per_vm
+                } else {
+                    self.cfg.reduce_slots_per_vm
+                };
+                if let Some(cap) = cap {
+                    if *occ > cap {
+                        let kind = if map { "map" } else { "reduce" };
+                        let occ = *occ;
+                        self.violate(format!(
+                            "vm {gvm}: {kind}-slot occupancy {occ} exceeds capacity \
+                             {cap} at {t} (job {job})"
+                        ));
+                    }
+                }
+            }
+            SlotRelease { job, gvm, map, bytes } => {
+                let kind = if map { "map" } else { "reduce" };
+                match self.slots.get_mut(&(gvm, map)) {
+                    Some(occ) if *occ > 0 => *occ -= 1,
+                    _ => self.violate(format!(
+                        "vm {gvm}: {kind} slot released at {t} (job {job}) with none held"
+                    )),
+                }
+                let msg = match self.jobs.get_mut(&job) {
+                    None => Some(format!(
+                        "job {job} released a {kind} slot on vm {gvm} at {t} without arriving"
+                    )),
+                    Some(js) if js.held == 0 => Some(format!(
+                        "job {job} released a {kind} slot on vm {gvm} at {t} holding none"
+                    )),
+                    Some(js) => {
+                        js.held -= 1;
+                        if map {
+                            js.map_bytes_released += bytes;
+                        }
+                        None
+                    }
+                };
+                if let Some(m) = msg {
+                    self.violate(m);
+                }
+            }
+            JobComplete { job } => {
+                let msg = match self.jobs.get_mut(&job) {
+                    None => Some(format!("job {job} completed at {t} without arriving")),
+                    Some(js) if js.completed => {
+                        Some(format!("job {job} completed twice (second at {t})"))
+                    }
+                    Some(js) if js.first_task.is_none() => Some(format!(
+                        "job {job} completed at {t} without running any task"
+                    )),
+                    Some(js) if js.held > 0 => Some(format!(
+                        "job {job} completed at {t} still holding {} slot(s)",
+                        js.held
+                    )),
+                    Some(js) if js.map_bytes_released != js.bytes => Some(format!(
+                        "job {job}: map releases account for {} bytes but {} arrived \
+                         (byte conservation)",
+                        js.map_bytes_released, js.bytes
+                    )),
+                    Some(js) => {
+                        js.completed = true;
+                        None
+                    }
+                };
+                if let Some(m) = msg {
+                    self.violate(m);
                 }
             }
         }
@@ -1229,6 +1444,105 @@ mod tests {
         let mut o = TraceOracle::default();
         o.replay(&tr);
         assert_eq!(o.violations().len(), 1);
+    }
+
+    /// A clean two-job multi-tenant episode: overlapping jobs sharing
+    /// slots, byte-conserving map releases, full lifecycle order.
+    #[test]
+    fn oracle_accepts_clean_multijob_episode() {
+        let mut tr = Trace::unbounded();
+        let t = SimTime::from_millis;
+        tr.push(t(0), TraceEvent::JobArrive { job: 1, bytes: 128 });
+        tr.push(t(1), TraceEvent::JobAdmit { job: 1 });
+        tr.push(t(2), TraceEvent::SlotAcquire { job: 1, gvm: 0, map: true });
+        tr.push(t(3), TraceEvent::JobArrive { job: 2, bytes: 64 });
+        tr.push(t(4), TraceEvent::JobAdmit { job: 2 });
+        tr.push(t(5), TraceEvent::SlotAcquire { job: 2, gvm: 0, map: true });
+        tr.push(t(6), TraceEvent::SlotRelease { job: 1, gvm: 0, map: true, bytes: 128 });
+        tr.push(t(7), TraceEvent::SlotAcquire { job: 1, gvm: 1, map: false });
+        tr.push(t(8), TraceEvent::SlotRelease { job: 2, gvm: 0, map: true, bytes: 64 });
+        tr.push(t(9), TraceEvent::SlotRelease { job: 1, gvm: 1, map: false, bytes: 0 });
+        tr.push(t(10), TraceEvent::JobComplete { job: 1 });
+        tr.push(t(11), TraceEvent::SlotAcquire { job: 2, gvm: 1, map: false });
+        tr.push(t(12), TraceEvent::SlotRelease { job: 2, gvm: 1, map: false, bytes: 0 });
+        tr.push(t(13), TraceEvent::JobComplete { job: 2 });
+        let mut o = TraceOracle::new(OracleConfig {
+            map_slots_per_vm: Some(2),
+            reduce_slots_per_vm: Some(2),
+            ..OracleConfig::default()
+        });
+        o.replay(&tr);
+        o.assert_clean();
+    }
+
+    /// Oversubscription: two concurrent map slots on one VM with a
+    /// capacity of one.
+    #[test]
+    fn oracle_flags_slot_oversubscription() {
+        let mut tr = Trace::unbounded();
+        let t = SimTime::from_millis;
+        for job in [1u64, 2] {
+            tr.push(t(job), TraceEvent::JobArrive { job, bytes: 8 });
+            tr.push(t(job + 2), TraceEvent::JobAdmit { job });
+            tr.push(t(job + 4), TraceEvent::SlotAcquire { job, gvm: 3, map: true });
+        }
+        let mut o = TraceOracle::new(OracleConfig {
+            map_slots_per_vm: Some(1),
+            ..OracleConfig::default()
+        });
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 1, "{:?}", o.violations());
+        assert!(o.violations()[0].contains("exceeds capacity"), "{:?}", o.violations());
+    }
+
+    /// Lifecycle-order violations: admission without arrival, slot
+    /// acquire before admission, completion while holding a slot.
+    #[test]
+    fn oracle_flags_multijob_lifecycle_violations() {
+        let mut tr = Trace::unbounded();
+        let t = SimTime::from_millis;
+        tr.push(t(0), TraceEvent::JobAdmit { job: 9 }); // never arrived
+        tr.push(t(1), TraceEvent::JobArrive { job: 1, bytes: 8 });
+        tr.push(t(2), TraceEvent::SlotAcquire { job: 1, gvm: 0, map: true }); // pre-admit
+        tr.push(t(3), TraceEvent::JobAdmit { job: 1 });
+        tr.push(t(4), TraceEvent::SlotAcquire { job: 1, gvm: 0, map: true });
+        tr.push(t(5), TraceEvent::JobComplete { job: 1 }); // still holds a slot
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 3, "{:?}", o.violations());
+    }
+
+    /// Byte conservation: the job's map releases must sum to the bytes
+    /// announced at arrival.
+    #[test]
+    fn oracle_flags_byte_conservation_breaks() {
+        let mut tr = Trace::unbounded();
+        let t = SimTime::from_millis;
+        tr.push(t(0), TraceEvent::JobArrive { job: 1, bytes: 100 });
+        tr.push(t(1), TraceEvent::JobAdmit { job: 1 });
+        tr.push(t(2), TraceEvent::SlotAcquire { job: 1, gvm: 0, map: true });
+        tr.push(t(3), TraceEvent::SlotRelease { job: 1, gvm: 0, map: true, bytes: 60 });
+        tr.push(t(4), TraceEvent::JobComplete { job: 1 });
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 1, "{:?}", o.violations());
+        assert!(o.violations()[0].contains("byte conservation"), "{:?}", o.violations());
+    }
+
+    /// Releasing a slot nobody holds is flagged at both the VM ledger
+    /// and the job ledger.
+    #[test]
+    fn oracle_flags_release_without_acquire() {
+        let mut tr = Trace::unbounded();
+        tr.push(SimTime::ZERO, TraceEvent::JobArrive { job: 1, bytes: 0 });
+        tr.push(SimTime::from_millis(1), TraceEvent::JobAdmit { job: 1 });
+        tr.push(
+            SimTime::from_millis(2),
+            TraceEvent::SlotRelease { job: 1, gvm: 0, map: false, bytes: 0 },
+        );
+        let mut o = TraceOracle::default();
+        o.replay(&tr);
+        assert_eq!(o.violations().len(), 2, "{:?}", o.violations());
     }
 
     #[test]

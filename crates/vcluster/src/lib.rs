@@ -27,12 +27,18 @@ pub mod cache;
 pub mod cpu;
 pub mod driver;
 pub mod files;
+pub mod jobs;
 pub mod network;
 pub mod sweep;
 
+pub use jobs::{
+    poisson_arrivals, run_service, ArrivalSpec, FixedPolicy, PhaseMix, ServiceOutcome,
+    ServiceParams, ServicePolicy, SlotLedger, Tenant, TenantMix, TenantProfile,
+};
+
 pub use driver::{
-    run_job, ClusterParams, ClusterSim, ClusterSnapshot, JobOutcome, OnlinePolicy, PolicyAudit,
-    SwitchPlan,
+    run_job, run_jobs_sequential, ClusterParams, ClusterSim, ClusterSnapshot, JobOutcome,
+    OnlinePolicy, PolicyAudit, SwitchPlan,
 };
 pub use network::NetParams;
 pub use sweep::{

@@ -44,6 +44,19 @@ cargo run -q --release --offline -p adios-report -- diff \
   "${metrics_json}" "${metrics_json}" --fail-on-delta > /dev/null
 rm -f "${bench_json}" "${metrics_json}"
 
+# Multi-job service smoke: a short 3-tenant Poisson stream through
+# `serve-jobs` under the strict oracle (slot capacities, job
+# lifecycle, byte conservation fail the run), emitting a schema-bumped
+# adios.metrics/3 document that adios-report renders.
+service_json="$(mktemp)"
+ADIOS_STRICT=1 cargo run -q --release --offline --bin repro-cli -- serve-jobs \
+  --nodes 2 --vms 2 --data-mb 16 --duration-s 60 --rate 6 --seed 42 \
+  --policy adaptive --metrics-out "${service_json}"
+grep -q '"schema":"adios.metrics/3"' "${service_json}" \
+  || { echo "error: serve-jobs metrics missing the /3 schema" >&2; exit 1; }
+cargo run -q --release --offline -p adios-report -- render "${service_json}" > /dev/null
+rm -f "${service_json}"
+
 # Decision-observability smoke: the cross-run store must ingest the
 # committed bench documents into a fresh ledger (exit 0, two entries,
 # schema-gated inside `history`), and a 2-cell mini-sweep must round-
@@ -63,6 +76,10 @@ cargo run -q --release --offline -p adios-report -- history \
   || { echo "error: history re-ingest must be idempotent" >&2; exit 1; }
 grep -q '"kind":"sweep"' "${ledger}" \
   || { echo "error: sweep entry missing from ledger" >&2; exit 1; }
+# The regenerated sweep document carries the multi-job service column
+# set; its cells must fold into the ledger's sweep metrics.
+grep -q '"mj_adaptive_latency_s"' "${ledger}" \
+  || { echo "error: multi-job bench cells missing from ledger" >&2; exit 1; }
 sweep_dir="$(mktemp -d)"
 cargo run -q --release --offline --bin repro-cli -- sweep \
   --nodes 2 --vms 2 --data-mb 64 --pairs cc,dd --metrics-dir "${sweep_dir}" > /dev/null
@@ -84,4 +101,4 @@ if [[ -n "${external}" ]]; then
   exit 1
 fi
 
-echo "ci: offline build (all targets) + tests + strict causality smoke + bench smoke/shape + report smoke + history/rank/correlate smoke green; dependency graph is workspace-only"
+echo "ci: offline build (all targets) + tests + strict causality smoke + bench smoke/shape + report smoke + serve-jobs oracle smoke + history/rank/correlate smoke green; dependency graph is workspace-only"

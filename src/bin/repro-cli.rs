@@ -10,6 +10,11 @@
 //! repro-cli tune  [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512] [--json]
 //! repro-cli switch-cost [--from cc] [--to ad] [--vms 4] [--mb 600]
 //! repro-cli waves [--data-mb 128,192,256,320,384,448,512]
+//! repro-cli serve-jobs [--nodes 4] [--vms 4] [--duration-s 300] [--rate 6]
+//!                 [--seed 42] [--tenants sort:2,wordcount:1] [--data-mb 64]
+//!                 [--policy adaptive|PAIR] [--margin 0.05] [--switch-cost-ms 500]
+//!                 [--retune-s 5] [--max-concurrent 8] [--arrivals-file FILE]
+//!                 [--metrics-out FILE]
 //! ```
 //!
 //! Pairs use the paper's two-letter codes (`c`=CFQ, `d`=deadline,
@@ -29,27 +34,37 @@
 //! manifest-stamped `adios.metrics/2` document into the directory —
 //! the input format of `adios-report rank`/`correlate`.
 //!
+//! `serve-jobs` runs the multi-job cluster service: an open-loop
+//! Poisson stream (or an `adios.jobs/1` arrival trace via
+//! `--arrivals-file`) of weighted tenant jobs sharing one cluster's
+//! map/reduce slots. `--policy adaptive` calibrates every tenant under
+//! all 16 pairs (through the shared eval cache) and retunes the
+//! installed pair from the live phase mix; any pair code pins a static
+//! baseline. With `ADIOS_STRICT=1` the service trace is replayed
+//! through the oracle (slot capacities, job lifecycle, byte
+//! conservation) and violations fail the run.
+//!
 //! Every output flag is validated *before* the simulation runs: a
 //! path pointing into a missing directory fails immediately with a
 //! clear error instead of losing the results after a long run.
 
 use adaptive_disk_sched::iosched::SchedPair;
 use adaptive_disk_sched::metasched::{
-    measure_switch_cost, DdConfig, Experiment, MetaScheduler, PhaseReactivePolicy,
-    QueueDepthPolicy,
+    calibrate_tenants, measure_switch_cost, BlendedTuner, DdConfig, EvalCache, Experiment,
+    MetaScheduler, PhaseReactivePolicy, QueueDepthPolicy,
 };
 use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
 use adaptive_disk_sched::vcluster::{
-    run_job, run_sweep, stamp_manifest, ClusterParams, ClusterSim, RunManifest, SweepGrid,
-    SwitchPlan,
+    run_job, run_service, run_sweep, stamp_manifest, ArrivalSpec, ClusterParams, ClusterSim,
+    FixedPolicy, RunManifest, ServiceParams, ServicePolicy, SweepGrid, SwitchPlan, TenantMix,
 };
-use simcore::{Json, SimDuration, Telemetry};
+use simcore::{Json, OracleConfig, SimDuration, Telemetry, TraceOracle};
 use std::collections::HashMap;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro-cli <run|sweep|tune|switch-cost|waves> [--key value]...\n\
+        "usage: repro-cli <run|sweep|tune|switch-cost|waves|serve-jobs> [--key value]...\n\
          see the module docs (src/bin/repro-cli.rs) for the full flag list"
     );
     exit(2);
@@ -468,6 +483,126 @@ fn cmd_waves(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_serve_jobs(flags: HashMap<String, String>) {
+    validate_out_flags(&flags, &["metrics-out"]);
+    let params = cluster(&flags);
+    let data_mb: u64 = flags
+        .get("data-mb")
+        .map(|v| v.parse().expect("--data-mb"))
+        .unwrap_or(64);
+    let mix_str = flags
+        .get("tenants")
+        .map(String::as_str)
+        .unwrap_or("sort:2,wordcount:1,wordcount-nc:1");
+    let mix = TenantMix::parse(mix_str, data_mb * 1024 * 1024).unwrap_or_else(|e| {
+        eprintln!("--tenants: {e}");
+        exit(2);
+    });
+    let mut sp = ServiceParams::default();
+    sp.shape = params.shape;
+    if let Some(v) = flags.get("duration-s") {
+        sp.duration = SimDuration::from_secs(v.parse().expect("--duration-s"));
+    }
+    if let Some(v) = flags.get("seed") {
+        sp.seed = v.parse().expect("--seed");
+    }
+    if let Some(v) = flags.get("retune-s") {
+        sp.retune_period = SimDuration::from_secs(v.parse().expect("--retune-s"));
+    }
+    if let Some(v) = flags.get("switch-cost-ms") {
+        sp.switch_cost = SimDuration::from_millis(v.parse().expect("--switch-cost-ms"));
+    }
+    if let Some(v) = flags.get("max-concurrent") {
+        sp.max_concurrent = v.parse().expect("--max-concurrent");
+    }
+    let rate: f64 = flags
+        .get("rate")
+        .map(|v| v.parse().expect("--rate"))
+        .unwrap_or(6.0);
+    let arrivals = match flags.get("arrivals-file") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("--arrivals-file: reading {path}: {e}");
+                exit(1);
+            });
+            let doc = Json::parse(&text).unwrap_or_else(|e| {
+                eprintln!("--arrivals-file: parsing {path}: {e}");
+                exit(1);
+            });
+            ArrivalSpec::parse_trace(&doc, &mix).unwrap_or_else(|e| {
+                eprintln!("--arrivals-file: {e}");
+                exit(1);
+            })
+        }
+        None => ArrivalSpec::Poisson { rate_per_min: rate },
+    };
+    // Calibrate every tenant under all 16 pairs with real single-job
+    // runs (the adaptive policy needs the full table; static baselines
+    // still use it for task service times).
+    let cache = EvalCache::new();
+    let profiles = calibrate_tenants(&params, &mix, &cache);
+    let margin: f64 = flags
+        .get("margin")
+        .map(|v| v.parse().expect("--margin"))
+        .unwrap_or(0.05);
+    let mut policy: Box<dyn ServicePolicy> =
+        match flags.get("policy").map(String::as_str).unwrap_or("adaptive") {
+            "adaptive" => Box::new(BlendedTuner::new(profiles.clone(), margin)),
+            code => Box::new(FixedPolicy(code.parse().unwrap_or_else(|e| {
+                eprintln!("--policy must be `adaptive` or a pair code: {e}");
+                exit(2);
+            }))),
+        };
+    let out = run_service(&sp, &mix, &profiles, &arrivals, policy.as_mut());
+    println!(
+        "serve-jobs: {} tenants ({mix_str}), {} arrivals over {:.0}s on {}x{} VMs, policy {}",
+        mix.tenants.len(),
+        out.arrivals,
+        sp.duration.as_secs_f64(),
+        sp.shape.nodes,
+        sp.shape.vms_per_node,
+        policy.name(),
+    );
+    println!(
+        "  completed {} / makespan {:.1}s / throughput {:.2} jobs/min",
+        out.completed,
+        out.makespan.as_secs_f64(),
+        out.throughput_jpm
+    );
+    println!(
+        "  latency p50 {:.1}s p99 {:.1}s mean {:.1}s",
+        out.p50_latency_s, out.p99_latency_s, out.mean_latency_s
+    );
+    println!(
+        "  slot util map {:.1}% reduce {:.1}% / {} retunes, {} switches",
+        out.map_slot_util * 100.0,
+        out.reduce_slot_util * 100.0,
+        out.retunes,
+        out.switches
+    );
+    if std::env::var("ADIOS_STRICT").map(|v| v == "1").unwrap_or(false) {
+        let mut oracle = TraceOracle::new(OracleConfig {
+            map_slots_per_vm: Some(sp.shape.map_slots_per_vm),
+            reduce_slots_per_vm: Some(sp.shape.reduce_slots_per_vm),
+            ..OracleConfig::default()
+        });
+        oracle.replay(&out.trace);
+        let violations = oracle.violations();
+        if violations.is_empty() {
+            println!("  oracle: clean ({} records)", out.trace.total());
+        } else {
+            for v in violations {
+                eprintln!("  oracle violation: {v}");
+            }
+            exit(1);
+        }
+    }
+    if let Some(path) = flags.get("metrics-out") {
+        write_out(path, &(out.metrics.to_string() + "\n"));
+        println!("wrote {path}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -478,6 +613,7 @@ fn main() {
         "tune" => cmd_tune(flags),
         "switch-cost" => cmd_switch_cost(flags),
         "waves" => cmd_waves(flags),
+        "serve-jobs" => cmd_serve_jobs(flags),
         _ => usage(),
     }
 }

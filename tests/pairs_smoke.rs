@@ -142,3 +142,47 @@ fn trace_oracle_is_clean_for_all_sixteen_pairs() {
         oracle.assert_clean();
     });
 }
+
+/// A 3-tenant multi-job service smoke, calibrated from real runs:
+/// every arrival completes, and the service trace replays through the
+/// oracle's multi-job invariants with zero violations — no slot
+/// oversubscription on any VM, job lifecycle ordering
+/// (arrive ≤ admit ≤ first task ≤ complete), and per-job map byte
+/// conservation.
+#[test]
+fn multijob_service_trace_is_oracle_clean() {
+    use adaptive_disk_sched::metasched::{calibrate_tenants, BlendedTuner, EvalCache};
+    use adaptive_disk_sched::vcluster::{run_service, ArrivalSpec, ServiceParams, TenantMix};
+    use simcore::SimDuration;
+
+    let mut params = ClusterParams::default();
+    params.shape.nodes = 2;
+    params.shape.vms_per_node = 2;
+    let mix = TenantMix::parse("sort:2,wordcount:1,wordcount-nc:1", 16 * 1024 * 1024)
+        .expect("tenant mix");
+    let cache = EvalCache::new();
+    let profiles = calibrate_tenants(&params, &mix, &cache);
+    assert!(
+        cache.stats().profile_entries >= SchedPair::all().len(),
+        "calibration must record its profiles in the shared cache"
+    );
+
+    let mut sp = ServiceParams::default();
+    sp.shape = params.shape;
+    sp.duration = SimDuration::from_secs(180);
+    sp.seed = 11;
+    let spec = ArrivalSpec::Poisson { rate_per_min: 5.0 };
+    let mut policy = BlendedTuner::new(profiles.clone(), 0.05);
+    let out = run_service(&sp, &mix, &profiles, &spec, &mut policy);
+
+    assert!(out.arrivals >= 3, "window too quiet: {} arrivals", out.arrivals);
+    assert_eq!(out.arrivals, out.completed, "open-loop service must drain");
+    assert_eq!(out.trace.dropped(), 0, "oracle needs the full history");
+    let mut oracle = TraceOracle::new(OracleConfig {
+        map_slots_per_vm: Some(sp.shape.map_slots_per_vm),
+        reduce_slots_per_vm: Some(sp.shape.reduce_slots_per_vm),
+        ..OracleConfig::default()
+    });
+    oracle.replay(&out.trace);
+    oracle.assert_clean();
+}
