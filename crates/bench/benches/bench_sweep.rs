@@ -1,6 +1,7 @@
 //! Kernel-throughput sweep bench: run the `vcluster::sweep` sharded
-//! driver over a cluster-scale grid and record events/sec and
-//! wall-clock per cell into `BENCH_sweep.json` (adios.bench/1).
+//! driver over a cluster-scale grid (8 → 256 nodes) and record
+//! events/sec and wall-clock per cell into `BENCH_sweep.json`
+//! (adios.bench/1).
 //!
 //! The headline number is the 64-node sort cell (64 nodes × 4 VMs,
 //! 64 MB/VM, default pair), compared against the pre-calendar-queue
@@ -241,7 +242,14 @@ fn main() {
     } else {
         job.data_per_vm_bytes = 64 << 20;
         SweepGrid {
-            shapes: vec![shape(8), shape(16), shape(32), shape(64)],
+            shapes: vec![
+                shape(8),
+                shape(16),
+                shape(32),
+                shape(64),
+                shape(128),
+                shape(256),
+            ],
             data_mb_per_vm: vec![64],
             plans: vec![
                 ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),

@@ -18,7 +18,7 @@ use repro_bench::micro::{bench, Timing};
 use repro_bench::quick;
 use simcore::{EventQueue, Json, SimDuration, SimTime};
 use std::hint::black_box;
-use vcluster::{run_job, ClusterParams, SwitchPlan};
+use vcluster::{run_job, ClusterParams, NetParams, Network, SwitchPlan};
 
 fn elevator_round(kind: SchedKind) -> u64 {
     let mut e = build_elevator(kind, &Tunables::default());
@@ -105,6 +105,43 @@ fn memo_cache_hits(cache: &EvalCache, pairs: &[SchedPair]) -> u64 {
     hits
 }
 
+/// Flow churn at a steady population: prefill `active` flows across a
+/// 16-node cluster, then run start → next_completion → harvest rounds —
+/// the per-shuffle-flow cycle the driver pays, exercising the
+/// incremental solver's dirty-set re-rate and heap repair at a fixed
+/// live-flow scale.
+fn net_flow_churn(active: usize, rounds: u64) -> u64 {
+    let nodes = 16u32;
+    let mut net = Network::new(NetParams::default(), nodes);
+    let mut now = SimTime::ZERO;
+    let mut x = 0x243F_6A88_85A3_08D3_u64; // fixed LCG: identical workload per iter
+    let mut lcg = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x
+    };
+    for _ in 0..active {
+        let src = (lcg() % nodes as u64) as u32;
+        let dst = (lcg() % nodes as u64) as u32;
+        let bytes = 64 * 1024 + lcg() % (960 * 1024);
+        net.start_flow(now, src, dst, bytes);
+    }
+    let mut done = Vec::new();
+    let mut completed = 0u64;
+    for _ in 0..rounds {
+        let src = (lcg() % nodes as u64) as u32;
+        let dst = (lcg() % nodes as u64) as u32;
+        let bytes = 64 * 1024 + lcg() % (960 * 1024);
+        net.start_flow(now, src, dst, bytes);
+        if let Some(t) = net.next_completion() {
+            now = t;
+            net.take_completed_into(now, &mut done);
+            completed += done.len() as u64;
+            done.clear();
+        }
+    }
+    completed
+}
+
 /// Serialize one benchmark's timing for `BENCH_micro.json`.
 fn timing_json(name: &str, t: Timing) -> Json {
     Json::obj()
@@ -159,6 +196,15 @@ fn main() {
         black_box(memo_cache_hits(&cache, &all_pairs))
     });
     results.push(timing_json("memo_cache_hit_1k", t));
+
+    for active in [64usize, 512, 4096] {
+        let name = format!("net_flow_churn/{active}");
+        let rounds = if quick() { 64 } else { 256 };
+        let t = bench(&name, warmup, iters, || {
+            black_box(net_flow_churn(active, rounds))
+        });
+        results.push(timing_json(&name, t));
+    }
 
     let t = bench("disk_service_1k_requests", warmup, iters, || {
         let mut d = blkdev::Disk::new(blkdev::DiskParams::default());

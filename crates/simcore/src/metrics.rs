@@ -21,7 +21,7 @@ use crate::hist::Histogram;
 use crate::json::Json;
 use crate::stats::{OnlineStats, SampleSet};
 use crate::timeseries::TimeSeries;
-use std::collections::HashMap;
+use crate::fxmap::FxHashMap;
 
 /// How much instrumentation the simulation layers record.
 ///
@@ -109,14 +109,14 @@ impl Metric {
 struct Section {
     name: String,
     order: Vec<String>,
-    vals: HashMap<String, Metric>,
+    vals: FxHashMap<String, Metric>,
 }
 
 /// An insertion-ordered registry of sections of metrics.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     order: Vec<String>,
-    sections: HashMap<String, Section>,
+    sections: FxHashMap<String, Section>,
 }
 
 impl MetricsRegistry {

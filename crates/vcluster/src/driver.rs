@@ -356,6 +356,9 @@ pub struct ClusterSim {
     nodes: Vec<NodeStack>,
     net: Network,
     net_timer: Timer,
+    /// Network population changed this batch; re-arm [`Self::net_timer`]
+    /// once per dispatch batch instead of per flow event.
+    net_stale: bool,
     vcpus: Vec<Vcpu>,
     cpu_timers: Vec<Timer>,
     files: Vec<VmFiles>,
@@ -366,12 +369,16 @@ pub struct ClusterSim {
     tasks: FxHashMap<TaskId, TaskRt>,
     streams: FxHashMap<u64, IoStream>,
     next_stream: u64,
-    io_map: FxHashMap<RequestId, IoTarget>,
+    /// Request and CPU-work ids are sequential, so these are slabs
+    /// like `flow_map`: one insert + one take per request, no hashing.
+    io_map: Vec<Option<IoTarget>>,
     next_req: RequestId,
-    cpu_map: FxHashMap<WorkId, CpuOwner>,
+    cpu_map: Vec<Option<CpuOwner>>,
     next_work: WorkId,
-    /// Flow owner plus start time (for flow-duration metrics).
-    flow_map: FxHashMap<FlowId, (FlowOwner, SimTime)>,
+    /// Flow owner plus start time (for flow-duration metrics). Flow
+    /// ids are sequential, so this is a slab, not a hash map — the
+    /// dispatch path indexes it directly.
+    flow_map: Vec<Option<(FlowOwner, SimTime)>>,
     fetches: FxHashMap<u64, Fetch>,
     next_fetch: u64,
     /// Bytes appended to each reducer's shuffle run so far.
@@ -440,6 +447,7 @@ impl ClusterSim {
             nodes,
             net: Network::new(params.net.clone(), shape.nodes),
             net_timer: Timer::new(),
+            net_stale: false,
             vcpus: (0..total_vms).map(|_| Vcpu::new()).collect(),
             cpu_timers: (0..total_vms).map(|_| Timer::new()).collect(),
             files,
@@ -447,11 +455,11 @@ impl ClusterSim {
             tasks: FxHashMap::default(),
             streams: FxHashMap::default(),
             next_stream: 1,
-            io_map: FxHashMap::default(),
+            io_map: Vec::new(),
             next_req: 1,
-            cpu_map: FxHashMap::default(),
+            cpu_map: Vec::new(),
             next_work: 1,
-            flow_map: FxHashMap::default(),
+            flow_map: Vec::new(),
             fetches: FxHashMap::default(),
             next_fetch: 1,
             shuffle_off: vec![0; num_reduces],
@@ -591,7 +599,10 @@ impl ClusterSim {
     fn add_cpu_work(&mut self, gvm: u32, owner: CpuOwner, nanos: u64) {
         let id = self.next_work;
         self.next_work += 1;
-        self.cpu_map.insert(id, owner);
+        if self.cpu_map.len() <= id as usize {
+            self.cpu_map.resize_with(id as usize + 1, || None);
+        }
+        self.cpu_map[id as usize] = Some(owner);
         self.cpu_busy_ns[gvm as usize] += nanos.max(1);
         self.vcpus[gvm as usize].add(self.now, id, nanos.max(1));
         self.rearm_cpu(gvm);
@@ -599,13 +610,16 @@ impl ClusterSim {
 
     fn start_flow(&mut self, owner: FlowOwner, src_node: u32, dst_node: u32, bytes: u64) {
         let id = self.net.start_flow(self.now, src_node, dst_node, bytes.max(1));
-        self.flow_map.insert(id, (owner, self.now));
+        if self.flow_map.len() <= id as usize {
+            self.flow_map.resize_with(id as usize + 1, || None);
+        }
+        self.flow_map[id as usize] = Some((owner, self.now));
         self.flows_started += 1;
         self.trace.push(
             self.now,
             TraceEvent::FlowStart { id, src: src_node, dst: dst_node, bytes: bytes.max(1) },
         );
-        self.rearm_net();
+        self.net_stale = true;
     }
 
     // ------------------------------------------------------------------
@@ -722,7 +736,11 @@ impl ClusterSim {
             };
             let node = s.node;
             let vm = s.vm;
-            self.io_map.insert(self.next_req, IoTarget::Stream(key));
+            let ri = self.next_req as usize;
+            if self.io_map.len() <= ri {
+                self.io_map.resize_with(ri + 1, || None);
+            }
+            self.io_map[ri] = Some(IoTarget::Stream(key));
             self.next_req += 1;
             {
                 let s = self.streams.get_mut(&key).expect("live stream");
@@ -756,7 +774,11 @@ impl ClusterSim {
                 sync: false,
                 submitted: self.now,
             };
-            self.io_map.insert(self.next_req, IoTarget::Writeback(gvm));
+            let ri = self.next_req as usize;
+            if self.io_map.len() <= ri {
+                self.io_map.resize_with(ri + 1, || None);
+            }
+            self.io_map[ri] = Some(IoTarget::Writeback(gvm));
             self.next_req += 1;
             let mut buf = self.take_buf();
             self.nodes[node as usize].submit_into(self.now, vm, req, &mut buf);
@@ -766,7 +788,7 @@ impl ClusterSim {
     }
 
     fn on_io_done(&mut self, req: RequestId, bytes: u64) {
-        let Some(target) = self.io_map.remove(&req) else {
+        let Some(target) = self.io_map.get_mut(req as usize).and_then(Option::take) else {
             panic!("completion for unknown request {req}");
         };
         match target {
@@ -808,7 +830,11 @@ impl ClusterSim {
     }
 
     fn on_cpu_done(&mut self, work: WorkId) {
-        let owner = self.cpu_map.remove(&work).expect("unknown cpu work");
+        let owner = self
+            .cpu_map
+            .get_mut(work as usize)
+            .and_then(Option::take)
+            .expect("unknown cpu work");
         match owner {
             CpuOwner::Stream(key) => {
                 if let Some(s) = self.streams.get_mut(&key) {
@@ -882,7 +908,7 @@ impl ClusterSim {
     }
 
     fn on_flow_done(&mut self, flow: FlowId) {
-        let (owner, started) = self.flow_map.remove(&flow).expect("unknown flow");
+        let (owner, started) = self.flow_map[flow as usize].take().expect("unknown flow");
         self.flow_stats
             .record(self.now.saturating_since(started).as_secs_f64());
         self.trace.push(self.now, TraceEvent::FlowEnd { id: flow });
@@ -1246,7 +1272,7 @@ impl ClusterSim {
                         self.on_flow_done(flow);
                     }
                     self.flow_buf = flows;
-                    self.rearm_net();
+                    self.net_stale = true;
                 }
             }
             Ev::Cpu { gvm, ticket } => {
@@ -1356,6 +1382,14 @@ impl ClusterSim {
                     eta,
                 );
             }
+            // One net timer re-arm per batch: every flow start/finish in
+            // the batch just marked `net_stale`, and the network defers
+            // its re-solve until `next_completion` asks — so an N-flow
+            // same-instant burst costs one water-filling pass, not N.
+            if self.net_stale {
+                self.net_stale = false;
+                self.rearm_net();
+            }
             batch.clear();
             let Some(t) = self.queue.pop_batch(&mut batch) else {
                 panic!(
@@ -1415,7 +1449,7 @@ impl ClusterSim {
                 .collect(),
             disk_stats: self.nodes.iter().map(|n| n.disk_stats().clone()).collect(),
             switch_log: std::mem::take(&mut self.switch_log),
-            network_bytes: self.net.delivered_bytes as u64,
+            network_bytes: self.net.delivered_bytes() as u64,
             metrics,
             trace_digest,
             events_processed: self.events_processed,
@@ -1459,7 +1493,7 @@ impl ClusterSim {
         }
         self.nodes[0].export_throughput(&mut reg);
         reg.inc("network", "flows", self.flows_started);
-        reg.set_gauge("network", "bytes", self.net.delivered_bytes);
+        reg.set_gauge("network", "bytes", self.net.delivered_bytes());
         reg.merge_stats("network", "flow_duration_s", &self.flow_stats);
         reg.inc("cache", "hits", self.cache_hits);
         reg.inc("cache", "misses", self.cache_misses);

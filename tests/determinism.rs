@@ -150,21 +150,88 @@ fn telemetry_off_document_still_validates() {
     assert!(!text.contains("\"hist\":{"), "hist section must be absent when off");
 }
 
+/// The incremental network solver at sweep scale: a 128-node cell's
+/// makespan, metrics document bytes and trace digest are identical on
+/// 1, 2 and 8 `par_map` workers. The 2-node tests above exercise the
+/// solver's correctness; this pins it at the population sizes the
+/// extended sweep axis (128/256 nodes) actually drives, where the
+/// dirty-set, component BFS and heap-repair paths do real work.
+#[test]
+fn sweep_128_node_cell_thread_invariant() {
+    let mut params = small_cluster();
+    params.shape.nodes = 128;
+    params.shape.vms_per_node = 2;
+    params.node.trace_capacity = 4096;
+    let job = sort_job(4);
+    let pairs = SchedPair::all();
+    let configs = [pairs[0], pairs[9]];
+    let run = |p: &SchedPair| {
+        let out = run_job(&params, &job, SwitchPlan::single(*p));
+        (out.makespan.as_nanos(), out.metrics.to_string(), out.trace_digest)
+    };
+    let one = par_map_threads(1, &configs, run);
+    let two = par_map_threads(2, &configs, run);
+    let eight = par_map_threads(8, &configs, run);
+    assert_eq!(one, two, "2 workers changed the 128-node cell");
+    assert_eq!(one, eight, "8 workers changed the 128-node cell");
+}
+
 /// The `SIM_THREADS` environment override feeds `par_map` and must not
-/// change results either. (This is the only test in this binary that
-/// touches the variable, so the process-global state is safe.)
+/// change results either — neither for single-job sweeps nor for the
+/// multijob service, whose full metrics documents must stay
+/// byte-identical across `SIM_THREADS=1/2/8`. (This is the only test
+/// in this binary that touches the variable, so the process-global
+/// state is safe.)
 #[test]
 fn sim_threads_env_override_is_result_invariant() {
+    use adaptive_disk_sched::vcluster::{
+        run_service, ArrivalSpec, FixedPolicy, ServiceParams, TenantMix, TenantProfile,
+    };
     let params = small_cluster();
     let job = sort_job(96);
     let pairs = SchedPair::all();
     let run = |p: &SchedPair| run_job(&params, &job, SwitchPlan::single(*p)).makespan;
-    std::env::set_var("SIM_THREADS", "8");
-    let wide = par_map(&pairs, run);
-    std::env::set_var("SIM_THREADS", "1");
-    let serial = par_map(&pairs, run);
+    // Fixed synthetic calibration so the service runs do not depend on
+    // the inner cluster model's timings.
+    let profiles: Vec<TenantProfile> = (0..2)
+        .map(|t| TenantProfile {
+            phase: (0..pairs.len())
+                .map(|i| {
+                    let k = i as f64 + t as f64;
+                    [
+                        SimDuration::from_secs_f64(20.0 + k),
+                        SimDuration::from_secs_f64(8.0 + 0.5 * k),
+                        SimDuration::from_secs_f64(12.0 - 0.25 * k),
+                    ]
+                })
+                .collect(),
+        })
+        .collect();
+    let mix = TenantMix::parse("sort:1,wordcount:1", 32 * 1024 * 1024).expect("tenant mix");
+    let seeds = [7u64, 11];
+    let service = |&seed: &u64| {
+        let mut sp = ServiceParams::default();
+        sp.shape.nodes = 2;
+        sp.shape.vms_per_node = 2;
+        sp.duration = SimDuration::from_secs(120);
+        sp.seed = seed;
+        let spec = ArrivalSpec::Poisson { rate_per_min: 4.0 };
+        let mut policy = FixedPolicy(SchedPair::DEFAULT);
+        let out = run_service(&sp, &mix, &profiles, &spec, &mut policy);
+        (out.completed, out.trace_digest, out.metrics.to_string())
+    };
+    let mut sweeps = Vec::new();
+    let mut services = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("SIM_THREADS", threads);
+        sweeps.push(par_map(&pairs, run));
+        services.push(par_map(&seeds, service));
+    }
     std::env::remove_var("SIM_THREADS");
-    assert_eq!(wide, serial, "SIM_THREADS changed sweep results");
+    assert_eq!(sweeps[0], sweeps[1], "SIM_THREADS=2 changed sweep results");
+    assert_eq!(sweeps[0], sweeps[2], "SIM_THREADS=8 changed sweep results");
+    assert_eq!(services[0], services[1], "SIM_THREADS=2 changed service metrics docs");
+    assert_eq!(services[0], services[2], "SIM_THREADS=8 changed service metrics docs");
 }
 
 /// Back-to-back jobs on one driver recycle the calendar event queue

@@ -62,12 +62,69 @@ fn fingerprint(pair_idx: usize, data_mb: u64) -> (u64, u64, u64) {
 
 /// Captured from the seed kernel (commit 92d140c) with
 /// `cargo test -q --test kernel_goldens -- --ignored --nocapture`.
+/// The incremental network solver reproduced every makespan and trace
+/// digest bit-for-bit; only the `metrics_fnv` values were re-captured —
+/// the `network/bytes` gauge now credits the sub-byte horizon-rounding
+/// residual at flow completion (exact conservation at drain), which
+/// perturbs that one gauge's last decimal digits and nothing else.
 const GOLDENS: &[Golden] = &[
-    Golden { pair_idx: 0, data_mb: 64, makespan_ns: 6403298906, trace_digest: 0xaca5ae7afd87e97c, metrics_fnv: 0x9cb8a8604006056d },
-    Golden { pair_idx: 5, data_mb: 64, makespan_ns: 6257273994, trace_digest: 0x6a5f7b1fcdb23fa9, metrics_fnv: 0x0da20f193994f5eb },
-    Golden { pair_idx: 10, data_mb: 96, makespan_ns: 9385997512, trace_digest: 0x89a9cfc194d9e09c, metrics_fnv: 0x0fc656d6f55ebec2 },
-    Golden { pair_idx: 15, data_mb: 48, makespan_ns: 7526422090, trace_digest: 0x628faec7bd2bd011, metrics_fnv: 0xba30e4162848cad1 },
+    Golden { pair_idx: 0, data_mb: 64, makespan_ns: 6403298906, trace_digest: 0xaca5ae7afd87e97c, metrics_fnv: 0x59bf423bf7079267 },
+    Golden { pair_idx: 5, data_mb: 64, makespan_ns: 6257273994, trace_digest: 0x6a5f7b1fcdb23fa9, metrics_fnv: 0x71f1ddc7bc97c5c2 },
+    Golden { pair_idx: 10, data_mb: 96, makespan_ns: 9385997512, trace_digest: 0x89a9cfc194d9e09c, metrics_fnv: 0x3a955068814f54af },
+    Golden { pair_idx: 15, data_mb: 48, makespan_ns: 7526422090, trace_digest: 0x628faec7bd2bd011, metrics_fnv: 0x5ad11ad835fdf52e },
 ];
+
+/// 128-node sweep-scale golden: the incremental network solver's
+/// component BFS, dirty-set coalescing and heap repair all see much
+/// larger populations here than in the 2-node cases above, so this
+/// pins the solver at the scale the sweep axis extension targets.
+/// Small per-VM data keeps the debug-mode run time reasonable.
+const GOLDEN_128: Golden = Golden {
+    pair_idx: 0,
+    data_mb: 8,
+    makespan_ns: 8067224194,
+    trace_digest: 0x3625f7f9a417db91,
+    metrics_fnv: 0x3725aa2b9700c77c,
+};
+
+fn params_128() -> ClusterParams {
+    let mut p = params();
+    p.shape.nodes = 128;
+    p.shape.vms_per_node = 2;
+    p
+}
+
+fn fingerprint_128(pair_idx: usize, data_mb: u64) -> (u64, u64, u64) {
+    let job = JobSpec {
+        data_per_vm_bytes: data_mb * 1024 * 1024,
+        ..JobSpec::new(WorkloadSpec::sort())
+    };
+    let out = run_job(
+        &params_128(),
+        &job,
+        SwitchPlan::single(SchedPair::all()[pair_idx]),
+    );
+    (
+        out.makespan.as_nanos(),
+        out.trace_digest,
+        fnv1a(out.metrics.to_string().as_bytes()),
+    )
+}
+
+/// The 128-node fingerprint is bit-identical on 1, 2 and 8 `par_map`
+/// workers, and matches the hardcoded golden on all of them.
+#[test]
+fn sweep_128_golden_thread_invariant() {
+    let configs = [(GOLDEN_128.pair_idx, GOLDEN_128.data_mb)];
+    for threads in [1usize, 2, 8] {
+        let got = par_map_threads(threads, &configs, |&(p, mb)| fingerprint_128(p, mb));
+        assert_eq!(
+            got[0],
+            (GOLDEN_128.makespan_ns, GOLDEN_128.trace_digest, GOLDEN_128.metrics_fnv),
+            "128-node golden drifted on {threads} worker(s)"
+        );
+    }
+}
 
 #[test]
 #[ignore]
@@ -79,6 +136,11 @@ fn capture_goldens() {
              trace_digest: 0x{d:016x}, metrics_fnv: 0x{f:016x} }},"
         );
     }
+    let (m, d, f) = fingerprint_128(0, 8);
+    println!(
+        "Golden128 {{ pair_idx: 0, data_mb: 8, makespan_ns: {m}, \
+         trace_digest: 0x{d:016x}, metrics_fnv: 0x{f:016x} }}"
+    );
 }
 
 #[test]
