@@ -238,6 +238,7 @@ fn main() {
                 ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),
                 ("dd".into(), SwitchPlan::single(dd)),
             ],
+            parallel_copies: vec![],
         }
     } else {
         job.data_per_vm_bytes = 64 << 20;
@@ -255,6 +256,7 @@ fn main() {
                 ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),
                 ("dd".into(), SwitchPlan::single(dd)),
             ],
+            parallel_copies: vec![],
         }
     };
 

@@ -1,8 +1,9 @@
 //! # adios-report — render and diff `adios.metrics` documents
 //!
 //! The simulator dumps one deterministic JSON document per run
-//! (schema `adios.metrics/2`). This crate turns such a document into a
-//! terminal dashboard — per-phase table, histogram quantiles with
+//! (schema `adios.metrics/2`, or `/3` for the multi-job service, whose
+//! job-level SLOs render as a first-class `[service SLO]` block). This
+//! crate turns such a document into a terminal dashboard — per-phase table, histogram quantiles with
 //! bucket sparklines, sim-time series sparklines — and diffs two
 //! documents section by section so two scheduler configurations can be
 //! compared without leaving the shell.
@@ -13,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod alerts;
+pub mod serve;
 pub mod store;
 
 use simcore::Json;
@@ -225,6 +228,49 @@ pub fn render(doc: &Json) -> Result<String, String> {
         None => {
             let _ = writeln!(out, "== {schema} ==");
         }
+    }
+    // Multi-job service documents lead with the four numbers the
+    // service is judged on, ahead of the generic section dump.
+    if schema == "adios.metrics/3" && doc.get("kind").and_then(Json::as_str) == Some("service") {
+        let g = |path: &[&str]| -> f64 {
+            let mut v = doc;
+            for k in path {
+                match v.get(k) {
+                    Some(inner) => v = inner,
+                    None => return 0.0,
+                }
+            }
+            f(v)
+        };
+        let _ = writeln!(out, "\n[service SLO]");
+        let _ = writeln!(
+            out,
+            "  {:<24} {}",
+            "policy",
+            doc.get("policy").and_then(Json::as_str).unwrap_or("?")
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} p50={:.3}s p99={:.3}s",
+            "job latency",
+            g(&["latency", "p50_s"]),
+            g(&["latency", "p99_s"]),
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} {:.2} jobs/min (completed {} of {} arrivals)",
+            "throughput",
+            g(&["service", "throughput_jpm"]),
+            g(&["service", "completed"]) as u64,
+            g(&["service", "arrivals"]) as u64,
+        );
+        let _ = writeln!(
+            out,
+            "  {:<24} map={:.2} reduce={:.2}",
+            "slot utilization",
+            g(&["slots", "map_util"]),
+            g(&["slots", "reduce_util"]),
+        );
     }
     let mut scalars: Vec<(String, Json)> = Vec::new();
     for (section, value) in doc.entries().unwrap_or(&[]) {
@@ -503,6 +549,39 @@ mod tests {
         assert!(text.contains("p99="), "{text}");
         assert!(text.contains("dom0_qdepth"), "{text}");
         assert!(text.chars().any(|c| SPARKS.contains(&c)), "{text}");
+    }
+
+    #[test]
+    fn render_service_docs_with_first_class_slo_block() {
+        let doc = Json::obj()
+            .field("schema", "adios.metrics/3")
+            .field("kind", "service")
+            .field("policy", "adaptive")
+            .field(
+                "service",
+                Json::obj()
+                    .field("throughput_jpm", 7.5)
+                    .field("completed", 120u64)
+                    .field("arrivals", 125u64),
+            )
+            .field(
+                "latency",
+                Json::obj().field("p50_s", 20.0).field("p99_s", 45.0),
+            )
+            .field(
+                "slots",
+                Json::obj().field("map_util", 0.8).field("reduce_util", 0.6),
+            );
+        let text = render(&doc).unwrap();
+        assert!(text.contains("[service SLO]"), "{text}");
+        assert!(text.contains("p50=20.000s p99=45.000s"), "{text}");
+        assert!(text.contains("7.50 jobs/min (completed 120 of 125 arrivals)"), "{text}");
+        assert!(text.contains("map=0.80 reduce=0.60"), "{text}");
+        // The SLO block must come before the generic sections.
+        assert!(
+            text.find("[service SLO]").unwrap() < text.find("[service]").unwrap(),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,538 @@
+//! The always-on analytics daemon behind `adios-report serve`.
+//!
+//! A polling directory watcher (hermetic — plain `read_dir` on an
+//! interval, no inotify bindings) feeds the incremental
+//! [`crate::store::Store`]: every `*.json` that appears under
+//! `--watch` is classified by its `schema` field and ingested exactly
+//! once — `adios.metrics/2|3` documents into the rank/correlate
+//! groups (or the service-SLO list), `adios.evalcache/1` snapshots
+//! into the what-if table, `adios.bench/1` documents into the JSONL
+//! ledger (persisted back to `--ledger` after every append) with the
+//! alert rules from `--alert-rules` evaluated against the trailing
+//! window *before* the document extends it.
+//!
+//! Queries are line-delimited JSON — one request object per line, one
+//! response object per line, over stdin/stdout or a TCP socket
+//! (`--tcp addr:port`, `std::net`):
+//!
+//! ```text
+//! {"q":"rank"}
+//! {"q":"correlate"}
+//! {"q":"history"}
+//! {"q":"whatif","nodes":4,"vms_per_node":4,"data_mb_per_vm":512,"workload":"sort"}
+//! {"q":"overlap","target_pct":29.5}
+//! {"q":"service"}
+//! {"q":"stats"}
+//! ```
+//!
+//! Every response starts with `"ok":true|false`; `rank`/`correlate`
+//! carry the batch subcommand's exact rendered text in `"text"`, and
+//! `whatif` answers carry a `"provenance"` of `cached`,
+//! `interpolated`, or `unknown`. Because the batch subcommands build
+//! a throw-away `Store` over the same ingest path, a `--once` pass
+//! answers byte-identically to `adios-report rank`/`correlate`/
+//! `whatif` on the same directory — the goldens pin this.
+//!
+//! `--once` mode scans the directory one time, answers the
+//! `--query-file` lines on stdout, writes fired alerts to
+//! `--alerts-out` (schema `adios.alerts/1`), and exits 2 when any
+//! alert fired — the CI regression gate.
+
+use crate::alerts::{self, AlertRule};
+use crate::store::{bench_metrics, Ingested, Store};
+use simcore::Json;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Mutex};
+
+/// Parsed `serve` flags.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Directory to watch for `*.json` documents.
+    pub watch: String,
+    /// Scan once, answer the query file, exit (2 when alerts fired).
+    pub once: bool,
+    /// JSONL ledger path: loaded at startup, rewritten after appends.
+    pub ledger: Option<String>,
+    /// `adios.alertrules/1` file evaluated at bench ingest.
+    pub alert_rules: Option<String>,
+    /// Where fired alerts are written as an `adios.alerts/1` doc.
+    pub alerts_out: Option<String>,
+    /// One query per line, answered on stdout (mainly for `--once`).
+    pub query_file: Option<String>,
+    /// Poll interval for the directory watcher.
+    pub poll_ms: u64,
+    /// Optional `addr:port` to also answer queries over TCP.
+    pub tcp: Option<String>,
+}
+
+/// The daemon state: the incremental store plus watcher bookkeeping.
+pub struct Daemon {
+    store: Store,
+    rules: Vec<AlertRule>,
+    ledger_path: Option<String>,
+    /// file name → content digest of everything ingested, so a poll
+    /// re-reads cheaply and a file that mutates after ingest warns
+    /// once instead of corrupting the aggregates.
+    seen: BTreeMap<String, u64>,
+    /// Files already warned about (parse errors, post-ingest edits).
+    warned: BTreeMap<String, String>,
+    /// Every alert fired over the daemon's lifetime.
+    pub fired: Vec<alerts::Alert>,
+    /// Kind/source of the most recent firing ingest (alerts doc header).
+    last_fired_source: Option<(String, String)>,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Daemon {
+    /// Fresh daemon; adopts the ledger file when one is configured.
+    pub fn new(opts: &ServeOptions) -> Result<Daemon, String> {
+        let mut store = Store::new();
+        let ledger_path = opts.ledger.clone();
+        if let Some(path) = &ledger_path {
+            match std::fs::read_to_string(path) {
+                Ok(text) => store.load_ledger(&text)?,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("{path}: {e}")),
+            }
+        }
+        let rules = match &opts.alert_rules {
+            Some(path) => {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+                alerts::parse_rules(&doc, path)?
+            }
+            None => Vec::new(),
+        };
+        Ok(Daemon {
+            store,
+            rules,
+            ledger_path,
+            seen: BTreeMap::new(),
+            warned: BTreeMap::new(),
+            fired: Vec::new(),
+            last_fired_source: None,
+        })
+    }
+
+    /// Read-only view of the store (tests, embedding).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    fn warn_once(&mut self, file: &str, msg: String, log: &mut Vec<String>) {
+        if self.warned.get(file) != Some(&msg) {
+            log.push(format!("serve: {msg}"));
+            self.warned.insert(file.to_string(), msg);
+        }
+    }
+
+    /// One watcher pass over `dir`: ingest every new `*.json`,
+    /// returning human log lines for anything that happened.
+    pub fn scan(&mut self, dir: &str) -> Result<Vec<String>, String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .map_err(|e| format!("{dir}: {e}"))?
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".json"))
+            .collect();
+        names.sort();
+        let mut log = Vec::new();
+        for name in names {
+            let path = format!("{dir}/{name}");
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                // A writer may still be mid-rename; next poll gets it.
+                continue;
+            };
+            let digest = fnv1a(&text);
+            match self.seen.get(&name) {
+                Some(&d) if d == digest => continue,
+                Some(_) => {
+                    self.warn_once(
+                        &name,
+                        format!("{name}: changed after ingest — ignoring the new content"),
+                        &mut log,
+                    );
+                    continue;
+                }
+                None => {}
+            }
+            let doc = match Json::parse(&text) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.warn_once(&name, format!("{name}: {e}"), &mut log);
+                    continue;
+                }
+            };
+            self.seen.insert(name.clone(), digest);
+            match self.ingest(&name, &doc) {
+                Ok(lines) => log.extend(lines),
+                Err(e) => self.warn_once(&name, e, &mut log),
+            }
+        }
+        Ok(log)
+    }
+
+    /// Classify and ingest one parsed document.
+    pub fn ingest(&mut self, file: &str, doc: &Json) -> Result<Vec<String>, String> {
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema == "adios.bench/1" {
+            // Evaluate alert rules against the trailing window the
+            // document is about to extend, then ingest.
+            let (kind, metrics) = bench_metrics(doc, file)?;
+            let fired = alerts::evaluate(&self.rules, &metrics, self.store.trailing_metrics(&kind));
+            let out = self.store.ingest_bench(doc, file)?;
+            let mut log = vec![out.line.clone()];
+            if out.appended {
+                if let Some(path) = &self.ledger_path {
+                    std::fs::write(path, self.store.ledger())
+                        .map_err(|e| format!("{path}: {e}"))?;
+                }
+                for a in &fired {
+                    log.push(format!(
+                        "ALERT {}: {:.3} vs trailing {:.3} ({:+.2}% > {:+.2}% over {} entries)",
+                        a.metric, a.value, a.reference, a.delta_pct, a.max_delta_pct, a.window
+                    ));
+                }
+                if !fired.is_empty() {
+                    self.last_fired_source = Some((kind, file.to_string()));
+                    self.fired.extend(fired);
+                }
+            }
+            return Ok(log);
+        }
+        match self.store.ingest_metrics(file, doc)? {
+            Ingested::Run => Ok(vec![format!("serve: {file}: run ingested")]),
+            Ingested::Service => Ok(vec![format!("serve: {file}: service SLOs ingested")]),
+            Ingested::CacheEntries(n) => {
+                Ok(vec![format!("serve: {file}: {n} eval-cache entries ingested")])
+            }
+            Ingested::Duplicate => Ok(Vec::new()),
+        }
+    }
+
+    /// Fired alerts rendered as an `adios.alerts/1` document.
+    pub fn alerts_doc(&self) -> Json {
+        let (kind, source) = self
+            .last_fired_source
+            .clone()
+            .unwrap_or_else(|| ("none".into(), "none".into()));
+        alerts::alerts_doc(&kind, &source, &self.fired)
+    }
+}
+
+fn ok(payload: Json) -> String {
+    let mut out = Json::obj().field("ok", true);
+    if let Some(fields) = payload.entries() {
+        for (k, v) in fields {
+            out = out.field(k, v.clone());
+        }
+    }
+    out.to_string()
+}
+
+fn err(q: &str, e: &str) -> String {
+    Json::obj()
+        .field("ok", false)
+        .field("q", q)
+        .field("error", e)
+        .to_string()
+}
+
+fn q_u64(req: &Json, keys: &[&str]) -> Option<u64> {
+    keys.iter()
+        .find_map(|k| req.get(k).and_then(Json::as_f64))
+        .map(|x| x as u64)
+}
+
+/// Answer one query line against the store. Always returns exactly one
+/// line of JSON (no trailing newline).
+pub fn handle_query(store: &Store, line: &str) -> String {
+    let req = match Json::parse(line) {
+        Ok(r) => r,
+        Err(e) => return err("?", &format!("bad query: {e}")),
+    };
+    let q = req.get("q").and_then(Json::as_str).unwrap_or("");
+    match q {
+        "rank" => match store.rank() {
+            Ok(r) => ok(Json::obj()
+                .field("q", "rank")
+                .field("crossovers", r.crossovers as u64)
+                .field("text", r.text)),
+            Err(e) => err(q, &e),
+        },
+        "correlate" => match store.correlate() {
+            Ok(text) => ok(Json::obj().field("q", "correlate").field("text", text)),
+            Err(e) => err(q, &e),
+        },
+        "history" => ok(store.history_summary()),
+        "whatif" => {
+            let (Some(nodes), Some(vms), Some(data_mb)) = (
+                q_u64(&req, &["nodes"]),
+                q_u64(&req, &["vms_per_node", "vms"]),
+                q_u64(&req, &["data_mb_per_vm", "data_mb"]),
+            ) else {
+                return err(q, "whatif needs nodes, vms_per_node, data_mb_per_vm");
+            };
+            let workload = req.get("workload").and_then(Json::as_str).unwrap_or("?");
+            ok(store.whatif(nodes, vms, data_mb, workload))
+        }
+        "overlap" => {
+            let target = req
+                .get("target_pct")
+                .and_then(Json::as_f64)
+                .unwrap_or(crate::store::TABLE2_SHUFFLE_PCT);
+            ok(store.overlap(target))
+        }
+        "service" => ok(Json::obj().field("q", "service").field("slos", store.service_slos())),
+        "stats" => ok(store.stats()),
+        other => err(other, "unknown query (try rank, correlate, history, whatif, overlap, service, stats)"),
+    }
+}
+
+/// Run the daemon. Returns the process exit code: 0 clean, 2 when any
+/// alert fired in `--once` mode. Blocks forever in watch mode.
+pub fn run(opts: &ServeOptions) -> Result<u8, String> {
+    let mut daemon = Daemon::new(opts)?;
+    for line in daemon.scan(&opts.watch)? {
+        eprintln!("{line}");
+    }
+
+    let answer_file = |daemon: &Daemon| -> Result<(), String> {
+        if let Some(qf) = &opts.query_file {
+            // `-` reads the queries from stdin, same as `render -`.
+            let text = if qf == "-" {
+                use std::io::Read as _;
+                let mut s = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut s)
+                    .map_err(|e| format!("stdin: {e}"))?;
+                s
+            } else {
+                std::fs::read_to_string(qf).map_err(|e| format!("{qf}: {e}"))?
+            };
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                writeln!(out, "{}", handle_query(daemon.store(), line))
+                    .map_err(|e| format!("stdout: {e}"))?;
+            }
+        }
+        Ok(())
+    };
+
+    if opts.once {
+        answer_file(&daemon)?;
+        if !daemon.fired.is_empty() {
+            let doc = daemon.alerts_doc();
+            if let Some(path) = &opts.alerts_out {
+                std::fs::write(path, format!("{}\n", doc.to_string()))
+                    .map_err(|e| format!("{path}: {e}"))?;
+            }
+            eprintln!("serve: {} alert(s) fired", daemon.fired.len());
+            return Ok(2);
+        }
+        return Ok(0);
+    }
+
+    // Watch mode: the query file (if any) is answered once up front,
+    // then stdin and the optional TCP socket serve queries while the
+    // watcher keeps polling.
+    answer_file(&daemon)?;
+    let shared = Arc::new(Mutex::new(daemon));
+
+    if let Some(addr) = &opts.tcp {
+        let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+        let state = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { continue };
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    let Ok(peer) = conn.try_clone() else { return };
+                    let mut writer = conn;
+                    for line in BufReader::new(peer).lines() {
+                        let Ok(line) = line else { break };
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        let resp = {
+                            let daemon = state.lock().expect("daemon lock");
+                            handle_query(daemon.store(), &line)
+                        };
+                        if writeln!(writer, "{resp}").is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    // Stdin reader thread: queries arrive on a channel so the main
+    // loop can interleave them with watcher polls.
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+
+    let poll = std::time::Duration::from_millis(opts.poll_ms.max(10));
+    loop {
+        match rx.recv_timeout(poll) {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let resp = {
+                    let daemon = shared.lock().expect("daemon lock");
+                    handle_query(daemon.store(), &line)
+                };
+                println!("{resp}");
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                let mut daemon = shared.lock().expect("daemon lock");
+                match daemon.scan(&opts.watch) {
+                    Ok(lines) => {
+                        for line in lines {
+                            eprintln!("{line}");
+                        }
+                    }
+                    Err(e) => eprintln!("serve: {e}"),
+                }
+                // In watch mode alerts stream to stderr and the alerts
+                // file as they fire; the exit-code gate is --once only.
+                if let (Some(path), false) = (&opts.alerts_out, daemon.fired.is_empty()) {
+                    let doc = daemon.alerts_doc();
+                    let _ = std::fs::write(path, format!("{}\n", doc.to_string()));
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                // stdin closed: keep watching; queries continue over
+                // TCP when configured.
+                std::thread::sleep(poll);
+                let mut daemon = shared.lock().expect("daemon lock");
+                match daemon.scan(&opts.watch) {
+                    Ok(lines) => {
+                        for line in lines {
+                            eprintln!("{line}");
+                        }
+                    }
+                    Err(e) => eprintln!("serve: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_doc(plan: &str, mk: f64) -> Json {
+        Json::obj()
+            .field("schema", "adios.metrics/2")
+            .field(
+                "manifest",
+                Json::obj()
+                    .field("nodes", 4u64)
+                    .field("vms_per_node", 4u64)
+                    .field("data_mb_per_vm", 512u64)
+                    .field("plan", plan)
+                    .field("telemetry", "counters")
+                    .field("workload", "sort"),
+            )
+            .field("run", Json::obj().field("makespan_s", mk))
+            .field(
+                "phases",
+                Json::obj()
+                    .field("ph1_s", mk * 0.3)
+                    .field("ph2_s", mk * 0.4)
+                    .field("ph3_s", mk * 0.3),
+            )
+            .field(
+                "dom0_elevator",
+                Json::obj().field("queue_depth", Json::obj().field("mean", mk / 5.0)),
+            )
+            .field("disk", Json::obj().field("busy_s", mk * 2.0))
+    }
+
+    #[test]
+    fn queries_answer_one_json_line_each() {
+        let mut store = Store::new();
+        store.load_ledger("").unwrap();
+        for (f, d) in [
+            ("a.json", run_doc("cc", 30.0)),
+            ("b.json", run_doc("ad", 27.0)),
+            ("c.json", run_doc("da", 24.0)),
+        ] {
+            store.ingest_metrics(f, &d).unwrap();
+        }
+        for q in [
+            r#"{"q":"rank"}"#,
+            r#"{"q":"correlate"}"#,
+            r#"{"q":"history"}"#,
+            r#"{"q":"whatif","nodes":4,"vms_per_node":4,"data_mb_per_vm":512,"workload":"sort"}"#,
+            r#"{"q":"overlap"}"#,
+            r#"{"q":"service"}"#,
+            r#"{"q":"stats"}"#,
+        ] {
+            let resp = handle_query(&store, q);
+            assert!(!resp.contains('\n'), "multi-line response for {q}: {resp}");
+            assert!(resp.starts_with("{\"ok\":true"), "{q} -> {resp}");
+        }
+        // Errors are structured, not panics.
+        let resp = handle_query(&store, "not json");
+        assert!(resp.starts_with("{\"ok\":false"), "{resp}");
+        let resp = handle_query(&store, r#"{"q":"nope"}"#);
+        assert!(resp.contains("unknown query"), "{resp}");
+        let resp = handle_query(&store, r#"{"q":"whatif"}"#);
+        assert!(resp.contains("whatif needs"), "{resp}");
+    }
+
+    #[test]
+    fn rank_response_embeds_exact_batch_text() {
+        let docs = vec![
+            ("a.json".to_string(), run_doc("cc", 30.0)),
+            ("b.json".to_string(), run_doc("ad", 27.0)),
+        ];
+        let runs = crate::store::load_runs(&docs).unwrap();
+        let batch = crate::store::rank(&runs).unwrap();
+        let mut store = Store::new();
+        for (f, d) in &docs {
+            store.ingest_metrics(f, d).unwrap();
+        }
+        let resp = Json::parse(&handle_query(&store, r#"{"q":"rank"}"#)).unwrap();
+        assert_eq!(resp.get("text").and_then(Json::as_str), Some(batch.text.as_str()));
+    }
+
+    #[test]
+    fn whatif_accepts_short_key_aliases() {
+        let mut store = Store::new();
+        store.ingest_metrics("a.json", &run_doc("cc", 30.0)).unwrap();
+        let long = handle_query(
+            &store,
+            r#"{"q":"whatif","nodes":4,"vms_per_node":4,"data_mb_per_vm":512,"workload":"sort"}"#,
+        );
+        let short = handle_query(
+            &store,
+            r#"{"q":"whatif","nodes":4,"vms":4,"data_mb":512,"workload":"sort"}"#,
+        );
+        assert_eq!(long, short);
+        assert!(long.contains("\"provenance\":\"cached\""), "{long}");
+    }
+}

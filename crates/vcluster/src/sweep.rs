@@ -32,21 +32,29 @@ pub struct SweepCell {
     pub shape: ClusterShape,
     /// HDFS data per VM, MB.
     pub data_mb_per_vm: u64,
-    /// Human-readable plan label (pair code or plan description).
+    /// Shuffle fetch concurrency (`parallel copies`) override; 0
+    /// inherits the base job's setting.
+    pub parallel_copies: u32,
+    /// Human-readable plan label (pair code or plan description,
+    /// suffixed `@pcN` when the cell overrides parallel copies).
     pub plan_label: String,
     /// The switch plan to run.
     pub plan: SwitchPlan,
 }
 
-/// A sweep grid: the cartesian product of shapes, data sizes and
-/// plans, enumerated shapes-outer / data-middle / plans-inner. The
-/// enumeration order *is* the report order.
+/// A sweep grid: the cartesian product of shapes, data sizes,
+/// parallel-copies settings and plans, enumerated shapes-outer /
+/// data / parallel-copies / plans-inner. The enumeration order *is*
+/// the report order.
 #[derive(Debug, Clone)]
 pub struct SweepGrid {
     /// Cluster shapes to sweep.
     pub shapes: Vec<ClusterShape>,
     /// Data sizes (MB per VM) to sweep.
     pub data_mb_per_vm: Vec<u64>,
+    /// Shuffle-fetch-concurrency settings to sweep (the D4
+    /// overlap axis); empty = a single cell inheriting the base job.
+    pub parallel_copies: Vec<u32>,
     /// Labelled plans to sweep.
     pub plans: Vec<(String, SwitchPlan)>,
 }
@@ -58,6 +66,7 @@ impl SweepGrid {
         SweepGrid {
             shapes: vec![shape],
             data_mb_per_vm: vec![data_mb_per_vm],
+            parallel_copies: Vec::new(),
             plans: SchedPair::all()
                 .into_iter()
                 .map(|p| (p.code(), SwitchPlan::single(p)))
@@ -67,17 +76,32 @@ impl SweepGrid {
 
     /// Materialize the grid cells in enumeration order.
     pub fn cells(&self) -> Vec<SweepCell> {
-        let mut out =
-            Vec::with_capacity(self.shapes.len() * self.data_mb_per_vm.len() * self.plans.len());
+        // An empty parallel-copies axis is one inherit-the-base cell.
+        let pcs: &[u32] = if self.parallel_copies.is_empty() {
+            &[0]
+        } else {
+            &self.parallel_copies
+        };
+        let mut out = Vec::with_capacity(
+            self.shapes.len() * self.data_mb_per_vm.len() * pcs.len() * self.plans.len(),
+        );
         for &shape in &self.shapes {
             for &mb in &self.data_mb_per_vm {
-                for (label, plan) in &self.plans {
-                    out.push(SweepCell {
-                        shape,
-                        data_mb_per_vm: mb,
-                        plan_label: label.clone(),
-                        plan: plan.clone(),
-                    });
+                for &pc in pcs {
+                    for (label, plan) in &self.plans {
+                        let plan_label = if pc == 0 {
+                            label.clone()
+                        } else {
+                            format!("{label}@pc{pc}")
+                        };
+                        out.push(SweepCell {
+                            shape,
+                            data_mb_per_vm: mb,
+                            parallel_copies: pc,
+                            plan_label,
+                            plan: plan.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -123,6 +147,11 @@ pub struct RunManifest {
     pub plan: String,
     /// Telemetry level label (`off`/`counters`/`full`).
     pub telemetry: String,
+    /// Workload name (e.g. `sort`) — half of a what-if query key.
+    pub workload: String,
+    /// Effective shuffle fetch concurrency the cell ran with (after
+    /// any cell override) — the D4 overlap-axis key.
+    pub parallel_copies: u32,
     /// Stable hash of the complete (params, job) configuration the
     /// cell ran — the run's seed: two documents with equal seeds came
     /// from bit-identical configurations, so their metrics are
@@ -138,6 +167,9 @@ impl RunManifest {
         params.shape = cell.shape;
         let mut job = base_job.clone();
         job.data_per_vm_bytes = cell.data_mb_per_vm * 1024 * 1024;
+        if cell.parallel_copies != 0 {
+            job.parallel_copies = cell.parallel_copies;
+        }
         let mut h = simcore::fxmap::FxHasher::default();
         format!("{:?}|{:?}", params, job).hash(&mut h);
         let telemetry = match base.node.telemetry {
@@ -151,6 +183,8 @@ impl RunManifest {
             data_mb_per_vm: cell.data_mb_per_vm,
             plan: cell.plan_label.clone(),
             telemetry: telemetry.to_string(),
+            workload: job.workload.name.clone(),
+            parallel_copies: job.parallel_copies,
             seed: h.finish(),
         }
     }
@@ -176,6 +210,8 @@ impl RunManifest {
             .field("data_mb_per_vm", self.data_mb_per_vm)
             .field("plan", self.plan.clone())
             .field("telemetry", self.telemetry.clone())
+            .field("workload", self.workload.clone())
+            .field("parallel_copies", self.parallel_copies as u64)
             .field("seed", format!("{:016x}", self.seed))
     }
 }
@@ -315,6 +351,9 @@ pub fn run_sweep(base: &ClusterParams, base_job: &JobSpec, grid: &SweepGrid) -> 
         params.shape = cell.shape;
         let mut job = base_job.clone();
         job.data_per_vm_bytes = cell.data_mb_per_vm * 1024 * 1024;
+        if cell.parallel_copies != 0 {
+            job.parallel_copies = cell.parallel_copies;
+        }
         let start = Instant::now();
         let out = run_job(&params, &job, cell.plan.clone());
         CellResult {
@@ -349,6 +388,7 @@ mod tests {
         SweepGrid {
             shapes: vec![tiny_shape(1), tiny_shape(2)],
             data_mb_per_vm: vec![16, 32],
+            parallel_copies: Vec::new(),
             plans: vec![
                 ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),
                 (
@@ -378,6 +418,35 @@ mod tests {
     fn pairs_grid_covers_all_sixteen() {
         let g = SweepGrid::pairs(tiny_shape(1), 64);
         assert_eq!(g.cells().len(), SchedPair::all().len());
+    }
+
+    #[test]
+    fn parallel_copies_axis_labels_and_overrides() {
+        let mut g = tiny_grid();
+        g.shapes.truncate(1);
+        g.data_mb_per_vm.truncate(1);
+        g.parallel_copies = vec![1, 10];
+        let cells = g.cells();
+        assert_eq!(cells.len(), 4); // 1 shape × 1 size × 2 pc × 2 plans
+        assert_eq!(cells[0].plan_label, "cc@pc1");
+        assert_eq!(cells[2].plan_label, "cc@pc10");
+        // The manifest records the *effective* concurrency, and the
+        // override feeds the seed hash: different pc, different seed.
+        let base = ClusterParams::default();
+        let job = JobSpec::default();
+        let m1 = RunManifest::new(&cells[0], &base, &job);
+        let m10 = RunManifest::new(&cells[2], &base, &job);
+        assert_eq!(m1.parallel_copies, 1);
+        assert_eq!(m10.parallel_copies, 10);
+        assert_eq!(m1.workload, "sort");
+        assert_ne!(m1.seed, m10.seed);
+        assert!(m1.key().contains("cc-pc1"), "{}", m1.key());
+        // A pc-0 cell inherits the base job's setting.
+        let inherit = RunManifest::new(&tiny_grid().cells()[0], &base, &job);
+        assert_eq!(inherit.parallel_copies, job.parallel_copies);
+        let j = m1.to_json().to_string();
+        assert!(j.contains("\"workload\":\"sort\""), "{j}");
+        assert!(j.contains("\"parallel_copies\":1"), "{j}");
     }
 
     #[test]
@@ -414,6 +483,8 @@ mod tests {
             data_mb_per_vm: 512,
             plan: "ad".into(),
             telemetry: "counters".into(),
+            workload: "sort".into(),
+            parallel_copies: 5,
             seed: 0xabcd,
         };
         let stamped = stamp_manifest(&doc, &m);

@@ -6,15 +6,17 @@
 //!                 [--mode plan|reactive] [--policy queue|phase] [--tick-ms 500]
 //!                 [--busy-pair dd] [--idle-pair cc] [--map-pair ac] [--reduce-pair dd]
 //! repro-cli sweep [--workload sort] [--nodes 4,8,...] [--vms 4] [--data-mb 512,...]
-//!                 [--pairs cc,dd,...] [--json-out FILE] [--metrics-dir DIR]
+//!                 [--pairs cc,dd,...] [--parallel-copies 1,5,10,...]
+//!                 [--json-out FILE] [--metrics-dir DIR] [--watch-out DIR]
 //! repro-cli tune  [--workload sort] [--nodes 4] [--vms 4] [--data-mb 512] [--json]
+//!                 [--cache-out FILE]
 //! repro-cli switch-cost [--from cc] [--to ad] [--vms 4] [--mb 600]
 //! repro-cli waves [--data-mb 128,192,256,320,384,448,512]
 //! repro-cli serve-jobs [--nodes 4] [--vms 4] [--duration-s 300] [--rate 6]
 //!                 [--seed 42] [--tenants sort:2,wordcount:1] [--data-mb 64]
 //!                 [--policy adaptive|PAIR] [--margin 0.05] [--switch-cost-ms 500]
 //!                 [--retune-s 5] [--max-concurrent 8] [--arrivals-file FILE]
-//!                 [--metrics-out FILE]
+//!                 [--metrics-out FILE] [--watch-out DIR]
 //! ```
 //!
 //! Pairs use the paper's two-letter codes (`c`=CFQ, `d`=deadline,
@@ -32,7 +34,19 @@
 //! per-cell `adios.bench/1` document with events/sec and wall-clock
 //! per cell, and `--metrics-dir` additionally writes each cell's full
 //! manifest-stamped `adios.metrics/2` document into the directory —
-//! the input format of `adios-report rank`/`correlate`.
+//! the input format of `adios-report rank`/`correlate`. `--watch-out`
+//! is the same export aimed at a running `adios-report serve` daemon's
+//! `--watch` directory (both flags may be given; each dir gets every
+//! cell). `--parallel-copies` adds a shuffle fetch-concurrency axis to
+//! the grid: each listed value re-runs every cell with that many
+//! parallel reduce-side fetch streams (cell labels gain an `@pcN`
+//! suffix; `0`/absent inherits the workload default) — the D4 overlap
+//! experiment `adios-report serve`'s `overlap` query aggregates.
+//!
+//! `tune --cache-out FILE` exports the tuning pass's eval cache as an
+//! `adios.evalcache/1` snapshot annotated with this experiment's
+//! shape/data/workload key — the file `adios-report serve` answers
+//! `whatif` queries from with `provenance: "cached"`.
 //!
 //! `serve-jobs` runs the multi-job cluster service: an open-loop
 //! Poisson stream (or an `adios.jobs/1` arrival trace via
@@ -51,7 +65,7 @@
 use adaptive_disk_sched::iosched::SchedPair;
 use adaptive_disk_sched::metasched::{
     calibrate_tenants, measure_switch_cost, BlendedTuner, DdConfig, EvalCache, Experiment,
-    MetaScheduler, PhaseReactivePolicy, QueueDepthPolicy,
+    MetaScheduler, PhaseReactivePolicy, QueueDepthPolicy, SnapshotKey,
 };
 use adaptive_disk_sched::mrsim::{JobPhase, JobSpec, WorkloadSpec};
 use adaptive_disk_sched::vcluster::{
@@ -291,16 +305,27 @@ fn num_list(flags: &HashMap<String, String>, key: &str, default: u64) -> Vec<u64
 
 fn cmd_sweep(flags: HashMap<String, String>) {
     validate_out_flags(&flags, &["json-out"]);
-    if let Some(dir) = flags.get("metrics-dir") {
+    // `--watch-out` is `--metrics-dir` aimed at a serve daemon's watch
+    // directory; both can be given and each receives every cell doc.
+    let export_dirs: Vec<&String> = ["metrics-dir", "watch-out"]
+        .iter()
+        .filter_map(|k| flags.get(*k))
+        .collect();
+    for dir in &export_dirs {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("--metrics-dir: cannot create {dir}: {e}");
+            eprintln!("--metrics-dir/--watch-out: cannot create {dir}: {e}");
             exit(1);
         }
     }
     let base = cluster(&flags);
-    let j = job(&flags);
     let nodes = num_list(&flags, "nodes", base.shape.nodes as u64);
+    // `--data-mb` is a comma list here (unlike `run`), so parse it
+    // directly instead of through `job()`, which expects one number.
+    let mut j = JobSpec::new(workload(&flags));
     let data_mb = num_list(&flags, "data-mb", j.data_per_vm_bytes >> 20);
+    // The grid overrides the size per cell; seed the base job with the
+    // first entry so single-size sweeps match a lone `run` exactly.
+    j.data_per_vm_bytes = data_mb[0] * 1024 * 1024;
     // Default grid: all 16 elevator pairs; `--pairs cc,dd` restricts
     // it (CI's mini-sweeps, quick A/B comparisons).
     let pairs: Vec<SchedPair> = match flags.get("pairs") {
@@ -315,6 +340,23 @@ fn cmd_sweep(flags: HashMap<String, String>) {
             .collect(),
         None => SchedPair::all(),
     };
+    // Optional shuffle fetch-concurrency axis (D4); empty = one run
+    // per cell with the workload's own `parallel_copies`.
+    let parallel_copies: Vec<u32> = flags
+        .get("parallel-copies")
+        .map(|v| {
+            v.split(',')
+                .map(|x| {
+                    x.trim().parse().unwrap_or_else(|_| {
+                        eprintln!(
+                            "--parallel-copies expects a comma-separated number list, got {v:?}"
+                        );
+                        exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     let grid = SweepGrid {
         shapes: nodes
             .iter()
@@ -329,11 +371,12 @@ fn cmd_sweep(flags: HashMap<String, String>) {
             .into_iter()
             .map(|p| (p.code(), SwitchPlan::single(p)))
             .collect(),
+        parallel_copies,
     };
     let report = run_sweep(&base, &j, &grid);
-    if let Some(dir) = flags.get("metrics-dir") {
+    for dir in &export_dirs {
         // One manifest-stamped adios.metrics/2 document per cell —
-        // the run set `adios-report rank`/`correlate` ingests.
+        // the run set `adios-report rank`/`correlate`/`serve` ingests.
         for r in &report.results {
             let m = RunManifest::new(&r.cell, &base, &j);
             let doc = stamp_manifest(&r.metrics, &m);
@@ -394,8 +437,28 @@ fn cmd_sweep(flags: HashMap<String, String>) {
 }
 
 fn cmd_tune(flags: HashMap<String, String>) {
+    validate_out_flags(&flags, &["cache-out"]);
     let exp = Experiment::new(cluster(&flags), job(&flags));
-    let report = MetaScheduler::new(exp).tune();
+    // Annotate the eval cache fingerprint with this experiment's
+    // human-queryable key *before* the scheduler takes ownership, so a
+    // `--cache-out` snapshot can answer `adios-report serve` what-if
+    // queries for this shape.
+    let key = SnapshotKey {
+        fingerprint: exp.fingerprint(),
+        nodes: exp.params.shape.nodes as u64,
+        vms_per_node: exp.params.shape.vms_per_node as u64,
+        data_mb_per_vm: exp.job.data_per_vm_bytes >> 20,
+        workload: exp.job.workload.name.clone(),
+    };
+    let cache = EvalCache::new();
+    let report = MetaScheduler::new(exp).tune_with_cache(&cache);
+    if let Some(path) = flags.get("cache-out") {
+        let snap = cache.export_snapshot(&[key]);
+        write_out(path, &(snap.to_string() + "\n"));
+        if !flags.contains_key("json") {
+            println!("wrote eval-cache snapshot {path}");
+        }
+    }
     if flags.contains_key("json") {
         // Machine-readable one-liner for scripting (simcore::Json —
         // the in-tree writer used for all experiment dumps).
@@ -599,6 +662,24 @@ fn cmd_serve_jobs(flags: HashMap<String, String>) {
     }
     if let Some(path) = flags.get("metrics-out") {
         write_out(path, &(out.metrics.to_string() + "\n"));
+        println!("wrote {path}");
+    }
+    if let Some(dir) = flags.get("watch-out") {
+        // Drop the service metrics document where a running
+        // `adios-report serve --watch` daemon will pick it up. The file
+        // name keys on (policy, seed, duration) so repeated runs with
+        // the same knobs overwrite rather than accumulate.
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("--watch-out: cannot create {dir}: {e}");
+            exit(1);
+        }
+        let path = format!(
+            "{dir}/serve-{}-seed{}-{}s.json",
+            policy.name(),
+            sp.seed,
+            sp.duration.as_secs_f64() as u64
+        );
+        write_out(&path, &(out.metrics.to_string() + "\n"));
         println!("wrote {path}");
     }
 }

@@ -1,0 +1,150 @@
+//! Goldens for the always-on analytics daemon (`adios-report serve`):
+//! its query responses are a pure function of the ingested document
+//! set. The same sweep regenerated under `SIM_THREADS=1/2/8` must
+//! yield byte-identical `rank`/`correlate`/`whatif` response lines,
+//! and the incremental store must answer independently of ingest
+//! order — byte-identical to the one-shot batch commands.
+
+use adaptive_disk_sched::iosched::SchedPair;
+use adaptive_disk_sched::mrsim::{JobSpec, WorkloadSpec};
+use adaptive_disk_sched::vcluster::{
+    run_sweep, stamp_manifest, ClusterParams, RunManifest, SweepGrid, SwitchPlan,
+};
+use report::serve::handle_query;
+use report::store::{load_runs, rank, Store};
+use simcore::Json;
+
+fn small_cluster() -> ClusterParams {
+    let mut p = ClusterParams::default();
+    p.shape.nodes = 2;
+    p.shape.vms_per_node = 2;
+    p
+}
+
+/// Run a small sweep (2 data sizes × cc/dd, plus a parallel-copies
+/// axis cell set) and return the manifest-stamped documents exactly as
+/// `repro-cli sweep --watch-out` would write them, keyed by file name.
+fn sweep_docs() -> Vec<(String, Json)> {
+    let base = small_cluster();
+    let mut job = JobSpec::new(WorkloadSpec::sort());
+    job.data_per_vm_bytes = 64 * 1024 * 1024;
+    let dd: SchedPair = "dd".parse().unwrap();
+    let grid = SweepGrid {
+        shapes: vec![base.shape],
+        data_mb_per_vm: vec![64, 96],
+        plans: vec![
+            ("cc".into(), SwitchPlan::single(SchedPair::DEFAULT)),
+            ("dd".into(), SwitchPlan::single(dd)),
+        ],
+        parallel_copies: vec![1, 5],
+    };
+    let report = run_sweep(&base, &job, &grid);
+    report
+        .results
+        .iter()
+        .map(|r| {
+            let m = RunManifest::new(&r.cell, &base, &job);
+            (format!("{}.json", m.key()), stamp_manifest(&r.metrics, &m))
+        })
+        .collect()
+}
+
+fn store_over(docs: &[(String, Json)]) -> Store {
+    let mut store = Store::new();
+    for (name, doc) in docs {
+        store.ingest_metrics(name, doc).expect("ingest");
+    }
+    store
+}
+
+const QUERIES: &[&str] = &[
+    r#"{"q":"rank"}"#,
+    r#"{"q":"correlate"}"#,
+    r#"{"q":"whatif","nodes":2,"vms_per_node":2,"data_mb_per_vm":64,"workload":"sort"}"#,
+    r#"{"q":"whatif","nodes":2,"vms_per_node":2,"data_mb_per_vm":80,"workload":"sort"}"#,
+    r#"{"q":"overlap"}"#,
+    r#"{"q":"stats"}"#,
+];
+
+fn answers(store: &Store) -> Vec<String> {
+    QUERIES.iter().map(|q| handle_query(store, q)).collect()
+}
+
+/// The full serve response lines — rank, correlate, exact and
+/// interpolated what-if, the D4 overlap table, stats — are
+/// byte-identical when the underlying sweep runs on 1, 2 or 8 workers.
+/// (Only this test touches `SIM_THREADS`; the process env is otherwise
+/// unshared in this binary.)
+#[test]
+fn serve_responses_invariant_to_sim_threads() {
+    let mut all: Vec<Vec<String>> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("SIM_THREADS", threads);
+        all.push(answers(&store_over(&sweep_docs())));
+    }
+    std::env::remove_var("SIM_THREADS");
+    assert_eq!(all[0], all[1], "SIM_THREADS=2 changed serve responses");
+    assert_eq!(all[0], all[2], "SIM_THREADS=8 changed serve responses");
+    for line in &all[0] {
+        assert!(line.starts_with(r#"{"ok":true"#), "query failed: {line}");
+    }
+    // The exact-group what-if resolves from measured runs; the 80 MB
+    // point sits between the 64 and 96 MB groups and interpolates.
+    assert!(all[0][2].contains(r#""provenance":"cached""#), "{}", all[0][2]);
+    assert!(
+        all[0][3].contains(r#""provenance":"interpolated""#),
+        "{}",
+        all[0][3]
+    );
+}
+
+/// The incremental store is order-independent: ingesting the same
+/// documents in reversed or rotated order yields the same `rank` and
+/// `correlate` bytes as sorted-order ingest — which in turn are the
+/// bytes the one-shot batch `adios-report rank` prints (it delegates
+/// to a throw-away store over the sorted file list).
+#[test]
+fn serve_answers_match_batch_in_any_ingest_order() {
+    let docs = sweep_docs();
+    let batch = rank(&load_runs(&docs).expect("load")).expect("rank");
+
+    let sorted = {
+        let mut d = docs.clone();
+        d.sort_by(|a, b| a.0.cmp(&b.0));
+        d
+    };
+    let reversed: Vec<_> = sorted.iter().rev().cloned().collect();
+    let rotated: Vec<_> = {
+        let mid = sorted.len() / 2;
+        sorted[mid..].iter().chain(&sorted[..mid]).cloned().collect()
+    };
+    for (label, order) in [
+        ("sorted", &sorted),
+        ("reversed", &reversed),
+        ("rotated", &rotated),
+    ] {
+        let store = store_over(order);
+        let r = store.rank().expect("rank");
+        assert_eq!(r.text, batch.text, "{label} ingest order changed rank bytes");
+        assert_eq!(r.crossovers, batch.crossovers, "{label} crossover count");
+        let c = store.correlate().expect("correlate");
+        let c_sorted = store_over(&sorted).correlate().expect("correlate");
+        assert_eq!(c, c_sorted, "{label} ingest order changed correlate bytes");
+    }
+}
+
+/// A serve `rank` response embeds exactly the batch command's stdout in
+/// its `text` field — the byte-identity contract CI's smoke test leans
+/// on, pinned here without shell plumbing.
+#[test]
+fn rank_response_text_is_batch_stdout() {
+    let docs = sweep_docs();
+    let batch = rank(&load_runs(&docs).expect("load")).expect("rank");
+    let resp = handle_query(&store_over(&docs), r#"{"q":"rank"}"#);
+    let parsed = Json::parse(&resp).expect("response parses");
+    assert_eq!(
+        parsed.get("text").and_then(Json::as_str),
+        Some(batch.text.as_str()),
+        "serve rank text != batch rank stdout"
+    );
+}
