@@ -1,5 +1,5 @@
 //! Kernel-throughput sweep bench: run the `vcluster::sweep` sharded
-//! driver over a cluster-scale grid (8 → 256 nodes) and record
+//! driver over a cluster-scale grid (8 → 512 nodes) and record
 //! events/sec and wall-clock per cell into `BENCH_sweep.json`
 //! (adios.bench/1).
 //!
@@ -250,6 +250,7 @@ fn main() {
                 shape(64),
                 shape(128),
                 shape(256),
+                shape(512),
             ],
             data_mb_per_vm: vec![64],
             plans: vec![

@@ -52,6 +52,61 @@ fn elevator_round(kind: SchedKind) -> u64 {
     served
 }
 
+/// Steady-state elevator churn at a fixed queued population: prefill
+/// `population` requests, then run add → dispatch → complete rounds so
+/// the queue depth stays constant. Exercises the slab kernel's hot
+/// paths at depth — binary-search insert, boundary-index merge probes
+/// (the sector band guarantees frequent hits), scan-cursor dispatch —
+/// where the pre-slab pool went quadratic.
+fn elevator_churn(kind: SchedKind, population: usize, rounds: u64) -> u64 {
+    let mut e = build_elevator(kind, &Tunables::default());
+    let mut now = SimTime::ZERO;
+    let mut id = 0u64;
+    let mut x = 0x2545_F491_4F6C_DD1D_u64; // fixed LCG: identical workload per iter
+    let mut lcg = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x
+    };
+    let mut mk = |id: u64, now: SimTime, lcg: &mut dyn FnMut() -> u64| {
+        let r = lcg();
+        let dir = if r % 3 == 0 { Dir::Write } else { Dir::Read };
+        IoRequest {
+            id,
+            stream: (r >> 8) as u32 % 8,
+            // Narrow 8-aligned band so back/front merges actually hit.
+            sector: ((r >> 16) % 8_000) * 8,
+            sectors: 8 + ((r >> 40) % 8) * 8,
+            dir,
+            sync: dir == Dir::Read || r % 5 == 0,
+            submitted: now,
+        }
+    };
+    for _ in 0..population {
+        id += 1;
+        let r = mk(id, now, &mut lcg);
+        e.add(r, now);
+    }
+    let mut served = 0u64;
+    for _ in 0..rounds {
+        id += 1;
+        now += SimDuration::from_micros(lcg() % 200);
+        let r = mk(id, now, &mut lcg);
+        e.add(r, now);
+        loop {
+            match e.dispatch(now) {
+                Dispatch::Request(rq) => {
+                    e.completed(&rq, now);
+                    served += 1;
+                    break;
+                }
+                Dispatch::Idle { until } => now = until,
+                Dispatch::Empty => break,
+            }
+        }
+    }
+    served
+}
+
 /// Calendar-queue push/pop round: interleave pushes at scattered times
 /// with orderly pops, the access pattern of the cluster event loop.
 fn event_queue_push_pop() -> u64 {
@@ -170,6 +225,17 @@ fn main() {
         let name = format!("elevator_add_dispatch/{kind}");
         let t = bench(&name, warmup, iters, || black_box(elevator_round(kind)));
         results.push(timing_json(&name, t));
+    }
+
+    for kind in SchedKind::ALL {
+        for population in [64usize, 512, 4096] {
+            let name = format!("elevator_churn/{kind}/{population}");
+            let rounds = if quick() { 64 } else { 512 };
+            let t = bench(&name, warmup, iters, || {
+                black_box(elevator_churn(kind, population, rounds))
+            });
+            results.push(timing_json(&name, t));
+        }
     }
 
     let t = bench("event_queue_push_pop_4k", warmup, iters, || {

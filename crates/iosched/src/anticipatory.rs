@@ -13,10 +13,9 @@
 //! paying one seek per run rather than one per request.
 
 use crate::elevator::{Dispatch, Elevator, SchedKind};
-use crate::pool::{add_with_merge, DeadlineFifo, DirPools};
+use crate::pool::{add_with_merge, DeadlineFifo, DirPools, PoolKernel, RqPool};
 use crate::request::{AddOutcome, Dir, IoRequest, QueuedRq, Sector, StreamId};
-use simcore::{SimDuration, SimTime};
-use std::collections::HashMap;
+use simcore::{FxHashMap, SimDuration, SimTime};
 
 /// Anticipatory tunables (Linux defaults).
 #[derive(Debug, Clone)]
@@ -146,23 +145,26 @@ pub struct AsCounters {
     pub dir_switches: u64,
 }
 
-/// The anticipatory scheduler.
-pub struct Anticipatory {
+/// The anticipatory scheduler. Generic over the pool kernel so the
+/// differential suite can run it against the naive oracle; production
+/// code uses the default slab [`RqPool`].
+pub struct Anticipatory<P: PoolKernel = RqPool> {
     cfg: AsConfig,
     max_merge_sectors: u64,
-    pools: DirPools,
+    pools: DirPools<P>,
     fifo: [DeadlineFifo; 2],
     next_sector: Sector,
     batch_dir: Dir,
     /// End of the current batch's time budget (None = no batch yet).
     batch_until: Option<SimTime>,
     antic: Antic,
-    stats: HashMap<StreamId, StreamStats>,
+    /// Never iterated (entry lookups only): FxHashMap order is safe.
+    stats: FxHashMap<StreamId, StreamStats>,
     /// Observability counters.
     pub counters: AsCounters,
 }
 
-impl Anticipatory {
+impl<P: PoolKernel> Anticipatory<P> {
     /// New anticipatory elevator.
     pub fn new(cfg: AsConfig, max_merge_sectors: u64) -> Self {
         Anticipatory {
@@ -174,7 +176,7 @@ impl Anticipatory {
             batch_dir: Dir::Read,
             batch_until: None,
             antic: Antic::Off,
-            stats: HashMap::new(),
+            stats: FxHashMap::default(),
             counters: AsCounters::default(),
         }
     }
@@ -268,7 +270,7 @@ impl Anticipatory {
     }
 }
 
-impl Elevator for Anticipatory {
+impl<P: PoolKernel> Elevator for Anticipatory<P> {
     fn kind(&self) -> SchedKind {
         SchedKind::Anticipatory
     }
@@ -516,7 +518,7 @@ mod tests {
             read_expire: SimDuration::from_millis(125),
             ..AsConfig::default()
         };
-        let mut e = Anticipatory::new(cfg, 1024);
+        let mut e: Anticipatory = Anticipatory::new(cfg, 1024);
         e.add(req(1, 7, 1000, 8, Dir::Read), SimTime::ZERO);
         let rq = expect_rq(e.dispatch(SimTime::ZERO));
         e.completed(&rq, SimTime::from_millis(1));

@@ -16,10 +16,10 @@
 //! (`slice_async`) and no idling, reproducing CFQ's trickled writeback.
 
 use crate::elevator::{Dispatch, Elevator, SchedKind};
-use crate::pool::{add_with_merge, RqPool};
+use crate::pool::{add_with_merge, PoolKernel, RqPool};
 use crate::request::{AddOutcome, IoRequest, QueuedRq, Sector, StreamId};
-use simcore::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use simcore::{FxHashMap, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// CFQ tunables (Linux defaults).
 #[derive(Debug, Clone)]
@@ -42,16 +42,18 @@ impl Default for CfqConfig {
     }
 }
 
-/// Round-robin queue identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Round-robin queue identity. `Sync` holds an *interned* dense index
+/// into `Cfq::queues`, not the raw stream id: dispatch-path queue
+/// accesses are plain `Vec` indexing with no hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum QueueKey {
-    Sync(StreamId),
+    Sync(u32),
     Async,
 }
 
 #[derive(Debug, Default)]
-struct CfqQueue {
-    pool: RqPool,
+struct CfqQueue<P: PoolKernel = RqPool> {
+    pool: P,
     /// One-way scan position within this queue.
     next_sector: Sector,
     /// Is the queue currently linked on the round-robin list?
@@ -65,24 +67,35 @@ struct ActiveSlice {
     idle_until: Option<SimTime>,
 }
 
-/// The CFQ scheduler.
-pub struct Cfq {
+/// The CFQ scheduler. Generic over the pool kernel so the differential
+/// suite can run it against the naive oracle; production code uses the
+/// default slab [`RqPool`].
+pub struct Cfq<P: PoolKernel = RqPool> {
     cfg: CfqConfig,
     max_merge_sectors: u64,
-    sync_queues: HashMap<StreamId, CfqQueue>,
-    async_queue: CfqQueue,
+    /// stream id -> dense queue index; hashed only on `add` and
+    /// `completed`, never on dispatch. Never iterated.
+    stream_idx: FxHashMap<StreamId, u32>,
+    /// Interned stream table: `streams[i]` owns `queues[i]`. Queues are
+    /// kept across empty/refill cycles (streams are long-lived VMs) and
+    /// only released by `drain`.
+    streams: Vec<StreamId>,
+    queues: Vec<CfqQueue<P>>,
+    async_queue: CfqQueue<P>,
     rr: VecDeque<QueueKey>,
     active: Option<ActiveSlice>,
     queued: usize,
 }
 
-impl Cfq {
+impl<P: PoolKernel> Cfq<P> {
     /// New CFQ elevator.
     pub fn new(cfg: CfqConfig, max_merge_sectors: u64) -> Self {
         Cfq {
             cfg,
             max_merge_sectors,
-            sync_queues: HashMap::new(),
+            stream_idx: FxHashMap::default(),
+            streams: Vec::new(),
+            queues: Vec::new(),
             async_queue: CfqQueue::default(),
             rr: VecDeque::new(),
             active: None,
@@ -90,17 +103,31 @@ impl Cfq {
         }
     }
 
-    fn queue_mut(&mut self, key: QueueKey) -> &mut CfqQueue {
+    /// Dense queue index for `stream`, interning it on first sight.
+    fn intern(&mut self, stream: StreamId) -> u32 {
+        match self.stream_idx.entry(stream) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let idx = self.streams.len() as u32;
+                e.insert(idx);
+                self.streams.push(stream);
+                self.queues.push(CfqQueue::default());
+                idx
+            }
+        }
+    }
+
+    fn queue_mut(&mut self, key: QueueKey) -> &mut CfqQueue<P> {
         match key {
-            QueueKey::Sync(s) => self.sync_queues.entry(s).or_default(),
+            QueueKey::Sync(i) => &mut self.queues[i as usize],
             QueueKey::Async => &mut self.async_queue,
         }
     }
 
-    fn queue(&self, key: QueueKey) -> Option<&CfqQueue> {
+    fn queue(&self, key: QueueKey) -> &CfqQueue<P> {
         match key {
-            QueueKey::Sync(s) => self.sync_queues.get(&s),
-            QueueKey::Async => Some(&self.async_queue),
+            QueueKey::Sync(i) => &self.queues[i as usize],
+            QueueKey::Async => &self.async_queue,
         }
     }
 
@@ -124,10 +151,7 @@ impl Cfq {
     fn expire_active(&mut self) {
         if let Some(a) = self.active.take() {
             let key = a.key;
-            let nonempty = self
-                .queue(key)
-                .is_some_and(|q| !q.pool.is_empty());
-            if nonempty {
+            if !self.queue(key).pool.is_empty() {
                 let q = self.queue_mut(key);
                 if !q.on_rr {
                     q.on_rr = true;
@@ -175,14 +199,14 @@ impl Cfq {
     }
 }
 
-impl Elevator for Cfq {
+impl<P: PoolKernel> Elevator for Cfq<P> {
     fn kind(&self) -> SchedKind {
         SchedKind::Cfq
     }
 
     fn add(&mut self, r: IoRequest, _now: SimTime) -> AddOutcome {
         let key = if r.sync {
-            QueueKey::Sync(r.stream)
+            QueueKey::Sync(self.intern(r.stream))
         } else {
             QueueKey::Async
         };
@@ -210,7 +234,7 @@ impl Elevator for Cfq {
                 continue;
             }
             let key = active.key;
-            let has_work = self.queue(key).is_some_and(|q| !q.pool.is_empty());
+            let has_work = !self.queue(key).pool.is_empty();
             if has_work {
                 match self.take_from_active() {
                     Some(rq) => return Dispatch::Request(rq),
@@ -239,8 +263,10 @@ impl Elevator for Cfq {
         // Grant the active sync queue an idle window for its next
         // request, CFQ's intra-slice anticipation.
         if let Some(a) = self.active.as_mut() {
-            if a.key == QueueKey::Sync(rq.stream) && rq.sync {
-                a.idle_until = Some(now + self.cfg.slice_idle);
+            if let QueueKey::Sync(i) = a.key {
+                if rq.sync && self.streams[i as usize] == rq.stream {
+                    a.idle_until = Some(now + self.cfg.slice_idle);
+                }
             }
         }
     }
@@ -250,16 +276,20 @@ impl Elevator for Cfq {
     }
 
     fn drain(&mut self) -> Vec<QueuedRq> {
+        // Drain order reaches the hot-switch output: sort by stream id
+        // (not intern order, which is arrival order) to keep drains
+        // byte-identical with the historical goldens. Drains only
+        // happen on elevator switches, so the sort is off the hot path.
         let mut out = Vec::with_capacity(self.queued);
-        let mut keys: Vec<StreamId> = self.sync_queues.keys().copied().collect();
-        keys.sort_unstable();
-        for k in keys {
-            if let Some(q) = self.sync_queues.get_mut(&k) {
-                out.extend(q.pool.drain_all());
-            }
+        let mut idxs: Vec<u32> = (0..self.queues.len() as u32).collect();
+        idxs.sort_unstable_by_key(|&i| self.streams[i as usize]);
+        for i in idxs {
+            out.extend(self.queues[i as usize].pool.drain_all());
         }
         out.extend(self.async_queue.pool.drain_all());
-        self.sync_queues.clear();
+        self.stream_idx.clear();
+        self.streams.clear();
+        self.queues.clear();
         self.async_queue = CfqQueue::default();
         self.rr.clear();
         self.active = None;

@@ -9,7 +9,7 @@
 //! for `writes_starved` consecutive read batches.
 
 use crate::elevator::{Dispatch, Elevator, SchedKind};
-use crate::pool::{add_with_merge, DeadlineFifo, DirPools};
+use crate::pool::{add_with_merge, DeadlineFifo, DirPools, PoolKernel, RqPool};
 use crate::request::{AddOutcome, Dir, IoRequest, QueuedRq, Sector};
 use simcore::{SimDuration, SimTime};
 
@@ -37,11 +37,13 @@ impl Default for DeadlineConfig {
     }
 }
 
-/// The deadline scheduler.
-pub struct DeadlineSched {
+/// The deadline scheduler. Generic over the pool kernel so the
+/// differential suite can run it against the naive oracle; production
+/// code uses the default slab [`RqPool`].
+pub struct DeadlineSched<P: PoolKernel = RqPool> {
     cfg: DeadlineConfig,
     max_merge_sectors: u64,
-    pools: DirPools,
+    pools: DirPools<P>,
     fifo: [DeadlineFifo; 2],
     /// One-way scan position (end of the last dispatched request).
     next_sector: Sector,
@@ -53,7 +55,7 @@ pub struct DeadlineSched {
     starved: u32,
 }
 
-impl DeadlineSched {
+impl<P: PoolKernel> DeadlineSched<P> {
     /// New deadline elevator.
     pub fn new(cfg: DeadlineConfig, max_merge_sectors: u64) -> Self {
         DeadlineSched {
@@ -118,7 +120,7 @@ impl DeadlineSched {
     }
 }
 
-impl Elevator for DeadlineSched {
+impl<P: PoolKernel> Elevator for DeadlineSched<P> {
     fn kind(&self) -> SchedKind {
         SchedKind::Deadline
     }
@@ -239,7 +241,7 @@ mod tests {
             fifo_batch: 1, // one request per batch to see direction flips
             ..DeadlineConfig::default()
         };
-        let mut e = DeadlineSched::new(cfg, 1024);
+        let mut e: DeadlineSched = DeadlineSched::new(cfg, 1024);
         let now = SimTime::ZERO;
         let mut id = 0;
         let mut add = |e: &mut DeadlineSched, dir: Dir, s: Sector| {
@@ -301,7 +303,7 @@ mod tests {
             writes_starved: 1,
             ..DeadlineConfig::default()
         };
-        let mut e = DeadlineSched::new(cfg, 1024);
+        let mut e: DeadlineSched = DeadlineSched::new(cfg, 1024);
         let now = SimTime::ZERO;
         for i in 0..4u64 {
             e.add(req(i + 1, 0, 1000 * (i + 1), 8, Dir::Read), now);

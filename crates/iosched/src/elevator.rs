@@ -216,19 +216,24 @@ impl Default for Tunables {
     }
 }
 
-/// Instantiate an elevator of the given kind.
+/// Instantiate an elevator of the given kind (on the production slab
+/// pool kernel).
 pub fn build_elevator(kind: SchedKind, tune: &Tunables) -> Box<dyn Elevator> {
+    use crate::pool::RqPool;
     match kind {
         SchedKind::Noop => Box::new(crate::noop::Noop::new(tune.max_merge_sectors)),
-        SchedKind::Deadline => Box::new(crate::deadline::DeadlineSched::new(
+        SchedKind::Deadline => Box::new(crate::deadline::DeadlineSched::<RqPool>::new(
             tune.deadline.clone(),
             tune.max_merge_sectors,
         )),
-        SchedKind::Anticipatory => Box::new(crate::anticipatory::Anticipatory::new(
+        SchedKind::Anticipatory => Box::new(crate::anticipatory::Anticipatory::<RqPool>::new(
             tune.anticipatory.clone(),
             tune.max_merge_sectors,
         )),
-        SchedKind::Cfq => Box::new(crate::cfq::Cfq::new(tune.cfq.clone(), tune.max_merge_sectors)),
+        SchedKind::Cfq => Box::new(crate::cfq::Cfq::<RqPool>::new(
+            tune.cfq.clone(),
+            tune.max_merge_sectors,
+        )),
     }
 }
 

@@ -7,9 +7,10 @@
 //! collapse (Fig. 2, Table I) emerges here from the FIFO order alone.
 
 use crate::elevator::{Dispatch, Elevator, SchedKind};
-use crate::request::{AddOutcome, IoRequest, QueuedRq, Sector};
+use crate::pool::BoundaryMap;
+use crate::request::{AddOutcome, IoRequest, QueuedRq};
 use simcore::SimTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The noop scheduler.
 #[derive(Debug)]
@@ -18,8 +19,10 @@ pub struct Noop {
     slab: Vec<Option<QueuedRq>>,
     /// FIFO of slab slots.
     fifo: VecDeque<usize>,
-    /// extent end -> slot, for back merges (like Linux `elv_rqhash`).
-    by_end: HashMap<Sector, usize>,
+    /// extent end -> slots, for back merges (like Linux `elv_rqhash`).
+    /// Multi-entry: extents sharing an end sector must all stay
+    /// findable as merge candidates.
+    by_end: BoundaryMap,
     queued: usize,
     max_merge_sectors: u64,
 }
@@ -30,7 +33,7 @@ impl Noop {
         Noop {
             slab: Vec::new(),
             fifo: VecDeque::new(),
-            by_end: HashMap::new(),
+            by_end: BoundaryMap::default(),
             queued: 0,
             max_merge_sectors,
         }
@@ -44,20 +47,30 @@ impl Elevator for Noop {
 
     fn add(&mut self, r: IoRequest, _now: SimTime) -> AddOutcome {
         // Back merge: some queued request ends exactly where r starts.
-        if let Some(&slot) = self.by_end.get(&r.sector) {
-            if let Some(rq) = self.slab[slot].as_mut() {
-                if rq.dir == r.dir && rq.sectors + r.sectors <= self.max_merge_sectors {
-                    self.by_end.remove(&rq.end());
-                    rq.merge_back(r);
-                    let new_end = rq.end();
-                    let id = rq.id();
-                    self.by_end.insert(new_end, slot);
-                    return AddOutcome::MergedBack(id);
-                }
-            }
+        // The slab is append-only between full drains, so the smallest
+        // eligible slot is the oldest candidate.
+        let slot = self
+            .by_end
+            .get(r.sector)
+            .iter()
+            .copied()
+            .filter(|&s| {
+                self.slab[s as usize].as_ref().is_some_and(|rq| {
+                    rq.dir == r.dir && rq.sectors + r.sectors <= self.max_merge_sectors
+                })
+            })
+            .min();
+        if let Some(slot) = slot {
+            self.by_end.remove(r.sector, slot);
+            let rq = self.slab[slot as usize].as_mut().expect("filtered live");
+            rq.merge_back(r);
+            let new_end = rq.end();
+            let id = rq.id();
+            self.by_end.insert(new_end, slot);
+            return AddOutcome::MergedBack(id);
         }
         let slot = self.slab.len();
-        self.by_end.insert(r.end(), slot);
+        self.by_end.insert(r.end(), slot as u32);
         self.slab.push(Some(QueuedRq::from_request(r)));
         self.fifo.push_back(slot);
         self.queued += 1;
@@ -67,9 +80,7 @@ impl Elevator for Noop {
     fn dispatch(&mut self, _now: SimTime) -> Dispatch {
         while let Some(slot) = self.fifo.pop_front() {
             if let Some(rq) = self.slab[slot].take() {
-                if self.by_end.get(&rq.end()) == Some(&slot) {
-                    self.by_end.remove(&rq.end());
-                }
+                self.by_end.remove(rq.end(), slot as u32);
                 self.queued -= 1;
                 // Reclaim slab space opportunistically when fully drained.
                 if self.queued == 0 {
@@ -110,7 +121,7 @@ impl Elevator for Noop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::Dir;
+    use crate::request::{Dir, Sector};
 
     fn req(id: u64, stream: u32, sector: Sector, sectors: u64) -> IoRequest {
         IoRequest {
@@ -186,6 +197,36 @@ mod tests {
         assert_eq!(v[0].sector, 500);
         assert_eq!(e.queued(), 0);
         assert_eq!(e.dispatch(now), Dispatch::Empty);
+    }
+
+    #[test]
+    fn duplicate_end_sectors_keep_both_merge_candidates() {
+        // Regression: two queued extents ending at the same sector used
+        // to overwrite each other in the single-slot `by_end` index,
+        // and dispatching one corrupted the survivor's entry.
+        let mut e = Noop::new(1024);
+        let now = SimTime::ZERO;
+        let w = |id: u64, sector: Sector, sectors: u64| {
+            let mut r = req(id, id as u32, sector, sectors);
+            r.dir = Dir::Write;
+            r
+        };
+        e.add(w(1, 100, 100), now); // ends at 200
+        e.add(w(2, 150, 50), now); // also ends at 200
+        // The oldest eligible extent absorbs the arrival.
+        assert_eq!(e.add(w(3, 200, 8), now), AddOutcome::MergedBack(1));
+        // Dispatch the (merged) first extent; the second must STILL be
+        // indexed at 200 and absorb the next arrival.
+        match e.dispatch(now) {
+            Dispatch::Request(rq) => assert_eq!(rq.id(), 1),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.add(w(4, 200, 8), now), AddOutcome::MergedBack(2));
+        // A direction mismatch at the shared boundary is skipped in
+        // favor of an eligible same-direction extent.
+        e.add(req(5, 5, 400, 100), now); // read, ends at 500
+        e.add(w(6, 450, 50), now); // write, also ends at 500
+        assert_eq!(e.add(w(7, 500, 8), now), AddOutcome::MergedBack(6));
     }
 
     #[test]

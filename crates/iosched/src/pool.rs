@@ -1,35 +1,239 @@
-//! A sector-sorted pool of queued requests with merge indexes.
+//! Sector-sorted pools of queued requests with merge indexes.
 //!
 //! All four elevators keep their pending requests in one or more
-//! `RqPool`s: a BTree ordered by start sector (the elevator's "sort
-//! list") plus hash indexes on extent boundaries for O(1) front/back
+//! request pools: a sector-ordered "sort list" (the elevator's scan
+//! order) plus hash indexes on extent boundaries for O(1) front/back
 //! merge candidate lookup (Linux's `elv_rqhash` / rbtree front-merge
 //! equivalents).
+//!
+//! Two implementations share the [`PoolKernel`] trait:
+//!
+//! * [`RqPool`] — the production kernel: requests live in a
+//!   generational slab (`Vec` + free list; a [`Qid`] packs the slot
+//!   index with the slot's generation, so stale qids held by expiry
+//!   FIFOs are rejected in O(1)); sector order is a sorted index vec
+//!   with binary-search insert and a scan-cursor hint that makes the
+//!   sequential-continuation `next_at_or_after` amortized O(1); merge
+//!   lookups go through [`BoundaryMap`] indexes that tolerate several
+//!   queued extents sharing one boundary sector. Steady-state add /
+//!   merge / dispatch performs no heap allocation.
+//! * [`NaiveRqPool`] — the retained differential oracle: a `BTreeMap`
+//!   sort list with *linear-scan* merge lookups, trivially correct by
+//!   inspection. `crates/iosched/tests/kernel_diff.rs` drives both
+//!   through identical randomized op traces and asserts bitwise
+//!   equality.
+//!
+//! Merge-candidate semantics (identical in both kernels, pinned by the
+//! differential suite): back merges are tried before front merges, and
+//! when several queued extents share the boundary sector the *oldest*
+//! eligible one (same direction, merged size within `max_sectors`)
+//! absorbs the arrival.
 
-use crate::request::{AddOutcome, Dir, IoRequest, QueuedRq, Sector};
+use crate::request::{AddOutcome, Dir, IoRequest, QueuedRq, Sector, StreamId};
 #[cfg(test)]
 use crate::request::RequestId;
-use std::collections::{BTreeMap, HashMap};
+use simcore::FxHashMap;
+use std::cell::Cell;
+use std::collections::BTreeMap;
 
 /// Stable pool-internal id of a queued request. Survives merges (unlike
 /// `QueuedRq::id()`, which is the first part's id and changes on front
-/// merge).
+/// merge). In [`RqPool`] a qid packs `(generation << 32) | slot`; in
+/// [`NaiveRqPool`] it is a plain insertion counter. Either way qids are
+/// never reused for a different request while any holder could still
+/// query them.
 pub type Qid = u64;
 
-/// Sort key: requests are ordered by start sector, ties broken by qid.
-pub type Key = (Sector, Qid);
+/// The request-pool interface every elevator programs against. Both the
+/// slab kernel ([`RqPool`]) and the naive oracle ([`NaiveRqPool`])
+/// implement it, so the differential suite can instantiate whole
+/// elevators over either kernel.
+pub trait PoolKernel: Default + Send + std::fmt::Debug + 'static {
+    /// Number of queued (merged) requests.
+    fn len(&self) -> usize;
 
-/// A sector-sorted request pool for one direction (or one CFQ queue).
+    /// True if nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Try to merge `r` into an existing queued request, respecting the
+    /// `max_sectors` cap on merged extents. Returns the outcome and the
+    /// qid of the absorber on success.
+    fn try_merge(&mut self, r: &IoRequest, max_sectors: u64) -> Option<(AddOutcome, Qid)>;
+
+    /// Insert a fresh request, returning its qid.
+    fn insert(&mut self, rq: QueuedRq) -> Qid;
+
+    /// Remove a request by qid (e.g. FIFO-expired dispatch).
+    fn remove(&mut self, qid: Qid) -> Option<QueuedRq>;
+
+    /// Is this qid still queued?
+    fn contains(&self, qid: Qid) -> bool;
+
+    /// Peek the queued request with the given qid.
+    fn get(&self, qid: Qid) -> Option<&QueuedRq>;
+
+    /// Qid of the first request at or after `sector` (one-way elevator
+    /// scan position), if any.
+    fn next_at_or_after(&self, sector: Sector) -> Option<Qid>;
+
+    /// Qid of the lowest-sector request, if any.
+    fn first(&self) -> Option<Qid>;
+
+    /// Qid of the last request strictly before `sector` (for backward
+    /// seeks / closest-request heuristics).
+    fn prev_before(&self, sector: Sector) -> Option<Qid>;
+
+    /// Remove and return every queued request in sector order
+    /// (used when hot-switching elevators).
+    fn drain_all(&mut self) -> Vec<QueuedRq>;
+
+    /// Does the pool hold any request from `stream`?
+    fn has_stream(&self, stream: StreamId) -> bool;
+
+    /// Qid of the queued request from `stream` closest to `sector`.
+    fn closest_from_stream(&self, stream: StreamId, sector: Sector) -> Option<Qid>;
+}
+
+// ---------------------------------------------------------------------------
+// Boundary index
+// ---------------------------------------------------------------------------
+
+/// Slots indexed under one boundary sector. Almost every boundary has
+/// exactly one queued extent; the `Many` spill only materializes when
+/// extents genuinely collide (e.g. a read and a write covering the same
+/// range), so the common path never allocates.
+#[derive(Debug, Clone)]
+enum SlotSet {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+/// A multi-entry `boundary sector -> slot` index. Unlike a plain
+/// `HashMap<Sector, slot>`, two queued extents sharing a boundary do
+/// not overwrite each other: both stay findable as merge candidates,
+/// and removing one never drops the other's entry.
+#[derive(Debug, Default)]
+pub(crate) struct BoundaryMap {
+    map: FxHashMap<Sector, SlotSet>,
+}
+
+impl BoundaryMap {
+    /// Index `slot` under `sector`.
+    pub(crate) fn insert(&mut self, sector: Sector, slot: u32) {
+        match self.map.entry(sector) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(SlotSet::One(slot));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                SlotSet::One(prev) => {
+                    let prev = *prev;
+                    e.insert(SlotSet::Many(vec![prev, slot]));
+                }
+                SlotSet::Many(v) => v.push(slot),
+            },
+        }
+    }
+
+    /// Drop `slot`'s entry under `sector`; other slots sharing the
+    /// boundary stay indexed. No-op if the pair is not present.
+    pub(crate) fn remove(&mut self, sector: Sector, slot: u32) {
+        let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(sector) else {
+            return;
+        };
+        match e.get_mut() {
+            SlotSet::One(s) => {
+                if *s == slot {
+                    e.remove();
+                }
+            }
+            SlotSet::Many(v) => {
+                if let Some(pos) = v.iter().position(|&s| s == slot) {
+                    v.swap_remove(pos);
+                    if v.is_empty() {
+                        e.remove();
+                    }
+                }
+            }
+        }
+    }
+
+    /// All slots indexed under `sector` (set order is arbitrary —
+    /// callers pick deterministically, e.g. by insertion seq).
+    pub(crate) fn get(&self, sector: Sector) -> &[u32] {
+        match self.map.get(&sector) {
+            None => &[],
+            Some(SlotSet::One(s)) => std::slice::from_ref(s),
+            Some(SlotSet::Many(v)) => v,
+        }
+    }
+
+    /// Drop every entry, keeping allocated capacity.
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Slab kernel
+// ---------------------------------------------------------------------------
+
+/// One slab slot. `gen` counts how many requests have vacated the slot:
+/// a [`Qid`] is only valid while its packed generation matches, so
+/// expiry FIFOs may hold stale qids indefinitely (lazy invalidation)
+/// without ever aliasing a reused slot.
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    /// Global insertion sequence — the sort-order tie-break (matches
+    /// the naive kernel's monotonically increasing qid).
+    seq: u64,
+    rq: Option<QueuedRq>,
+}
+
+/// Sorted-index entry: `order` is kept ascending by `(sector, seq)`.
+#[derive(Debug, Clone, Copy)]
+struct OrdEnt {
+    sector: Sector,
+    seq: u64,
+    slot: u32,
+}
+
+/// The production sector-sorted request pool for one direction (or one
+/// CFQ queue): generational slab storage, sorted index vec with a scan
+/// cursor, multi-entry boundary indexes, and a per-stream refcount map
+/// (O(1) [`PoolKernel::has_stream`] for the anticipation hot path).
 #[derive(Debug, Default)]
 pub struct RqPool {
-    sorted: BTreeMap<Key, QueuedRq>,
-    /// extent end -> key, for back-merge lookup.
-    by_end: HashMap<Sector, Key>,
-    /// extent start -> key, for front-merge lookup.
-    by_start: HashMap<Sector, Key>,
-    /// live qid -> key, for FIFO cross-references.
-    live: HashMap<Qid, Key>,
-    next_qid: Qid,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Sorted by `(sector, seq)` ascending.
+    order: Vec<OrdEnt>,
+    /// Hint into `order` for the one-way scan: validated before use, so
+    /// it may be stale. `Cell` keeps query methods `&self`.
+    cursor: Cell<usize>,
+    /// extent end -> slots, for back-merge lookup.
+    by_end: BoundaryMap,
+    /// extent start -> slots, for front-merge lookup.
+    by_start: BoundaryMap,
+    /// stream -> queued request count (for `has_stream`). A pool sees
+    /// few distinct streams (one for a CFQ per-stream queue, the tasks
+    /// of one VM or the VMs of one node otherwise), so a linear-scan
+    /// vec beats hashing on the per-request bump/drop path.
+    stream_refs: Vec<(StreamId, u32)>,
+    next_seq: u64,
+    len: usize,
+}
+
+#[inline]
+fn pack_qid(gen: u32, slot: u32) -> Qid {
+    ((gen as u64) << 32) | slot as u64
+}
+
+#[inline]
+fn unpack_qid(qid: Qid) -> (u32, u32) {
+    ((qid >> 32) as u32, qid as u32)
 }
 
 impl RqPool {
@@ -38,158 +242,415 @@ impl RqPool {
         RqPool::default()
     }
 
-    /// Number of queued (merged) requests.
-    pub fn len(&self) -> usize {
-        self.sorted.len()
+    /// Slot index for a live qid, validating the generation.
+    #[inline]
+    fn live_slot(&self, qid: Qid) -> Option<u32> {
+        let (gen, slot) = unpack_qid(qid);
+        let s = self.slots.get(slot as usize)?;
+        (s.gen == gen && s.rq.is_some()).then_some(slot)
     }
 
-    /// True if nothing is queued.
-    pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
+    #[inline]
+    fn slot_qid(&self, slot: u32) -> Qid {
+        pack_qid(self.slots[slot as usize].gen, slot)
     }
 
-    /// Try to merge `r` into an existing queued request, respecting the
-    /// `max_sectors` cap on merged extents. Returns the outcome and the
-    /// qid of the absorber on success.
-    pub fn try_merge(&mut self, r: &IoRequest, max_sectors: u64) -> Option<(AddOutcome, Qid)> {
-        // Back merge: an existing extent ends where r starts.
-        if let Some(&key) = self.by_end.get(&r.sector) {
-            let rq = self.sorted.get_mut(&key).expect("index points at live rq");
-            if rq.dir == r.dir && rq.sectors + r.sectors <= max_sectors {
-                let qid = key.1;
-                self.by_end.remove(&rq.end());
-                rq.merge_back(r.clone());
-                let new_end = rq.end();
-                let ext_id = rq.id();
-                self.by_end.insert(new_end, key);
-                let _ = ext_id;
-                return Some((AddOutcome::MergedBack(self.sorted[&key].id()), qid));
+    /// Position in `order` of the first entry with sector >= `sector`.
+    /// Hits the cursor hint in O(1) when the scan continues forward
+    /// (the sequential-dispatch common case), else binary-searches and
+    /// re-seats the hint.
+    #[inline]
+    fn lower_bound(&self, sector: Sector) -> usize {
+        let ord = &self.order;
+        let i = self.cursor.get();
+        if i <= ord.len()
+            && (i == 0 || ord[i - 1].sector < sector)
+            && (i == ord.len() || ord[i].sector >= sector)
+        {
+            return i;
+        }
+        let j = ord.partition_point(|k| k.sector < sector);
+        self.cursor.set(j);
+        j
+    }
+
+    /// Exact position in `order` of the entry `(sector, seq)`.
+    #[inline]
+    fn order_pos(&self, sector: Sector, seq: u64) -> usize {
+        let idx = self
+            .order
+            .partition_point(|k| (k.sector, k.seq) < (sector, seq));
+        debug_assert!(
+            idx < self.order.len() && self.order[idx].seq == seq,
+            "order index out of sync"
+        );
+        idx
+    }
+
+    fn order_insert(&mut self, sector: Sector, seq: u64, slot: u32) {
+        let idx = self
+            .order
+            .partition_point(|k| (k.sector, k.seq) < (sector, seq));
+        self.order.insert(idx, OrdEnt { sector, seq, slot });
+        if idx < self.cursor.get() {
+            self.cursor.set(self.cursor.get() + 1);
+        }
+    }
+
+    fn order_remove(&mut self, sector: Sector, seq: u64) {
+        let idx = self.order_pos(sector, seq);
+        self.order.remove(idx);
+        // The next entry shifted into `idx`: exactly where a one-way
+        // scan continues after dispatching this request.
+        self.cursor.set(idx);
+    }
+
+    /// Among `slots` (extents sharing one boundary), the oldest one
+    /// that can absorb `add_sectors` more in direction `dir`.
+    #[inline]
+    fn oldest_eligible(&self, slots: &[u32], dir: Dir, add_sectors: u64, max: u64) -> Option<u32> {
+        let mut best: Option<(u64, u32)> = None;
+        for &slot in slots {
+            let s = &self.slots[slot as usize];
+            let rq = s.rq.as_ref().expect("boundary index points at live slot");
+            if rq.dir == dir
+                && rq.sectors + add_sectors <= max
+                && best.is_none_or(|(bseq, _)| s.seq < bseq)
+            {
+                best = Some((s.seq, slot));
             }
         }
+        best.map(|(_, slot)| slot)
+    }
+
+    fn bump_stream(&mut self, stream: StreamId) {
+        if let Some(e) = self.stream_refs.iter_mut().find(|(s, _)| *s == stream) {
+            e.1 += 1;
+        } else {
+            self.stream_refs.push((stream, 1));
+        }
+    }
+
+    fn drop_stream(&mut self, stream: StreamId) {
+        let Some(i) = self.stream_refs.iter().position(|(s, _)| *s == stream) else {
+            debug_assert!(false, "dropping unknown stream ref");
+            return;
+        };
+        debug_assert!(self.stream_refs[i].1 > 0, "stream refcount underflow");
+        self.stream_refs[i].1 -= 1;
+        if self.stream_refs[i].1 == 0 {
+            self.stream_refs.swap_remove(i);
+        }
+    }
+
+    /// Iterate queued requests in sector order.
+    pub fn iter(&self) -> impl Iterator<Item = (Qid, &QueuedRq)> {
+        self.order.iter().map(|e| {
+            let s = &self.slots[e.slot as usize];
+            (
+                pack_qid(s.gen, e.slot),
+                s.rq.as_ref().expect("order entry points at live slot"),
+            )
+        })
+    }
+}
+
+impl PoolKernel for RqPool {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn try_merge(&mut self, r: &IoRequest, max_sectors: u64) -> Option<(AddOutcome, Qid)> {
+        // Back merge: an existing extent ends where r starts.
+        if let Some(slot) =
+            self.oldest_eligible(self.by_end.get(r.sector), r.dir, r.sectors, max_sectors)
+        {
+            let qid = self.slot_qid(slot);
+            self.by_end.remove(r.sector, slot);
+            let rq = self.slots[slot as usize].rq.as_mut().expect("live");
+            rq.merge_back(r.clone());
+            let (new_end, id) = (rq.end(), rq.id());
+            self.by_end.insert(new_end, slot);
+            // Start sector unchanged: the order index stays put.
+            return Some((AddOutcome::MergedBack(id), qid));
+        }
         // Front merge: an existing extent starts where r ends.
-        if let Some(&key) = self.by_start.get(&r.end()) {
-            let rq = self.sorted.get(&key).expect("index points at live rq");
-            if rq.dir == r.dir && rq.sectors + r.sectors <= max_sectors {
-                let qid = key.1;
-                // The start sector changes: re-key the entry.
-                let mut rq = self.remove_by_key(key).expect("live");
-                rq.merge_front(r.clone());
-                let id = rq.id();
-                self.insert_with_qid(rq, qid);
-                return Some((AddOutcome::MergedFront(id), qid));
-            }
+        if let Some(slot) =
+            self.oldest_eligible(self.by_start.get(r.end()), r.dir, r.sectors, max_sectors)
+        {
+            let qid = self.slot_qid(slot);
+            let seq = self.slots[slot as usize].seq;
+            let old_sector = self.slots[slot as usize]
+                .rq
+                .as_ref()
+                .expect("live")
+                .sector;
+            // The start sector changes: re-key order and by_start. The
+            // slot, generation, and seq (sort tie-break) all survive.
+            self.order_remove(old_sector, seq);
+            self.by_start.remove(old_sector, slot);
+            let rq = self.slots[slot as usize].rq.as_mut().expect("live");
+            rq.merge_front(r.clone());
+            let (new_sector, id) = (rq.sector, rq.id());
+            self.order_insert(new_sector, seq, slot);
+            self.by_start.insert(new_sector, slot);
+            return Some((AddOutcome::MergedFront(id), qid));
         }
         None
     }
 
-    /// Insert a fresh request, returning its qid.
-    pub fn insert(&mut self, rq: QueuedRq) -> Qid {
-        let qid = self.next_qid;
-        self.next_qid += 1;
-        self.insert_with_qid(rq, qid);
-        qid
+    fn insert(&mut self, rq: QueuedRq) -> Qid {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let (sector, end, stream) = (rq.sector, rq.end(), rq.stream);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.rq.is_none(), "free-list slot still occupied");
+                s.seq = seq;
+                s.rq = Some(rq);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot { gen: 0, seq, rq: Some(rq) });
+                slot
+            }
+        };
+        self.order_insert(sector, seq, slot);
+        self.by_end.insert(end, slot);
+        self.by_start.insert(sector, slot);
+        self.bump_stream(stream);
+        self.len += 1;
+        self.slot_qid(slot)
+    }
+
+    fn remove(&mut self, qid: Qid) -> Option<QueuedRq> {
+        let slot = self.live_slot(qid)?;
+        let s = &mut self.slots[slot as usize];
+        let rq = s.rq.take().expect("live_slot checked occupancy");
+        s.gen = s.gen.wrapping_add(1);
+        let seq = s.seq;
+        self.order_remove(rq.sector, seq);
+        self.by_end.remove(rq.end(), slot);
+        self.by_start.remove(rq.sector, slot);
+        self.drop_stream(rq.stream);
+        self.free.push(slot);
+        self.len -= 1;
+        Some(rq)
+    }
+
+    fn contains(&self, qid: Qid) -> bool {
+        self.live_slot(qid).is_some()
+    }
+
+    fn get(&self, qid: Qid) -> Option<&QueuedRq> {
+        let slot = self.live_slot(qid)?;
+        self.slots[slot as usize].rq.as_ref()
+    }
+
+    fn next_at_or_after(&self, sector: Sector) -> Option<Qid> {
+        let idx = self.lower_bound(sector);
+        self.order.get(idx).map(|e| self.slot_qid(e.slot))
+    }
+
+    fn first(&self) -> Option<Qid> {
+        self.order.first().map(|e| self.slot_qid(e.slot))
+    }
+
+    fn prev_before(&self, sector: Sector) -> Option<Qid> {
+        let idx = self.order.partition_point(|k| k.sector < sector);
+        (idx > 0).then(|| self.slot_qid(self.order[idx - 1].slot))
+    }
+
+    fn drain_all(&mut self) -> Vec<QueuedRq> {
+        let mut out = Vec::with_capacity(self.len);
+        for i in 0..self.order.len() {
+            let slot = self.order[i].slot;
+            let s = &mut self.slots[slot as usize];
+            out.push(s.rq.take().expect("order entry points at live slot"));
+            s.gen = s.gen.wrapping_add(1);
+            self.free.push(slot);
+        }
+        self.order.clear();
+        self.cursor.set(0);
+        self.by_end.clear();
+        self.by_start.clear();
+        self.stream_refs.clear();
+        self.len = 0;
+        out
+    }
+
+    fn has_stream(&self, stream: StreamId) -> bool {
+        self.stream_refs.iter().any(|(s, _)| *s == stream)
+    }
+
+    fn closest_from_stream(&self, stream: StreamId, sector: Sector) -> Option<Qid> {
+        self.iter()
+            .filter(|(_, rq)| rq.stream == stream)
+            .min_by_key(|(_, rq)| rq.sector.abs_diff(sector))
+            .map(|(qid, _)| qid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive oracle
+// ---------------------------------------------------------------------------
+
+/// Sort key of the naive kernel: requests are ordered by start sector,
+/// ties broken by qid (== insertion order).
+type NaiveKey = (Sector, Qid);
+
+/// The retained differential oracle: the pre-slab `BTreeMap` pool with
+/// merge lookups done by *linear scan* over the sort list instead of
+/// boundary hash indexes — trivially correct for duplicate boundary
+/// sectors (the single-slot index of the original implementation
+/// dropped one of two extents sharing a boundary). O(n) merges: use
+/// only in tests.
+#[derive(Debug, Default)]
+pub struct NaiveRqPool {
+    sorted: BTreeMap<NaiveKey, QueuedRq>,
+    /// live qid -> key, for FIFO cross-references.
+    live: FxHashMap<Qid, NaiveKey>,
+    next_qid: Qid,
+}
+
+impl NaiveRqPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        NaiveRqPool::default()
     }
 
     fn insert_with_qid(&mut self, rq: QueuedRq, qid: Qid) {
         let key = (rq.sector, qid);
-        self.by_end.insert(rq.end(), key);
-        self.by_start.insert(rq.sector, key);
         self.live.insert(qid, key);
         let prev = self.sorted.insert(key, rq);
         debug_assert!(prev.is_none(), "duplicate pool key");
     }
 
-    fn unindex(&mut self, key: Key, rq: &QueuedRq) {
-        if self.by_end.get(&rq.end()) == Some(&key) {
-            self.by_end.remove(&rq.end());
-        }
-        if self.by_start.get(&rq.sector) == Some(&key) {
-            self.by_start.remove(&rq.sector);
-        }
-        self.live.remove(&key.1);
-    }
-
-    fn remove_by_key(&mut self, key: Key) -> Option<QueuedRq> {
+    fn remove_by_key(&mut self, key: NaiveKey) -> Option<QueuedRq> {
         let rq = self.sorted.remove(&key)?;
-        self.unindex(key, &rq);
+        self.live.remove(&key.1);
         Some(rq)
     }
 
-    /// Remove a request by qid (e.g. FIFO-expired dispatch).
-    pub fn remove(&mut self, qid: Qid) -> Option<QueuedRq> {
-        let key = *self.live.get(&qid)?;
-        self.remove_by_key(key)
-    }
-
-    /// Is this qid still queued?
-    pub fn contains(&self, qid: Qid) -> bool {
-        self.live.contains_key(&qid)
-    }
-
-    /// Peek the queued request with the given qid.
-    pub fn get(&self, qid: Qid) -> Option<&QueuedRq> {
-        let key = self.live.get(&qid)?;
-        self.sorted.get(key)
-    }
-
-    /// Qid of the first request at or after `sector` (one-way elevator
-    /// scan position), if any.
-    pub fn next_at_or_after(&self, sector: Sector) -> Option<Qid> {
+    /// Oldest queued extent satisfying `pred` that can absorb
+    /// `add_sectors` more in direction `dir` (linear scan; qid order ==
+    /// insertion order).
+    fn oldest_matching(
+        &self,
+        dir: Dir,
+        add_sectors: u64,
+        max: u64,
+        pred: impl Fn(&QueuedRq) -> bool,
+    ) -> Option<NaiveKey> {
         self.sorted
-            .range((sector, 0)..)
-            .next()
-            .map(|(&(_, qid), _)| qid)
-    }
-
-    /// Qid of the lowest-sector request, if any.
-    pub fn first(&self) -> Option<Qid> {
-        self.sorted.keys().next().map(|&(_, qid)| qid)
-    }
-
-    /// Qid of the last request strictly before `sector` (for backward
-    /// seeks / closest-request heuristics).
-    pub fn prev_before(&self, sector: Sector) -> Option<Qid> {
-        self.sorted
-            .range(..(sector, 0))
-            .next_back()
-            .map(|(&(_, qid), _)| qid)
-    }
-
-    /// Remove and return every queued request in sector order
-    /// (used when hot-switching elevators).
-    pub fn drain_all(&mut self) -> Vec<QueuedRq> {
-        let out: Vec<QueuedRq> = std::mem::take(&mut self.sorted).into_values().collect();
-        self.by_end.clear();
-        self.by_start.clear();
-        self.live.clear();
-        out
+            .iter()
+            .filter(|(_, rq)| pred(rq) && rq.dir == dir && rq.sectors + add_sectors <= max)
+            .min_by_key(|(&(_, qid), _)| qid)
+            .map(|(&key, _)| key)
     }
 
     /// Iterate queued requests in sector order.
     pub fn iter(&self) -> impl Iterator<Item = (Qid, &QueuedRq)> {
         self.sorted.iter().map(|(&(_, qid), rq)| (qid, rq))
     }
+}
 
-    /// Does the pool hold any request from `stream`? (Linear scan — only
-    /// used by anticipation heuristics on small queues.)
-    pub fn has_stream(&self, stream: u32) -> bool {
+impl PoolKernel for NaiveRqPool {
+    fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    fn try_merge(&mut self, r: &IoRequest, max_sectors: u64) -> Option<(AddOutcome, Qid)> {
+        // Back merge: an existing extent ends where r starts.
+        if let Some(key) =
+            self.oldest_matching(r.dir, r.sectors, max_sectors, |rq| rq.end() == r.sector)
+        {
+            let rq = self.sorted.get_mut(&key).expect("scan found it");
+            rq.merge_back(r.clone());
+            return Some((AddOutcome::MergedBack(rq.id()), key.1));
+        }
+        // Front merge: an existing extent starts where r ends.
+        if let Some(key) =
+            self.oldest_matching(r.dir, r.sectors, max_sectors, |rq| rq.sector == r.end())
+        {
+            let qid = key.1;
+            // The start sector changes: re-key the entry.
+            let mut rq = self.remove_by_key(key).expect("scan found it");
+            rq.merge_front(r.clone());
+            let id = rq.id();
+            self.insert_with_qid(rq, qid);
+            return Some((AddOutcome::MergedFront(id), qid));
+        }
+        None
+    }
+
+    fn insert(&mut self, rq: QueuedRq) -> Qid {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        self.insert_with_qid(rq, qid);
+        qid
+    }
+
+    fn remove(&mut self, qid: Qid) -> Option<QueuedRq> {
+        let key = *self.live.get(&qid)?;
+        self.remove_by_key(key)
+    }
+
+    fn contains(&self, qid: Qid) -> bool {
+        self.live.contains_key(&qid)
+    }
+
+    fn get(&self, qid: Qid) -> Option<&QueuedRq> {
+        let key = self.live.get(&qid)?;
+        self.sorted.get(key)
+    }
+
+    fn next_at_or_after(&self, sector: Sector) -> Option<Qid> {
+        self.sorted
+            .range((sector, 0)..)
+            .next()
+            .map(|(&(_, qid), _)| qid)
+    }
+
+    fn first(&self) -> Option<Qid> {
+        self.sorted.keys().next().map(|&(_, qid)| qid)
+    }
+
+    fn prev_before(&self, sector: Sector) -> Option<Qid> {
+        self.sorted
+            .range(..(sector, 0))
+            .next_back()
+            .map(|(&(_, qid), _)| qid)
+    }
+
+    fn drain_all(&mut self) -> Vec<QueuedRq> {
+        self.live.clear();
+        std::mem::take(&mut self.sorted).into_values().collect()
+    }
+
+    fn has_stream(&self, stream: StreamId) -> bool {
         self.sorted.values().any(|rq| rq.stream == stream)
     }
 
-    /// Qid of the queued request from `stream` closest to `sector`.
-    pub fn closest_from_stream(&self, stream: u32, sector: Sector) -> Option<Qid> {
+    fn closest_from_stream(&self, stream: StreamId, sector: Sector) -> Option<Qid> {
         self.sorted
             .iter()
             .filter(|(_, rq)| rq.stream == stream)
-            .min_by_key(|(&(s, _), _)| s.abs_diff(sector))
+            .min_by_key(|(_, rq)| rq.sector.abs_diff(sector))
             .map(|(&(_, qid), _)| qid)
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
 /// Convenience wrapper: add `r` to the pool, merging when possible.
 /// Returns the outcome and the qid holding the request's data.
-pub fn add_with_merge(
-    pool: &mut RqPool,
+pub fn add_with_merge<P: PoolKernel>(
+    pool: &mut P,
     r: IoRequest,
     max_sectors: u64,
 ) -> (AddOutcome, Qid) {
@@ -203,23 +664,23 @@ pub fn add_with_merge(
 
 /// Direction-indexed pair of pools (deadline/AS keep one per direction).
 #[derive(Debug, Default)]
-pub struct DirPools {
-    pools: [RqPool; 2],
+pub struct DirPools<P: PoolKernel = RqPool> {
+    pools: [P; 2],
 }
 
-impl DirPools {
+impl<P: PoolKernel> DirPools<P> {
     /// Empty pools.
     pub fn new() -> Self {
         DirPools::default()
     }
 
     /// Pool for one direction.
-    pub fn pool(&self, dir: Dir) -> &RqPool {
+    pub fn pool(&self, dir: Dir) -> &P {
         &self.pools[dir.idx()]
     }
 
     /// Mutable pool for one direction.
-    pub fn pool_mut(&mut self, dir: Dir) -> &mut RqPool {
+    pub fn pool_mut(&mut self, dir: Dir) -> &mut P {
         &mut self.pools[dir.idx()]
     }
 
@@ -243,7 +704,8 @@ impl DirPools {
 
 /// A FIFO of (qid, deadline) entries with lazy invalidation: entries
 /// whose qid has left the pool are skipped on pop (the deadline
-/// elevator's expiry list).
+/// elevator's expiry list). Holds slab qids directly — generational
+/// validation makes `contains` an O(1) slot probe.
 #[derive(Debug, Default)]
 pub struct DeadlineFifo {
     entries: std::collections::VecDeque<(Qid, simcore::SimTime)>,
@@ -261,7 +723,7 @@ impl DeadlineFifo {
     }
 
     /// The head entry still live in `pool`, dropping stale ones.
-    pub fn head(&mut self, pool: &RqPool) -> Option<(Qid, simcore::SimTime)> {
+    pub fn head<P: PoolKernel>(&mut self, pool: &P) -> Option<(Qid, simcore::SimTime)> {
         while let Some(&(qid, dl)) = self.entries.front() {
             if pool.contains(qid) {
                 return Some((qid, dl));
@@ -272,7 +734,11 @@ impl DeadlineFifo {
     }
 
     /// Has the head entry expired at `now`?
-    pub fn head_expired(&mut self, pool: &RqPool, now: simcore::SimTime) -> Option<Qid> {
+    pub fn head_expired<P: PoolKernel>(
+        &mut self,
+        pool: &P,
+        now: simcore::SimTime,
+    ) -> Option<Qid> {
         match self.head(pool) {
             Some((qid, dl)) if dl <= now => Some(qid),
             _ => None,
@@ -402,6 +868,21 @@ mod tests {
     }
 
     #[test]
+    fn slot_reuse_invalidates_stale_qids() {
+        // A qid held across its slot's reuse (the DeadlineFifo pattern)
+        // must not alias the new occupant: the generation differs.
+        let mut p = RqPool::new();
+        let a = p.insert(QueuedRq::from_request(req(1, 100, 8)));
+        p.remove(a).unwrap();
+        let b = p.insert(QueuedRq::from_request(req(2, 900, 8)));
+        assert_ne!(a, b, "reused slot must carry a new generation");
+        assert!(!p.contains(a));
+        assert!(p.get(a).is_none());
+        assert!(p.remove(a).is_none());
+        assert_eq!(p.get(b).unwrap().sector, 900);
+    }
+
+    #[test]
     fn fifo_lazy_invalidation() {
         let mut p = RqPool::new();
         let mut f = DeadlineFifo::new();
@@ -428,6 +909,47 @@ mod tests {
     }
 
     #[test]
+    fn stream_refcounts_across_merge_remove_drain() {
+        // has_stream is backed by refcounts: merges must not change
+        // them (a merged extent keeps its absorber's stream), removes
+        // and drains must release them exactly.
+        let mut p = RqPool::new();
+        let mk = |id: u64, stream: u32, sector: u64| IoRequest {
+            id,
+            stream,
+            sector,
+            sectors: 8,
+            dir: Dir::Read,
+            sync: true,
+            submitted: SimTime::ZERO,
+        };
+        let (_, q1) = add_with_merge(&mut p, mk(1, 7, 100), 1024);
+        let (_, q2) = add_with_merge(&mut p, mk(2, 7, 900), 1024);
+        assert!(p.has_stream(7));
+        // Back merge from another stream: absorbed into q1 (stream 7),
+        // no new stream-8 entry appears.
+        let (o, _) = add_with_merge(&mut p, mk(3, 8, 108), 1024);
+        assert_eq!(o, AddOutcome::MergedBack(1));
+        assert!(!p.has_stream(8), "merged part does not count as queued");
+        // Front merge keeps the absorber's stream refcount.
+        let (o, _) = add_with_merge(&mut p, mk(4, 8, 92), 1024);
+        assert_eq!(o, AddOutcome::MergedFront(4));
+        assert!(p.has_stream(7));
+        assert!(!p.has_stream(8));
+        // Removing one of two stream-7 requests keeps the stream live.
+        p.remove(q1).unwrap();
+        assert!(p.has_stream(7));
+        p.remove(q2).unwrap();
+        assert!(!p.has_stream(7), "last removal releases the stream");
+        // Refill and drain: everything released at once.
+        add_with_merge(&mut p, mk(5, 9, 500), 1024);
+        add_with_merge(&mut p, mk(6, 10, 700), 1024);
+        assert!(p.has_stream(9) && p.has_stream(10));
+        p.drain_all();
+        assert!(!p.has_stream(9) && !p.has_stream(10));
+    }
+
+    #[test]
     fn drain_in_sector_order() {
         let mut p = RqPool::new();
         p.insert(QueuedRq::from_request(req(1, 500, 8)));
@@ -436,5 +958,116 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert!(drained[0].sector < drained[1].sector);
         assert!(p.is_empty());
+    }
+
+    /// Regression for the single-slot boundary-index bug: two queued
+    /// extents sharing a boundary sector must *both* stay findable as
+    /// merge candidates, and removing one must not drop the other's
+    /// index entry. The original `HashMap<Sector, Key>` indexes
+    /// overwrote on insert and removed-by-sector on removal, silently
+    /// losing merge candidates. Pinned for both kernels.
+    fn duplicate_boundary_case<P: PoolKernel>() {
+        let mk = |id: u64, sector: u64, sectors: u64, dir: Dir| IoRequest {
+            id,
+            stream: id as u32,
+            sector,
+            sectors,
+            dir,
+            sync: dir == Dir::Read,
+            submitted: SimTime::from_micros(id),
+        };
+        // Two same-direction extents both ending at 200: 100..200 and
+        // 150..200 (overlapping tails happen with duplicate content
+        // ranges; the pool does not forbid them).
+        let mut p = P::default();
+        let (_, qa) = add_with_merge(&mut p, mk(1, 100, 100, Dir::Read), 1024);
+        let (_, qb) = add_with_merge(&mut p, mk(2, 150, 50, Dir::Read), 1024);
+        assert_eq!(p.len(), 2);
+        // A request at 200 back-merges into the *older* extent (qa).
+        let (o, q) = add_with_merge(&mut p, mk(3, 200, 8, Dir::Read), 1024);
+        assert_eq!(o, AddOutcome::MergedBack(1));
+        assert_eq!(q, qa);
+        // qb still ends at 200 and must still be indexed: after qa is
+        // removed, a fresh arrival at 200 merges into qb rather than
+        // queueing (the original index had dropped qb's entry).
+        p.remove(qa).unwrap();
+        let (o, q) = add_with_merge(&mut p, mk(4, 200, 8, Dir::Read), 1024);
+        assert_eq!(o, AddOutcome::MergedBack(2));
+        assert_eq!(q, qb);
+
+        // Same collision on the *start* boundary: two extents starting
+        // at 1000; a front-merge candidate at 992 picks the older one,
+        // and the younger stays findable after the older leaves.
+        let mut p = P::default();
+        let (_, qa) = add_with_merge(&mut p, mk(10, 1000, 64, Dir::Read), 1024);
+        let (_, qb) = add_with_merge(&mut p, mk(11, 1000, 32, Dir::Read), 1024);
+        let (o, q) = add_with_merge(&mut p, mk(12, 992, 8, Dir::Read), 1024);
+        assert_eq!(o, AddOutcome::MergedFront(12));
+        assert_eq!(q, qa);
+        p.remove(qa).unwrap();
+        let (o, q) = add_with_merge(&mut p, mk(13, 992, 8, Dir::Read), 1024);
+        assert_eq!(o, AddOutcome::MergedFront(13));
+        assert_eq!(q, qb);
+
+        // Direction mismatch at a shared boundary: the write ending at
+        // 200 is skipped, the read (inserted later) still merges.
+        let mut p = P::default();
+        add_with_merge(&mut p, mk(20, 100, 100, Dir::Write), 1024);
+        let (_, qr) = add_with_merge(&mut p, mk(21, 150, 50, Dir::Read), 1024);
+        let (o, q) = add_with_merge(&mut p, mk(22, 200, 8, Dir::Read), 1024);
+        assert_eq!(o, AddOutcome::MergedBack(21));
+        assert_eq!(q, qr);
+    }
+
+    #[test]
+    fn duplicate_boundary_sectors_slab() {
+        duplicate_boundary_case::<RqPool>();
+    }
+
+    #[test]
+    fn duplicate_boundary_sectors_naive() {
+        duplicate_boundary_case::<NaiveRqPool>();
+    }
+
+    #[test]
+    fn scan_cursor_survives_churn() {
+        // Interleave scans with inserts/removes around the cursor: the
+        // hint is only a hint, answers must match the naive kernel.
+        let mut p = RqPool::new();
+        let mut n = NaiveRqPool::new();
+        let mut g = simcore::check::Gen::from_seed(7);
+        let mut live: Vec<(Qid, Qid)> = Vec::new();
+        for i in 0..2000u64 {
+            match g.u32_in(0, 10) {
+                0..=4 => {
+                    let r = req(i + 1, g.u64_in(0, 5_000), g.u64_in(1, 64));
+                    let (op, qp) = add_with_merge(&mut p, r.clone(), 1024);
+                    let (on, qn) = add_with_merge(&mut n, r, 1024);
+                    assert_eq!(op, on);
+                    if op == AddOutcome::Queued {
+                        live.push((qp, qn));
+                    }
+                }
+                5..=6 => {
+                    let s = g.u64_in(0, 5_200);
+                    let a = p.next_at_or_after(s).map(|q| p.get(q).unwrap().clone());
+                    let b = n.next_at_or_after(s).map(|q| n.get(q).unwrap().clone());
+                    assert_eq!(a, b, "scan diverged at sector {s}");
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let idx = g.usize_in(0, live.len());
+                        let (qp, qn) = live.swap_remove(idx);
+                        assert_eq!(p.remove(qp), n.remove(qn));
+                    }
+                }
+            }
+            // Merges can consume entries whose qids we hold; prune.
+            live.retain(|&(qp, qn)| {
+                assert_eq!(p.contains(qp), n.contains(qn));
+                p.contains(qp)
+            });
+            assert_eq!(p.len(), n.len());
+        }
     }
 }

@@ -297,15 +297,20 @@ impl NodeStack {
                 },
             );
         }
+        // Steady-state dispatch must not allocate: size the ring-path
+        // maps for the worst case up front (every VM's ring full of
+        // single-segment requests) and keep the occupancy scratch at
+        // its vm_count bound.
+        let ring_cap = vm_count as usize * ring_bound as usize;
         NodeStack {
             disk: Disk::new(params.disk.clone()),
             dom0: build_elevator(pair.host, &params.tunables),
             dom0_timer: Timer::new(),
             dom0_switch: SwitchState::new(),
             guests,
-            ring: FxHashMap::default(),
-            parents: FxHashMap::default(),
-            occ_scratch: Vec::new(),
+            ring: FxHashMap::with_capacity_and_hasher(ring_cap, Default::default()),
+            parents: FxHashMap::with_capacity_and_hasher(ring_cap, Default::default()),
+            occ_scratch: Vec::with_capacity(vm_count as usize),
             next_parent: 1,
             next_dom0_id: 1,
             in_service: None,
