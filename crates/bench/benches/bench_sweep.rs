@@ -176,10 +176,12 @@ fn multijob_cells(base: &ClusterParams, shape: ClusterShape) -> (Json, f64) {
     let best_idx = (0..pairs.len())
         .min_by(|&a, &b| blended_total(a).total_cmp(&blended_total(b)))
         .expect("non-empty pair table");
-    let mut sp = ServiceParams::default();
-    sp.shape = shape;
-    sp.duration = SimDuration::from_secs(if quick() { 120 } else { 480 });
-    sp.seed = 42;
+    let sp = ServiceParams {
+        shape,
+        duration: SimDuration::from_secs(if quick() { 120 } else { 480 }),
+        seed: 42,
+        ..ServiceParams::default()
+    };
     let spec = ArrivalSpec::Poisson { rate_per_min: 8.0 };
     let cell = |label: &str, policy: &mut dyn ServicePolicy| {
         let started = std::time::Instant::now();

@@ -30,7 +30,7 @@ fn elevator_round(kind: SchedKind) -> u64 {
                 stream: (i % 8) as u32,
                 sector: (i * 7919) % 1_000_000,
                 sectors: 64,
-                dir: if i % 3 == 0 { Dir::Write } else { Dir::Read },
+                dir: if i.is_multiple_of(3) { Dir::Write } else { Dir::Read },
                 sync: i % 3 != 0,
                 submitted: now,
             },
@@ -67,9 +67,9 @@ fn elevator_churn(kind: SchedKind, population: usize, rounds: u64) -> u64 {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         x
     };
-    let mut mk = |id: u64, now: SimTime, lcg: &mut dyn FnMut() -> u64| {
+    let mk = |id: u64, now: SimTime, lcg: &mut dyn FnMut() -> u64| {
         let r = lcg();
-        let dir = if r % 3 == 0 { Dir::Write } else { Dir::Read };
+        let dir = if r.is_multiple_of(3) { Dir::Write } else { Dir::Read };
         IoRequest {
             id,
             stream: (r >> 8) as u32 % 8,
@@ -77,7 +77,7 @@ fn elevator_churn(kind: SchedKind, population: usize, rounds: u64) -> u64 {
             sector: ((r >> 16) % 8_000) * 8,
             sectors: 8 + ((r >> 40) % 8) * 8,
             dir,
-            sync: dir == Dir::Read || r % 5 == 0,
+            sync: dir == Dir::Read || r.is_multiple_of(5),
             submitted: now,
         }
     };
@@ -276,7 +276,7 @@ fn main() {
         let mut d = blkdev::Disk::new(blkdev::DiskParams::default());
         let mut now = SimTime::ZERO;
         for i in 0..1000u64 {
-            let s = d.service(now, (i * 104_729) % 1_900_000_000, 128, i % 2 == 0);
+            let s = d.service(now, (i * 104_729) % 1_900_000_000, 128, i.is_multiple_of(2));
             now += s.total();
         }
         black_box(now)

@@ -100,8 +100,8 @@ impl BlendedTuner {
             h = h.wrapping_mul(0x100000001b3);
         };
         for w in &mix.per_tenant {
-            for p in 0..3 {
-                fold((w[p] * 16.0).round() as u64);
+            for &x in w {
+                fold((x * 16.0).round() as u64);
             }
         }
         h

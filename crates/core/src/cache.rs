@@ -94,10 +94,12 @@ impl EvalCache {
         match g.scores.get(&key).copied() {
             Some(t) => {
                 g.hits += 1;
+                simcore::prof::count("evalcache.hit", 1);
                 Some(t)
             }
             None => {
                 g.misses += 1;
+                simcore::prof::count("evalcache.miss", 1);
                 None
             }
         }
@@ -116,10 +118,12 @@ impl EvalCache {
         match g.profiles.get(&(fingerprint, pair)).copied() {
             Some(p) => {
                 g.hits += 1;
+                simcore::prof::count("evalcache.hit", 1);
                 Some(p)
             }
             None => {
                 g.misses += 1;
+                simcore::prof::count("evalcache.miss", 1);
                 None
             }
         }

@@ -229,6 +229,7 @@ impl MetaScheduler {
     /// simulation-free. Even within a single pass the profiler's 16
     /// single-pair runs pre-pay Algorithm 1's uniform-plan evaluations.
     pub fn tune_with_cache(&self, cache: &EvalCache) -> TuneReport {
+        let _prof = simcore::prof::span("metasched.tune");
         let before = cache.stats();
         let profiles = profile_pairs_cached(&self.exp, &self.cfg.candidates, cache);
         let split = self.choose_split(&profiles);

@@ -16,6 +16,7 @@ use simcore::SimDuration;
 
 /// Profile every pair in `pairs` with one full single-pair run each.
 pub fn profile_pairs(exp: &Experiment, pairs: &[SchedPair]) -> Vec<PhaseProfile> {
+    let _prof = simcore::prof::span("metasched.profile_pairs");
     par_map(pairs, |&pair| {
         let out = exp.run_single(pair);
         PhaseProfile::from_outcome(pair, &out.phases)
@@ -32,6 +33,7 @@ pub fn profile_pairs_cached(
     pairs: &[SchedPair],
     cache: &EvalCache,
 ) -> Vec<PhaseProfile> {
+    let _prof = simcore::prof::span("metasched.profile_pairs");
     let fp = exp.fingerprint();
     par_map(pairs, |&pair| {
         if let Some(p) = cache.profile(fp, pair) {

@@ -296,6 +296,7 @@ impl<P: PoolKernel> Elevator for Anticipatory<P> {
     }
 
     fn dispatch(&mut self, now: SimTime) -> Dispatch {
+        let _prof = simcore::prof::span_hot("iosched.dispatch");
         // Anticipation window handling. A submission from the
         // anticipated stream *breaks* the wait; dispatch then proceeds
         // in normal scan order — when the arrival is the sequential

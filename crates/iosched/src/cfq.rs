@@ -221,6 +221,7 @@ impl<P: PoolKernel> Elevator for Cfq<P> {
     }
 
     fn dispatch(&mut self, now: SimTime) -> Dispatch {
+        let _prof = simcore::prof::span_hot("iosched.dispatch");
         loop {
             let Some(active) = self.active.as_ref() else {
                 if !self.activate_next(now) {

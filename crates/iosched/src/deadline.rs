@@ -136,6 +136,7 @@ impl<P: PoolKernel> Elevator for DeadlineSched<P> {
     }
 
     fn dispatch(&mut self, now: SimTime) -> Dispatch {
+        let _prof = simcore::prof::span_hot("iosched.dispatch");
         if let Some(rq) = self.continue_batch(now) {
             return Dispatch::Request(rq);
         }

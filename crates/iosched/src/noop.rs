@@ -78,6 +78,7 @@ impl Elevator for Noop {
     }
 
     fn dispatch(&mut self, _now: SimTime) -> Dispatch {
+        let _prof = simcore::prof::span_hot("iosched.dispatch");
         while let Some(slot) = self.fifo.pop_front() {
             if let Some(rq) = self.slab[slot].take() {
                 self.by_end.remove(rq.end(), slot as u32);

@@ -654,7 +654,9 @@ pub fn add_with_merge<P: PoolKernel>(
     r: IoRequest,
     max_sectors: u64,
 ) -> (AddOutcome, Qid) {
+    let _prof = simcore::prof::span_hot("iosched.add");
     if let Some((outcome, qid)) = pool.try_merge(&r, max_sectors) {
+        simcore::prof::count_hot("merged", 1);
         (outcome, qid)
     } else {
         let qid = pool.insert(QueuedRq::from_request(r));

@@ -216,7 +216,7 @@ fn noop_preserves_fifo_order() {
 fn deadline_expiry_bounded_by_one_batch() {
     use std::collections::HashMap;
     let cfg = Tunables::default().deadline;
-    let slack = (cfg.fifo_batch * (cfg.writes_starved + 2)) as u32;
+    let slack = cfg.fifo_batch * (cfg.writes_starved + 2);
     check(64, |g| {
         let mut e = build_elevator(SchedKind::Deadline, &Tunables::default());
         let mut now = SimTime::ZERO;

@@ -206,8 +206,8 @@ mod tests {
 
     fn metrics(pairs: &[(&str, f64)]) -> Json {
         let mut m = Json::obj();
-        for (k, v) in pairs {
-            m = m.field(*k, *v);
+        for &(k, v) in pairs {
+            m = m.field(k, v);
         }
         m
     }

@@ -217,6 +217,12 @@ pub fn render(doc: &Json) -> Result<String, String> {
         .get("schema")
         .and_then(Json::as_str)
         .ok_or_else(|| "document has no \"schema\" field".to_string())?;
+    if schema == "adios.profile/1" {
+        return render_profile(doc);
+    }
+    if schema == "adios.flight/1" {
+        return render_flight(doc);
+    }
     if !schema.starts_with("adios.metrics/") && !schema.starts_with("adios.bench/") {
         return Err(format!("unsupported schema {schema:?}"));
     }
@@ -307,6 +313,299 @@ pub fn render(doc: &Json) -> Result<String, String> {
         render_plain(&mut out, &scalars);
     }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// adios.profile/1 — span profiler documents
+// ---------------------------------------------------------------------
+
+/// One flattened span row of a profile document.
+#[derive(Debug, Clone)]
+pub struct ProfileRow {
+    /// Span name (`subsystem.detail`).
+    pub name: String,
+    /// Nesting depth (0 = top-level span).
+    pub depth: usize,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Wall time including children, ns.
+    pub total_ns: u64,
+    /// Wall time excluding children, ns.
+    pub self_ns: u64,
+}
+
+fn walk_profile_spans(spans: &[Json], depth: usize, out: &mut Vec<ProfileRow>) {
+    for s in spans {
+        out.push(ProfileRow {
+            name: s.get("name").and_then(Json::as_str).unwrap_or("?").to_string(),
+            depth,
+            calls: s.get("calls").and_then(Json::as_i64).unwrap_or(0).max(0) as u64,
+            total_ns: s.get("total_ns").and_then(Json::as_i64).unwrap_or(0).max(0) as u64,
+            self_ns: s.get("self_ns").and_then(Json::as_i64).unwrap_or(0).max(0) as u64,
+        });
+        if let Some(kids) = s.get("children").and_then(Json::as_arr) {
+            walk_profile_spans(kids, depth + 1, out);
+        }
+    }
+}
+
+/// Flatten an `adios.profile/1` document to depth-annotated rows
+/// (pre-order, children after their parent).
+pub fn profile_rows(doc: &Json) -> Result<Vec<ProfileRow>, String> {
+    if doc.get("schema").and_then(Json::as_str) != Some("adios.profile/1") {
+        return Err("not an adios.profile document".into());
+    }
+    let spans = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "profile document has no spans array".to_string())?;
+    let mut rows = Vec::new();
+    walk_profile_spans(spans, 0, &mut rows);
+    Ok(rows)
+}
+
+/// Per-subsystem share of measured self-time, percent, sorted
+/// descending then by name. The subsystem of a span is the text before
+/// the first `.` of its name. Empty when the profile carries no wall
+/// time (telemetry off, or a skeleton document).
+pub fn profile_subsystem_shares(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    let rows = profile_rows(doc)?;
+    let mut by_sub: Vec<(String, u64)> = Vec::new();
+    for r in &rows {
+        if r.self_ns == 0 {
+            continue;
+        }
+        let sub = r.name.split('.').next().unwrap_or(&r.name).to_string();
+        match by_sub.iter_mut().find(|(s, _)| *s == sub) {
+            Some(e) => e.1 += r.self_ns,
+            None => by_sub.push((sub, r.self_ns)),
+        }
+    }
+    let total: u64 = by_sub.iter().map(|&(_, ns)| ns).sum();
+    if total == 0 {
+        return Ok(Vec::new());
+    }
+    let mut shares: Vec<(String, f64)> = by_sub
+        .into_iter()
+        .map(|(s, ns)| (s, 100.0 * ns as f64 / total as f64))
+        .collect();
+    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    Ok(shares)
+}
+
+/// Render an `adios.profile/1` document: a subsystem share summary
+/// followed by the flame-style span table (indent = nesting, share =
+/// self-time over all measured self-time).
+fn render_profile(doc: &Json) -> Result<String, String> {
+    let rows = profile_rows(doc)?;
+    let shares = profile_subsystem_shares(doc)?;
+    let total: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "== adios.profile/1 ==");
+    if shares.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n(no wall time recorded — structural skeleton or telemetry off)"
+        );
+    } else {
+        let _ = writeln!(out, "\n[subsystems]  (share of measured self-time)");
+        for (name, pct) in &shares {
+            let bar_len = (pct / 2.5).round() as usize;
+            let _ = writeln!(out, "  {name:<12} {pct:5.1}%  {}", "#".repeat(bar_len));
+        }
+    }
+    let _ = writeln!(out, "\n[spans]");
+    let _ = writeln!(
+        out,
+        "  {:<40} {:>12} {:>10} {:>10} {:>7}",
+        "name", "calls", "total", "self", "share%"
+    );
+    for r in &rows {
+        let name = format!("{}{}", "  ".repeat(r.depth), r.name);
+        let share = if total > 0 {
+            100.0 * r.self_ns as f64 / total as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>12} {:>10} {:>10} {:>7.1}",
+            name,
+            r.calls,
+            fmt_duration_ns(r.total_ns as f64),
+            fmt_duration_ns(r.self_ns as f64),
+            share,
+        );
+    }
+    Ok(out)
+}
+
+/// Render an `adios.flight/1` crash-dump document: the fault header,
+/// the snapshot timeline, and per-trace record counts.
+fn render_flight(doc: &Json) -> Result<String, String> {
+    let mut out = String::new();
+    let reason = doc.get("reason").and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(out, "== adios.flight/1 (reason: {reason}) ==");
+    let g = |k: &str| doc.get(k).and_then(Json::as_i64).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "  cluster: {} nodes x {} VMs, {} events processed, t={:.3}s",
+        g("nodes"),
+        g("vms"),
+        g("events"),
+        doc.get("t_s").and_then(Json::as_f64).unwrap_or(0.0),
+    );
+    if let Some(snaps) = doc.get("snapshots").and_then(Json::as_arr) {
+        let _ = writeln!(out, "\n[snapshots]  ({} retained)", snaps.len());
+        for s in snaps {
+            let sg = |k: &str| s.get(k).and_then(Json::as_i64).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  t={:>9.3}s events={:>10} queue={:>7} streams={:>5} flows={:>5} \
+                 maps={:>4.0}% reduces={:>4.0}%",
+                s.get("t_s").and_then(Json::as_f64).unwrap_or(0.0),
+                sg("events"),
+                sg("queue"),
+                sg("streams"),
+                sg("flows"),
+                s.get("maps_done_frac").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+                s.get("reduces_done_frac").and_then(Json::as_f64).unwrap_or(0.0) * 100.0,
+            );
+        }
+    }
+    let trace_line = |out: &mut String, label: &str, t: &Json| {
+        let retained = t.get("records").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+        let _ = writeln!(
+            out,
+            "  {:<16} {} records retained ({} total, {} dropped)",
+            label,
+            retained,
+            t.get("total").and_then(Json::as_i64).unwrap_or(0),
+            t.get("dropped").and_then(Json::as_i64).unwrap_or(0),
+        );
+    };
+    let _ = writeln!(out, "\n[traces]");
+    if let Some(t) = doc.get("cluster_trace") {
+        trace_line(&mut out, "cluster", t);
+    }
+    if let Some(nodes) = doc.get("node_traces").and_then(Json::as_arr) {
+        for (i, t) in nodes.iter().enumerate() {
+            trace_line(&mut out, &format!("node{i}"), t);
+        }
+    }
+    Ok(out)
+}
+
+/// Compare the subsystem shares of two `adios.profile/1` documents.
+/// Returns the rendered table and whether any subsystem's share moved
+/// by more than `threshold_pct` percentage points (the
+/// `--fail-on-share-delta` CI gate; a self-diff never trips it).
+pub fn diff_profile_shares(
+    a: &Json,
+    b: &Json,
+    threshold_pct: f64,
+) -> Result<(String, bool), String> {
+    let sa = profile_subsystem_shares(a)?;
+    let sb = profile_subsystem_shares(b)?;
+    let mut names: Vec<&String> = sa.iter().map(|(n, _)| n).collect();
+    for (n, _) in &sb {
+        if !names.contains(&n) {
+            names.push(n);
+        }
+    }
+    let share = |xs: &[(String, f64)], n: &str| {
+        xs.iter().find(|(s, _)| s == n).map(|&(_, p)| p).unwrap_or(0.0)
+    };
+    let mut out = String::new();
+    let mut tripped = false;
+    let _ = writeln!(out, "subsystem share deltas (gate: {threshold_pct:.1} pct-points):");
+    for n in names {
+        let (pa, pb) = (share(&sa, n), share(&sb, n));
+        let delta = pb - pa;
+        let mark = if delta.abs() > threshold_pct {
+            tripped = true;
+            "  << exceeds gate"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {n:<12} {pa:5.1}% -> {pb:5.1}%  ({delta:+5.1}){mark}");
+    }
+    if !tripped {
+        let _ = writeln!(out, "all subsystem shares within gate");
+    }
+    Ok((out, tripped))
+}
+
+/// Outcome of replaying a flight-recorder dump through the trace
+/// oracle.
+#[derive(Debug)]
+pub struct FlightReplay {
+    /// Rendered report (per-trace verdicts plus violation lines).
+    pub text: String,
+    /// Total violations found across all embedded traces.
+    pub violations: usize,
+}
+
+/// Decode every trace embedded in an `adios.flight/1` document and
+/// replay each through a fresh [`simcore::TraceOracle`]. A dump taken
+/// at a fault reproduces the violation here — the post-mortem is
+/// checkable offline, away from the run that died.
+pub fn replay_flight(doc: &Json) -> Result<FlightReplay, String> {
+    use simcore::trace::TraceRecord;
+    if doc.get("schema").and_then(Json::as_str) != Some("adios.flight/1") {
+        return Err("not an adios.flight document".into());
+    }
+    let mut out = String::new();
+    let mut total_violations = 0usize;
+    let reason = doc.get("reason").and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(out, "replaying flight dump (reason: {reason})");
+    let mut replay_one = |label: &str, t: &Json| -> Result<(), String> {
+        let recs_json = t
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{label}: trace has no records array"))?;
+        let records: Vec<TraceRecord> = recs_json
+            .iter()
+            .map(TraceRecord::from_json)
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| format!("{label}: undecodable trace record"))?;
+        let mut oracle = simcore::TraceOracle::default();
+        oracle.replay_records(&records);
+        let v = oracle.violations();
+        if v.is_empty() {
+            let _ = writeln!(out, "  {label:<16} {} records: clean", records.len());
+        } else {
+            let _ = writeln!(
+                out,
+                "  {label:<16} {} records: {} violation(s)",
+                records.len(),
+                v.len()
+            );
+            for msg in v {
+                let _ = writeln!(out, "    - {msg}");
+            }
+            total_violations += v.len();
+        }
+        Ok(())
+    };
+    if let Some(t) = doc.get("cluster_trace") {
+        replay_one("cluster", t)?;
+    }
+    if let Some(nodes) = doc.get("node_traces").and_then(Json::as_arr) {
+        for (i, t) in nodes.iter().enumerate() {
+            replay_one(&format!("node{i}"), t)?;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{}",
+        if total_violations == 0 {
+            "flight replay clean".to_string()
+        } else {
+            format!("flight replay found {total_violations} violation(s)")
+        }
+    );
+    Ok(FlightReplay { text: out, violations: total_violations })
 }
 
 /// One numeric difference surfaced by [`diff`].
@@ -423,7 +722,7 @@ pub fn diff(a: &Json, b: &Json) -> (String, Vec<Delta>) {
         let _ = writeln!(
             out,
             "  {:<40} {:>14} -> {:<14} ({:+.1}%)",
-            d.path.splitn(2, '.').nth(1).unwrap_or(&d.path),
+            d.path.split_once('.').map_or(d.path.as_str(), |(_, rest)| rest),
             fmt_value(leaf, d.a),
             fmt_value(leaf, d.b),
             d.pct(),

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! adios-report render <doc.json>
-//! adios-report diff <a.json> <b.json> [--shape] [--fail-on-delta]
+//! adios-report diff <a.json> <b.json> [--shape] [--fail-on-delta] [--fail-on-share-delta [pct]]
+//! adios-report replay <flight.json>
 //! adios-report rank --metrics-dir <dir> [--require-crossover]
 //! adios-report correlate --metrics-dir <dir>
 //! adios-report history --ledger <file> <doc.json>...
@@ -49,6 +50,8 @@ fn load(path: &str) -> Result<Json, String> {
 fn usage() -> ExitCode {
     eprintln!("usage: adios-report render <doc.json>");
     eprintln!("       adios-report diff <a.json> <b.json> [--shape] [--fail-on-delta]");
+    eprintln!("                          [--fail-on-share-delta [pct]]");
+    eprintln!("       adios-report replay <flight.json>");
     eprintln!("       adios-report rank --metrics-dir <dir> [--require-crossover]");
     eprintln!("       adios-report correlate --metrics-dir <dir>");
     eprintln!("       adios-report history --ledger <file> <doc.json>...");
@@ -138,9 +141,10 @@ fn run_store_command(args: &[String]) -> Result<ExitCode, String> {
             let workload = flag_value(args, "--workload").unwrap_or("?");
             let mut store = report::store::Store::new();
             for (name, doc) in load_metrics_dir(dir)? {
-                // Bench documents in a watched dir feed the ledger,
-                // not the what-if table; skip them here.
-                if doc.get("schema").and_then(Json::as_str) == Some("adios.bench/1") {
+                // Bench and profile documents in a watched dir feed
+                // the ledger, not the what-if table; skip them here.
+                let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+                if schema == "adios.bench/1" || schema == "adios.profile/1" {
                     continue;
                 }
                 store.ingest_metrics(&name, &doc)?;
@@ -200,17 +204,50 @@ fn main() -> ExitCode {
         Some("diff") => {
             let fail_on_delta = args.iter().any(|a| a == "--fail-on-delta");
             let shape = args.iter().any(|a| a == "--shape");
-            if let Some(unknown) = args[1..]
-                .iter()
-                .find(|a| a.starts_with("--") && *a != "--fail-on-delta" && *a != "--shape")
-            {
-                eprintln!("adios-report: unknown flag {unknown}");
-                return usage();
+            // `--fail-on-share-delta` takes an optional threshold in
+            // percentage points (default 5): for adios.profile/1 pairs,
+            // exit 2 when any subsystem's share moved more than that.
+            let mut share_gate: Option<f64> = None;
+            let mut paths: Vec<&String> = Vec::new();
+            let mut i = 1;
+            while i < args.len() {
+                let a = &args[i];
+                if a == "--fail-on-share-delta" {
+                    let thresh = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .inspect(|_| i += 1)
+                        .unwrap_or(5.0);
+                    share_gate = Some(thresh);
+                } else if a.starts_with("--") {
+                    if a != "--fail-on-delta" && a != "--shape" {
+                        eprintln!("adios-report: unknown flag {a}");
+                        return usage();
+                    }
+                } else {
+                    paths.push(a);
+                }
+                i += 1;
             }
-            let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
             let [a, b] = paths.as_slice() else { return usage() };
             match (load(a), load(b)) {
                 (Ok(da), Ok(db)) => {
+                    if let Some(thresh) = share_gate {
+                        return match report::diff_profile_shares(&da, &db, thresh) {
+                            Ok((text, tripped)) => {
+                                print!("{text}");
+                                if tripped {
+                                    ExitCode::from(2)
+                                } else {
+                                    ExitCode::SUCCESS
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("adios-report: {e}");
+                                ExitCode::FAILURE
+                            }
+                        };
+                    }
                     let (text, deltas) = if shape {
                         report::diff_shape(&da, &db)
                     } else {
@@ -224,6 +261,23 @@ fn main() -> ExitCode {
                     }
                 }
                 (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("adios-report: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("replay") => {
+            let [_, path] = args.as_slice() else { return usage() };
+            match load(path).and_then(|doc| report::replay_flight(&doc)) {
+                Ok(replay) => {
+                    print!("{}", replay.text);
+                    if replay.violations == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(2)
+                    }
+                }
+                Err(e) => {
                     eprintln!("adios-report: {e}");
                     ExitCode::FAILURE
                 }

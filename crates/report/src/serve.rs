@@ -6,10 +6,11 @@
 //! `--watch` is classified by its `schema` field and ingested exactly
 //! once — `adios.metrics/2|3` documents into the rank/correlate
 //! groups (or the service-SLO list), `adios.evalcache/1` snapshots
-//! into the what-if table, `adios.bench/1` documents into the JSONL
-//! ledger (persisted back to `--ledger` after every append) with the
-//! alert rules from `--alert-rules` evaluated against the trailing
-//! window *before* the document extends it.
+//! into the what-if table, `adios.bench/1` and `adios.profile/1`
+//! documents into the JSONL ledger (persisted back to `--ledger`
+//! after every append) with the alert rules from `--alert-rules`
+//! evaluated against the trailing window *before* the document
+//! extends it.
 //!
 //! Queries are line-delimited JSON — one request object per line, one
 //! response object per line, over stdin/stdout or a TCP socket
@@ -185,9 +186,10 @@ impl Daemon {
     /// Classify and ingest one parsed document.
     pub fn ingest(&mut self, file: &str, doc: &Json) -> Result<Vec<String>, String> {
         let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-        if schema == "adios.bench/1" {
-            // Evaluate alert rules against the trailing window the
-            // document is about to extend, then ingest.
+        if schema == "adios.bench/1" || schema == "adios.profile/1" {
+            // Ledger-bound documents (bench timings, profile subsystem
+            // shares): evaluate alert rules against the trailing window
+            // the document is about to extend, then ingest.
             let (kind, metrics) = bench_metrics(doc, file)?;
             let fired = alerts::evaluate(&self.rules, &metrics, self.store.trailing_metrics(&kind));
             let out = self.store.ingest_bench(doc, file)?;

@@ -1100,15 +1100,37 @@ pub(crate) fn fnv1a_str(s: &str) -> u64 {
     h
 }
 
-/// The deterministic headline metrics of a bench document: name →
-/// value, in document order. `mean_ns` per benchmark for micro docs,
-/// `makespan_s` per cell for sweep docs. Public so the alert evaluator
-/// can classify a document before it is ingested.
+/// The headline metrics of a ledger-bound document: name → value, in
+/// document order. `mean_ns` per benchmark for micro docs,
+/// `makespan_s` per cell for sweep docs, and `profile_<sub>_share_pct`
+/// per subsystem for `adios.profile/1` docs (kind `profile` — the
+/// wall-time attribution regression signal). Public so the alert
+/// evaluator can classify a document before it is ingested.
 pub fn bench_metrics(doc: &Json, file: &str) -> Result<(String, Json), String> {
     let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema == "adios.profile/1" {
+        let mut shares =
+            crate::profile_subsystem_shares(doc).map_err(|e| format!("{file}: {e}"))?;
+        if shares.is_empty() {
+            return Err(format!(
+                "{file}: profile has no measured wall time to ingest"
+            ));
+        }
+        // Name order, so the ledger field order is independent of
+        // which subsystem happened to dominate this run.
+        shares.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut metrics = Json::obj();
+        for (name, pct) in &shares {
+            metrics = metrics.field(
+                &format!("profile_{name}_share_pct"),
+                (pct * 100.0).round() / 100.0,
+            );
+        }
+        return Ok(("profile".into(), metrics));
+    }
     if schema != "adios.bench/1" {
         return Err(format!(
-            "{file}: history ingests adios.bench/1 documents (schema '{schema}')"
+            "{file}: history ingests adios.bench/1 or adios.profile/1 documents (schema '{schema}')"
         ));
     }
     let mut metrics = Json::obj();
@@ -1430,7 +1452,7 @@ mod tests {
         // docs with the pc stamped in and a controlled shuffle pct.
         let with_pc = |plan: &str, pc: u64, pct: f64| {
             let (_, mut d) = doc(4, 4, 512, plan, 30.0, [10.0, 12.0, 8.0], 6.0);
-            if let Some(Json::Obj(m)) = d.get("manifest").cloned().map(|m| m) {
+            if let Some(Json::Obj(m)) = d.get("manifest").cloned() {
                 let mut m2 = m;
                 for f in m2.iter_mut() {
                     if f.0 == "parallel_copies" {
@@ -1496,6 +1518,48 @@ mod tests {
         assert!(o3.ledger.contains("\"worst\":\"push\""), "{}", o3.ledger);
         assert!(o3.ledger.contains("\"compared\":2"), "{}", o3.ledger);
         assert!(o3.line.contains("worst delta +10.00% (push)"), "{}", o3.line);
+    }
+
+    fn profile(net_ns: u64, iosched_ns: u64) -> Json {
+        let span = |name: &str, ns: u64| {
+            Json::obj()
+                .field("name", name)
+                .field("calls", 1u64)
+                .field("total_ns", ns)
+                .field("self_ns", ns)
+        };
+        Json::obj().field("schema", "adios.profile/1").field(
+            "spans",
+            Json::Arr(vec![span("net.solve", net_ns), span("iosched.dispatch", iosched_ns)]),
+        )
+    }
+
+    #[test]
+    fn history_ingests_profile_shares_as_their_own_kind() {
+        let o1 = history_append("", &profile(600, 400), "p1.json").unwrap();
+        assert!(o1.appended);
+        assert!(o1.ledger.contains("\"kind\":\"profile\""), "{}", o1.ledger);
+        // Field order is by subsystem name, not by dominance.
+        let net = o1.ledger.find("profile_net_share_pct").unwrap();
+        let io = o1.ledger.find("profile_iosched_share_pct").unwrap();
+        assert!(io < net, "{}", o1.ledger);
+
+        // A share shift appends a delta'd entry; re-ingest is a no-op.
+        let o2 = history_append(&o1.ledger, &profile(900, 100), "p2.json").unwrap();
+        assert!(o2.appended);
+        assert!(o2.worst_pct.is_some(), "{}", o2.line);
+        let o3 = history_append(&o2.ledger, &profile(900, 100), "p2.json").unwrap();
+        assert!(!o3.appended, "{}", o3.line);
+    }
+
+    #[test]
+    fn history_rejects_skeleton_profiles() {
+        let doc = Json::obj().field("schema", "adios.profile/1").field(
+            "spans",
+            Json::Arr(vec![Json::obj().field("name", "net.solve").field("calls", 1u64)]),
+        );
+        let err = history_append("", &doc, "p.json").unwrap_err();
+        assert!(err.contains("no measured wall time"), "{err}");
     }
 
     #[test]

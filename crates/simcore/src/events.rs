@@ -245,6 +245,7 @@ impl<T> EventQueue<T> {
     /// empty. Guarantees progress: the earliest event always lands in
     /// bucket 0.
     fn reprime(&mut self) {
+        let _prof = crate::prof::span("evq.reprime");
         let Some(first) = self.overflow.peek() else {
             return;
         };
@@ -291,7 +292,7 @@ impl<T> EventQueue<T> {
                 }
                 std::mem::swap(&mut self.active, &mut self.buckets[self.cursor]);
                 self.active
-                    .sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                    .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
                 self.cursor += 1;
                 self.active_hi = self
                     .epoch_start
@@ -321,9 +322,11 @@ impl<T> EventQueue<T> {
     /// the batch form the next batch, preserving the exact `(time,
     /// seq)` pop order of repeated [`EventQueue::pop`] calls.
     pub fn pop_batch(&mut self, buf: &mut Vec<T>) -> Option<SimTime> {
+        let _prof = crate::prof::span_hot("evq.pop_batch");
         if !self.prime_active() {
             return None;
         }
+        let before = buf.len();
         let t = self.active.last().expect("primed").time;
         while let Some(e) = self.active.last() {
             if e.time != t {
@@ -334,6 +337,7 @@ impl<T> EventQueue<T> {
             buf.push(e.payload);
         }
         self.watermark = t;
+        crate::prof::count("events", (buf.len() - before) as u64);
         Some(t)
     }
 
@@ -711,10 +715,6 @@ mod tests {
         expect.sort();
         let got: Vec<(u64, u64)> =
             std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_nanos(), p))).collect();
-        let expect: Vec<(u64, u64)> = expect
-            .into_iter()
-            .map(|(t, i)| (t, i))
-            .collect();
         assert_eq!(got, expect);
     }
 
@@ -734,7 +734,7 @@ mod tests {
             assert!((t, p) >= last || p >= 1000, "order violated");
             last = (t, p);
             n += 1;
-            if n % 7 == 0 && extra < 1018 {
+            if n.is_multiple_of(7) && extra < 1018 {
                 // Push at the current instant (drained region).
                 q.push(t, extra);
                 // And a little ahead (current or next bucket).

@@ -21,7 +21,11 @@
 //!   records into, with the [`TraceOracle`] replay invariant checker;
 //! * [`metrics`] — insertion-ordered [`MetricsRegistry`] of counters /
 //!   gauges / histograms, exported as one deterministic JSON document
-//!   per run.
+//!   per run;
+//! * [`prof`] — always-available hierarchical span profiler (RAII
+//!   guards, per-thread trees merged across [`par`] workers, gated by
+//!   [`Telemetry`]), exported as `adios.profile/1` documents whose
+//!   structural skeleton is byte-stable across thread counts.
 //!
 //! Everything here is simulation-agnostic **and dependency-free** (std
 //! only — the whole workspace builds offline); the disk model,
@@ -37,6 +41,7 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod par;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 pub mod time;

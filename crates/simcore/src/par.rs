@@ -45,15 +45,23 @@ where
 {
     let n = n.max(1).min(items.len().max(1));
     if n == 1 || items.len() <= 1 {
+        // Inline path: spans recorded by `f` land directly in the
+        // caller's profile tree, no merge needed.
         return items.iter().map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
     let f = &f;
     let cursor = &cursor;
+    // Workers inherit the caller's profiling level and hand their span
+    // trees back with their results; merging in fixed worker-index
+    // order keeps the merged profile's structure independent of which
+    // worker claimed which item.
+    let prof_level = crate::prof::thread_level();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..n)
             .map(|_| {
                 s.spawn(move || {
+                    crate::prof::set_thread_level(prof_level);
                     let mut out: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -62,14 +70,16 @@ where
                         }
                         out.push((i, f(&items[i])));
                     }
-                    out
+                    (out, crate::prof::take())
                 })
             })
             .collect();
         let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
         for h in handles {
             // A panic in any worker propagates here and aborts the map.
-            tagged.extend(h.join().expect("par_map worker panicked"));
+            let (chunk, profile) = h.join().expect("par_map worker panicked");
+            tagged.extend(chunk);
+            crate::prof::merge(&profile);
         }
         tagged.sort_by_key(|&(i, _)| i);
         tagged.into_iter().map(|(_, r)| r).collect()
@@ -106,5 +116,27 @@ mod tests {
     fn more_threads_than_items() {
         let xs = [1u32, 2, 3];
         assert_eq!(par_map_threads(64, &xs, |&x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn worker_profiles_merge_into_caller() {
+        use crate::prof;
+        let prev = prof::thread_level();
+        prof::set_thread_level(prof::LEVEL_FULL);
+        prof::reset();
+        let xs: Vec<u64> = (0..40).collect();
+        for &threads in &[1usize, 2, 8] {
+            let _ = par_map_threads(threads, &xs, |&x| {
+                let _s = prof::span("par.item");
+                prof::count("items", 1);
+                x + 1
+            });
+        }
+        let p = prof::take();
+        let doc = p.skeleton_json().to_string();
+        // 3 thread counts x 40 items, wherever the workers ran.
+        assert!(doc.contains("\"calls\":120"), "{doc}");
+        assert!(doc.contains("\"items\":120"), "{doc}");
+        prof::set_thread_level(prev);
     }
 }

@@ -139,12 +139,10 @@ fn drain_instant_matches_model() {
     check(64, |g| {
         let mut q = EventQueue::new();
         let mut m = ModelQueue::default();
-        let mut payload = 0u64;
-        for _ in 0..g.usize_in(1, 120) {
+        for payload in 0..g.usize_in(1, 120) as u64 {
             let t = SimTime::from_nanos(g.u64_in(0, 500));
             q.push(t, payload);
             m.push(t, payload);
-            payload += 1;
         }
         let mut buf = Vec::new();
         while let Some(t) = q.peek_time() {

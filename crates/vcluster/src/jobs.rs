@@ -578,6 +578,7 @@ pub fn run_service(
         let Some(t) = queue.pop_batch(&mut batch) else {
             break;
         };
+        let _prof = simcore::prof::span_hot("jobs.event");
         now = t;
         let evs = std::mem::take(&mut batch);
         for ev in &evs {
@@ -1029,11 +1030,7 @@ mod tests {
                 ledger.release(g, m);
             }
             for g in 0..shape.total_vms() {
-                let cap = if ledger.free(g, true) > shape.map_slots_per_vm {
-                    true
-                } else {
-                    false
-                };
+                let cap = ledger.free(g, true) > shape.map_slots_per_vm;
                 assert!(!cap, "map free exceeded capacity on vm {g}");
                 assert!(
                     ledger.free(g, false) <= shape.reduce_slots_per_vm,

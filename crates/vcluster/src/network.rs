@@ -368,6 +368,7 @@ impl Core {
     /// ports, per-port capacity retirement, one shared accumulator), so
     /// any seed reproduces the same rates bit-for-bit.
     fn collect_component(&mut self, seed: u32, seed_ing: bool) {
+        let _prof = simcore::prof::span_hot("net.bfs");
         let Core { scratch, src, dst, egress, ingress, .. } = self;
         let st = scratch.stamp;
         let Scratch { mark_e, mark_i, fmeta, comp_e, comp_i, comp_flows, comp_sd, bfs, .. } =
@@ -549,6 +550,7 @@ impl Core {
     /// for the caller (the incremental solver repairs its heap from
     /// it). Seeds may repeat; visited components are skipped.
     fn resolve_seeds<I: IntoIterator<Item = (u32, bool)>>(&mut self, now: SimTime, seeds: I) {
+        let _prof = simcore::prof::span("net.solve");
         self.begin_pass();
         for (p, ing) in seeds {
             let seen = if ing {
@@ -577,12 +579,16 @@ impl Core {
         }
         let mut changed = std::mem::take(&mut self.scratch.changed);
         self.stats_changed += changed.len() as u64;
-        // Ascending flow-id order: the set of changed flows is a pure
-        // function of the affected components, so both solver flavors
-        // materialize (and fold `delivered_bytes`) identically.
-        changed.sort_unstable();
-        for &(f, bits) in &changed {
-            self.set_rate(now, f, f64::from_bits(bits));
+        {
+            let _mat = simcore::prof::span("net.materialize");
+            simcore::prof::count("flows_changed", changed.len() as u64);
+            // Ascending flow-id order: the set of changed flows is a pure
+            // function of the affected components, so both solver flavors
+            // materialize (and fold `delivered_bytes`) identically.
+            changed.sort_unstable();
+            for &(f, bits) in &changed {
+                self.set_rate(now, f, f64::from_bits(bits));
+            }
         }
         self.scratch.changed = changed;
     }

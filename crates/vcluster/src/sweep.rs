@@ -99,7 +99,7 @@ impl SweepGrid {
                             data_mb_per_vm: mb,
                             parallel_copies: pc,
                             plan_label,
-                            plan: plan.clone(),
+                            plan: *plan,
                         });
                     }
                 }
@@ -355,7 +355,7 @@ pub fn run_sweep(base: &ClusterParams, base_job: &JobSpec, grid: &SweepGrid) -> 
             job.parallel_copies = cell.parallel_copies;
         }
         let start = Instant::now();
-        let out = run_job(&params, &job, cell.plan.clone());
+        let out = run_job(&params, &job, cell.plan);
         CellResult {
             cell: cell.clone(),
             makespan: out.makespan,
@@ -532,7 +532,7 @@ mod tests {
                 params.shape = cell.shape;
                 let mut j = job.clone();
                 j.data_per_vm_bytes = cell.data_mb_per_vm * 1024 * 1024;
-                let out = run_job(&params, &j, cell.plan.clone());
+                let out = run_job(&params, &j, cell.plan);
                 (
                     out.makespan.as_nanos(),
                     out.events_processed,

@@ -181,7 +181,7 @@ fn run_trace(seed: u64, nodes: u32, ops: usize, endpoints: Endpoints) -> usize {
             // Advance by a random sub-completion interval and harvest:
             // usually a no-op, sometimes lands exactly on a horizon.
             let dt = SimDuration::from_nanos(rng.range_u64(1, 5_000_000));
-            h.now = h.now + dt;
+            h.now += dt;
             h.harvest("random_advance");
         }
         h.check("op");

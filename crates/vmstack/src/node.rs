@@ -560,6 +560,7 @@ impl NodeStack {
         req: IoRequest,
         out: &mut Vec<StackAction>,
     ) {
+        let _prof = simcore::prof::span_hot("vmstack.submit");
         assert!(
             req.sector + req.sectors <= self.params.vm_extent_sectors,
             "guest request beyond VM extent"
@@ -584,6 +585,7 @@ impl NodeStack {
     /// Allocation-free [`NodeStack::handle`]: actions are appended to
     /// `out` (which the driver recycles across calls).
     pub fn handle_into(&mut self, now: SimTime, ev: StackEvent, out: &mut Vec<StackAction>) {
+        let _prof = simcore::prof::span_hot("vmstack.handle");
         match ev {
             StackEvent::GuestKick { vm, ticket } => {
                 if self.guests[vm as usize].timer.fire(ticket) {
@@ -913,6 +915,7 @@ impl NodeStack {
         pair: SchedPair,
         scope: SwitchScope,
     ) -> Vec<StackAction> {
+        let _prof = simcore::prof::span("vmstack.switch");
         let mut out = Vec::new();
         self.switching_to = Some(pair);
         if scope != SwitchScope::GuestOnly {

@@ -10,6 +10,11 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
 
+# Lint gate: the whole workspace, every test and bench target included,
+# must be clippy-clean. -D warnings turns any new lint into a CI
+# failure instead of scroll-by noise.
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
 # Causality guard: re-run the pairs smoke suite with the EventQueue's
 # push-before-watermark check enabled in the release build. In normal
 # release runs the check compiles to nothing; ADIOS_STRICT=1 turns it
@@ -49,6 +54,16 @@ t1="$(date +%s%N)"
 wall_ms=$(( (t1 - t0) / 1000000 ))
 if (( wall_ms > wall_gate_ms )); then
   echo "error: 64x4 headline cell took ${wall_ms} ms (> ${wall_gate_s} s gate)" >&2
+  # Don't leave the next person guessing: re-run the cell under the
+  # full-telemetry span profiler and print where the wall time went.
+  gate_profile="$(mktemp)"
+  cargo run -q --release --offline --bin repro-cli -- run \
+    --nodes 64 --vms 4 --data-mb 64 --telemetry full \
+    --profile-out "${gate_profile}" > /dev/null
+  echo "span attribution of the regressed cell:" >&2
+  cargo run -q --release --offline -p adios-report -- render "${gate_profile}" \
+    | sed -n '/\[subsystems\]/,/^$/p' >&2
+  rm -f "${gate_profile}"
   exit 1
 fi
 echo "ci: 64x4 headline cell ${wall_ms} ms (gate ${wall_gate_s} s)"
@@ -76,6 +91,51 @@ grep -q '"schema":"adios.metrics/3"' "${service_json}" \
   || { echo "error: serve-jobs metrics missing the /3 schema" >&2; exit 1; }
 cargo run -q --release --offline -p adios-report -- render "${service_json}" > /dev/null
 rm -f "${service_json}"
+
+# Profiler smoke: a full-telemetry run must export an adios.profile/1
+# document that renders as the flame-style share table, and whose
+# self-diff passes the subsystem share gate (exit 0 — the same gate
+# that exits 2 when shares shift between two real profiles).
+profile_json="$(mktemp)"
+cargo run -q --release --offline --bin repro-cli -- run \
+  --nodes 4 --vms 4 --data-mb 64 --telemetry full \
+  --profile-out "${profile_json}" > /dev/null
+grep -q '"schema":"adios.profile/1"' "${profile_json}" \
+  || { echo "error: --profile-out must write an adios.profile/1 document" >&2; exit 1; }
+cargo run -q --release --offline -p adios-report -- render "${profile_json}" > /dev/null
+cargo run -q --release --offline -p adios-report -- diff \
+  "${profile_json}" "${profile_json}" --fail-on-share-delta > /dev/null
+# Subsystem shares must also fold into the regression ledger.
+profile_ledger="$(mktemp)"; rm -f "${profile_ledger}"
+cargo run -q --release --offline -p adios-report -- history \
+  --ledger "${profile_ledger}" "${profile_json}" > /dev/null
+grep -q '"kind":"profile"' "${profile_ledger}" \
+  || { echo "error: profile shares missing from history ledger" >&2; exit 1; }
+rm -f "${profile_json}" "${profile_ledger}"
+
+# Flight-recorder smoke: an injected oracle violation must fail the
+# strict service run (exit 1), leave a replayable adios.flight/1
+# post-mortem behind, and `adios-report replay` must re-find the same
+# violation offline (exit 2).
+flight_json="$(mktemp)"
+set +e
+ADIOS_STRICT=1 ADIOS_INJECT_VIOLATION=1 \
+  cargo run -q --release --offline --bin repro-cli -- serve-jobs \
+  --nodes 2 --vms 2 --data-mb 16 --duration-s 60 --rate 6 --seed 42 \
+  --policy cc --flight-out "${flight_json}" > /dev/null 2>&1
+flight_rc=$?
+set -e
+[[ "${flight_rc}" -eq 1 ]] \
+  || { echo "error: injected violation must fail the strict run (got ${flight_rc})" >&2; exit 1; }
+grep -q '"schema":"adios.flight/1"' "${flight_json}" \
+  || { echo "error: strict failure must leave an adios.flight/1 dump" >&2; exit 1; }
+set +e
+cargo run -q --release --offline -p adios-report -- replay "${flight_json}" > /dev/null
+replay_rc=$?
+set -e
+[[ "${replay_rc}" -eq 2 ]] \
+  || { echo "error: flight replay must re-find the violation (got ${replay_rc})" >&2; exit 1; }
+rm -f "${flight_json}"
 
 # Decision-observability smoke: the cross-run store must ingest the
 # committed bench documents into a fresh ledger (exit 0, two entries,
@@ -177,4 +237,4 @@ if [[ -n "${external}" ]]; then
   exit 1
 fi
 
-echo "ci: offline build (all targets) + tests + strict causality smoke + bench smoke/shape + report smoke + serve-jobs oracle smoke + history/rank/correlate smoke + serve whatif/alert gate green; dependency graph is workspace-only"
+echo "ci: offline build (all targets) + tests + clippy + strict causality smoke + bench smoke/shape + report smoke + serve-jobs oracle smoke + profiler/flight smoke + history/rank/correlate smoke + serve whatif/alert gate green; dependency graph is workspace-only"

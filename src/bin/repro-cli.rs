@@ -3,6 +3,7 @@
 //! ```text
 //! repro-cli run   [--workload sort] [--pair cc] [--nodes 4] [--vms 4] [--data-mb 512]
 //!                 [--telemetry off|counters|full] [--metrics-out FILE] [--trace-out FILE]
+//!                 [--profile-out FILE] [--flight-out FILE]
 //!                 [--mode plan|reactive] [--policy queue|phase] [--tick-ms 500]
 //!                 [--busy-pair dd] [--idle-pair cc] [--map-pair ac] [--reduce-pair dd]
 //! repro-cli sweep [--workload sort] [--nodes 4,8,...] [--vms 4] [--data-mb 512,...]
@@ -16,7 +17,7 @@
 //!                 [--seed 42] [--tenants sort:2,wordcount:1] [--data-mb 64]
 //!                 [--policy adaptive|PAIR] [--margin 0.05] [--switch-cost-ms 500]
 //!                 [--retune-s 5] [--max-concurrent 8] [--arrivals-file FILE]
-//!                 [--metrics-out FILE] [--watch-out DIR]
+//!                 [--metrics-out FILE] [--watch-out DIR] [--flight-out FILE]
 //! ```
 //!
 //! Pairs use the paper's two-letter codes (`c`=CFQ, `d`=deadline,
@@ -56,7 +57,22 @@
 //! installed pair from the live phase mix; any pair code pins a static
 //! baseline. With `ADIOS_STRICT=1` the service trace is replayed
 //! through the oracle (slot capacities, job lifecycle, byte
-//! conservation) and violations fail the run.
+//! conservation) and violations fail the run — writing an
+//! `adios.flight/1` post-mortem to `--flight-out` (or a temp path)
+//! first, so the failure is replayable offline with `adios-report
+//! replay`. `ADIOS_INJECT_VIOLATION=1` appends a bogus job-completion
+//! record before the strict replay — the CI hook that proves the
+//! whole dump/replay path end to end.
+//!
+//! `run --profile-out FILE` exports the span profiler's accumulated
+//! tree as an `adios.profile/1` document after the run (`--telemetry`
+//! sets the profiling level: `off` disables it, `counters` times
+//! batch-granularity spans, `full` also times per-event hot spans).
+//! `run --flight-out FILE` arms the crash flight recorder: on a panic
+//! mid-run the ring of periodic state snapshots plus the retained
+//! trace tails are written there (or to a temp path when the flag is
+//! absent) before the panic resumes — a clean run writes nothing,
+//! like any black box.
 //!
 //! Every output flag is validated *before* the simulation runs: a
 //! path pointing into a missing directory fails immediately with a
@@ -190,9 +206,24 @@ fn pair(flags: &HashMap<String, String>, key: &str, default: &str) -> SchedPair 
         })
 }
 
+/// Every output-path flag `run` accepts — validated up front, so a
+/// typo'd directory fails before the simulation, not after it.
+const RUN_OUT_FLAGS: &[&str] = &["metrics-out", "trace-out", "profile-out", "flight-out"];
+
+/// Where a fault dump lands when `--flight-out` wasn't given: a
+/// pid-keyed file in the temp directory (printed on the fault path, so
+/// it is never silently lost).
+fn default_flight_path() -> String {
+    std::env::temp_dir()
+        .join(format!("adios-flight-{}.json", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
 fn cmd_run(flags: HashMap<String, String>) {
-    validate_out_flags(&flags, &["metrics-out", "trace-out"]);
+    validate_out_flags(&flags, RUN_OUT_FLAGS);
     let params = cluster(&flags);
+    simcore::prof::set_level(params.node.telemetry);
     let j = job(&flags);
     let p = pair(&flags, "pair", "cc");
     let mut params = params;
@@ -200,6 +231,12 @@ fn cmd_run(flags: HashMap<String, String>) {
         // A timeline export needs retained records; keep the most
         // recent 64k events per ring unless the user sized it.
         params.node.trace_capacity = 1 << 16;
+    }
+    if flags.contains_key("flight-out") {
+        // An armed flight recorder needs a trace tail worth replaying.
+        // Only the CLI widens the rings: library defaults stay put so
+        // the byte-pinned metrics goldens (`trace.dropped`) hold.
+        params.node.trace_capacity = params.node.trace_capacity.max(4096);
     }
     let mut sim = ClusterSim::new(params.clone(), j.clone(), SwitchPlan::single(p));
     let mode = flags.get("mode").map(String::as_str).unwrap_or("plan");
@@ -248,12 +285,32 @@ fn cmd_run(flags: HashMap<String, String>) {
             exit(2);
         }
     }
-    let out = sim.run();
+    // A panic mid-simulation dumps the flight recorder (ring of state
+    // snapshots + trace tails) before resuming the unwind, so the
+    // post-mortem survives even when the process dies.
+    let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run())) {
+        Ok(out) => out,
+        Err(payload) => {
+            let path = flags
+                .get("flight-out")
+                .cloned()
+                .unwrap_or_else(default_flight_path);
+            match std::fs::write(&path, sim.flight_dump("panic").to_string() + "\n") {
+                Ok(()) => eprintln!("panic during run: flight recording written to {path}"),
+                Err(e) => eprintln!("panic during run: cannot write flight recording {path}: {e}"),
+            }
+            std::panic::resume_unwind(payload);
+        }
+    };
     if let Some(path) = flags.get("metrics-out") {
         write_out(path, &out.metrics.to_string());
     }
     if let Some(path) = flags.get("trace-out") {
         write_out(path, &sim.chrome_trace().to_string());
+    }
+    if let Some(path) = flags.get("profile-out") {
+        write_out(path, &(simcore::prof::take().to_json().to_string() + "\n"));
+        println!("wrote {path}");
     }
     println!(
         "{} under {} on {}x{} VMs, {} MB/VM:",
@@ -547,8 +604,9 @@ fn cmd_waves(flags: HashMap<String, String>) {
 }
 
 fn cmd_serve_jobs(flags: HashMap<String, String>) {
-    validate_out_flags(&flags, &["metrics-out"]);
+    validate_out_flags(&flags, &["metrics-out", "flight-out"]);
     let params = cluster(&flags);
+    simcore::prof::set_level(params.node.telemetry);
     let data_mb: u64 = flags
         .get("data-mb")
         .map(|v| v.parse().expect("--data-mb"))
@@ -561,8 +619,10 @@ fn cmd_serve_jobs(flags: HashMap<String, String>) {
         eprintln!("--tenants: {e}");
         exit(2);
     });
-    let mut sp = ServiceParams::default();
-    sp.shape = params.shape;
+    let mut sp = ServiceParams {
+        shape: params.shape,
+        ..ServiceParams::default()
+    };
     if let Some(v) = flags.get("duration-s") {
         sp.duration = SimDuration::from_secs(v.parse().expect("--duration-s"));
     }
@@ -644,18 +704,58 @@ fn cmd_serve_jobs(flags: HashMap<String, String>) {
         out.switches
     );
     if std::env::var("ADIOS_STRICT").map(|v| v == "1").unwrap_or(false) {
+        let mut records: Vec<simcore::trace::TraceRecord> =
+            out.trace.records().copied().collect();
+        // The CI end-to-end hook: a deliberately impossible record
+        // (completion of a job that never arrived) proves the whole
+        // violation -> flight dump -> offline replay path.
+        if std::env::var("ADIOS_INJECT_VIOLATION").map(|v| v == "1").unwrap_or(false) {
+            records.push(simcore::trace::TraceRecord {
+                t: simcore::SimTime::ZERO + sp.duration,
+                ev: simcore::trace::TraceEvent::JobComplete { job: 999_999 },
+            });
+        }
         let mut oracle = TraceOracle::new(OracleConfig {
             map_slots_per_vm: Some(sp.shape.map_slots_per_vm),
             reduce_slots_per_vm: Some(sp.shape.reduce_slots_per_vm),
             ..OracleConfig::default()
         });
-        oracle.replay(&out.trace);
+        oracle.replay_records(&records);
         let violations = oracle.violations();
         if violations.is_empty() {
             println!("  oracle: clean ({} records)", out.trace.total());
         } else {
             for v in violations {
                 eprintln!("  oracle violation: {v}");
+            }
+            // Dump the replayed trace as an adios.flight/1 post-mortem
+            // before failing, so the violation is reproducible offline
+            // with `adios-report replay`.
+            let dump = Json::obj()
+                .field("schema", "adios.flight/1")
+                .field("reason", "oracle violation")
+                .field("nodes", sp.shape.nodes as u64)
+                .field("vms", sp.shape.total_vms() as u64)
+                .field("events", out.trace.total())
+                .field("t_s", out.makespan.as_secs_f64())
+                .field("snapshots", Json::Arr(Vec::new()))
+                .field(
+                    "cluster_trace",
+                    Json::obj()
+                        .field("total", out.trace.total())
+                        .field("dropped", out.trace.dropped())
+                        .field(
+                            "records",
+                            Json::Arr(records.iter().map(|r| r.to_json()).collect()),
+                        ),
+                );
+            let path = flags
+                .get("flight-out")
+                .cloned()
+                .unwrap_or_else(default_flight_path);
+            match std::fs::write(&path, dump.to_string() + "\n") {
+                Ok(()) => eprintln!("  flight recording written to {path}"),
+                Err(e) => eprintln!("  cannot write flight recording {path}: {e}"),
             }
             exit(1);
         }
@@ -701,7 +801,27 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::validate_out_path;
+    use super::{validate_out_path, RUN_OUT_FLAGS};
+
+    #[test]
+    fn run_validates_every_output_flag_up_front() {
+        // The new observability exports ride the same up-front
+        // validation as the original two; forgetting one here means a
+        // long run can end with a "No such file or directory".
+        for flag in ["metrics-out", "trace-out", "profile-out", "flight-out"] {
+            assert!(RUN_OUT_FLAGS.contains(&flag), "missing {flag}");
+        }
+    }
+
+    #[test]
+    fn out_path_check_applies_to_profile_and_flight_targets() {
+        let missing = std::env::temp_dir().join("adios-no-such-dir-prof");
+        for name in ["p.profile.json", "f.flight.json"] {
+            let path = missing.join(name);
+            assert!(validate_out_path(path.to_str().unwrap()).is_err());
+        }
+        assert_eq!(validate_out_path("profile.json"), Ok(()));
+    }
 
     #[test]
     fn out_path_accepts_bare_names_and_existing_dirs() {

@@ -23,8 +23,12 @@ fn sort_job(data_mb: u64) -> JobSpec {
     }
 }
 
-/// Everything observable about an outcome, for exact comparison.
-fn fingerprint(out: &JobOutcome) -> (SimDuration, Vec<(u64, f64)>, u64, Vec<Vec<u64>>) {
+/// Everything observable about an outcome, for exact comparison:
+/// makespan, (time, fraction) progress points, network bytes, and the
+/// per-node Dom0 throughput series as raw bits.
+type Fingerprint = (SimDuration, Vec<(u64, f64)>, u64, Vec<Vec<u64>>);
+
+fn fingerprint(out: &JobOutcome) -> Fingerprint {
     (
         out.makespan,
         out.progress.iter().map(|&(t, f)| (t.as_nanos(), f)).collect(),

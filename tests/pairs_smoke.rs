@@ -130,7 +130,7 @@ fn trace_oracle_is_clean_for_all_sixteen_pairs() {
         // deadline shadow uses the elevator's stock tunables).
         for n in 0..params.shape.nodes as usize {
             let trace = sim.node(n).trace();
-            assert!(trace.len() > 0, "{p}: node {n} recorded nothing");
+            assert!(!trace.is_empty(), "{p}: node {n} recorded nothing");
             assert_eq!(trace.dropped(), 0, "{p}: node {n} dropped records");
             let mut oracle = TraceOracle::new(OracleConfig::default());
             oracle.replay(trace);
@@ -167,10 +167,12 @@ fn multijob_service_trace_is_oracle_clean() {
         "calibration must record its profiles in the shared cache"
     );
 
-    let mut sp = ServiceParams::default();
-    sp.shape = params.shape;
-    sp.duration = SimDuration::from_secs(180);
-    sp.seed = 11;
+    let sp = ServiceParams {
+        shape: params.shape,
+        duration: SimDuration::from_secs(180),
+        seed: 11,
+        ..ServiceParams::default()
+    };
     let spec = ArrivalSpec::Poisson { rate_per_min: 5.0 };
     let mut policy = BlendedTuner::new(profiles.clone(), 0.05);
     let out = run_service(&sp, &mix, &profiles, &spec, &mut policy);
